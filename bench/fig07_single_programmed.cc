@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 7: IPC and EDP of the 11 memory-bound SPEC CPU 2006 programs,
+ * normalized to the baseline with no L3 cache, for BI / SRAM / cTLB /
+ * Ideal.
+ *
+ * Paper-reported geomeans vs No-L3: BI +4.0% IPC; SRAM +16.4%; cTLB
+ * +24.9% (within 11.8% of Ideal); cTLB beats SRAM EDP by 26.5%.
+ */
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace tdc;
+using namespace tdc::bench;
+
+int
+main()
+{
+    header("Figure 7: single-programmed IPC and EDP (normalized to NoL3)",
+           "BI +4.0% / SRAM +16.4% / cTLB +24.9% IPC; "
+           "cTLB EDP -26.5% vs SRAM");
+
+    const Budget b = budget(4'000'000, 4'000'000);
+    const std::vector<OrgKind> orgs = {OrgKind::BankInterleave,
+                                       OrgKind::SramTag,
+                                       OrgKind::Tagless, OrgKind::Ideal};
+
+    std::cout << format("{:<12}", "program");
+    for (OrgKind k : orgs)
+        std::cout << format(" {:>9}", std::string(toString(k)) + ".I")
+                  << format(" {:>9}", std::string(toString(k)) + ".E");
+    std::cout << "\n";
+
+    std::vector<std::vector<double>> ipc_norm(orgs.size());
+    std::vector<std::vector<double>> edp_norm(orgs.size());
+
+    for (const auto &prog : spec11Names()) {
+        const RunResult base = runConfig(OrgKind::NoL3, {prog}, b);
+        std::cout << format("{:<12}", prog);
+        for (std::size_t i = 0; i < orgs.size(); ++i) {
+            const RunResult r = runConfig(orgs[i], {prog}, b);
+            const double ni = r.sumIpc / base.sumIpc;
+            const double ne = r.edp / base.edp;
+            ipc_norm[i].push_back(ni);
+            edp_norm[i].push_back(ne);
+            std::cout << format(" {:>9.3f} {:>9.3f}", ni, ne);
+        }
+        std::cout << "\n";
+    }
+
+    std::cout << format("{:<12}", "geomean");
+    for (std::size_t i = 0; i < orgs.size(); ++i)
+        std::cout << format(" {:>9.3f} {:>9.3f}", geomean(ipc_norm[i]),
+                            geomean(edp_norm[i]));
+    std::cout << "\n\nmeasured: ";
+    for (std::size_t i = 0; i < orgs.size(); ++i) {
+        std::cout << format("{} {:+.1f}% IPC  ", toString(orgs[i]),
+                            (geomean(ipc_norm[i]) - 1.0) * 100);
+    }
+    const double edp_gap =
+        1.0 - geomean(edp_norm[2]) / geomean(edp_norm[1]);
+    std::cout << format("| cTLB EDP vs SRAM: {:+.1f}%\n", -edp_gap * 100);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 9: IPC and EDP of the eight Table 5 multi-programmed mixes,
+ * normalized to No-L3.
+ *
+ * Paper: SRAM +34.9% / cTLB +38.4% IPC (cTLB beats SRAM by 2.6% IPC,
+ * 21.3% energy); BI only +11.2%; EDP reductions 31.5% / 43.5%.
+ */
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace tdc;
+using namespace tdc::bench;
+
+int
+main()
+{
+    header("Figure 9: multi-programmed IPC and EDP (normalized to NoL3)",
+           "BI +11.2% / SRAM +34.9% / cTLB +38.4% IPC; EDP -31.5% / "
+           "-43.5%");
+
+    const Budget b = budget(2'000'000, 2'000'000);
+    const std::vector<OrgKind> orgs = {OrgKind::BankInterleave,
+                                       OrgKind::SramTag,
+                                       OrgKind::Tagless};
+
+    std::cout << format("{:<6}", "mix");
+    for (OrgKind k : orgs)
+        std::cout << format(" {:>9}", std::string(toString(k)) + ".I")
+                  << format(" {:>9}", std::string(toString(k)) + ".E");
+    std::cout << "\n";
+
+    std::vector<std::vector<double>> ipc_norm(orgs.size());
+    std::vector<std::vector<double>> edp_norm(orgs.size());
+
+    const auto &mixes = table5Mixes();
+    for (std::size_t mi = 0; mi < mixes.size(); ++mi) {
+        const std::vector<std::string> w(mixes[mi].begin(),
+                                         mixes[mi].end());
+        const RunResult base = runConfig(OrgKind::NoL3, w, b);
+        std::cout << format("MIX{:<3}", mi + 1);
+        for (std::size_t i = 0; i < orgs.size(); ++i) {
+            const RunResult r = runConfig(orgs[i], w, b);
+            const double ni = r.sumIpc / base.sumIpc;
+            const double ne = r.edp / base.edp;
+            ipc_norm[i].push_back(ni);
+            edp_norm[i].push_back(ne);
+            std::cout << format(" {:>9.3f} {:>9.3f}", ni, ne);
+        }
+        std::cout << "\n";
+    }
+
+    std::cout << format("{:<6}", "gmean");
+    for (std::size_t i = 0; i < orgs.size(); ++i)
+        std::cout << format(" {:>9.3f} {:>9.3f}", geomean(ipc_norm[i]),
+                            geomean(edp_norm[i]));
+    std::cout << format(
+        "\n\nmeasured: BI {:+.1f}% / SRAM {:+.1f}% / cTLB {:+.1f}% IPC; "
+        "cTLB vs SRAM IPC {:+.1f}%\n",
+        (geomean(ipc_norm[0]) - 1) * 100, (geomean(ipc_norm[1]) - 1) * 100,
+        (geomean(ipc_norm[2]) - 1) * 100,
+        (geomean(ipc_norm[2]) / geomean(ipc_norm[1]) - 1) * 100);
+    return 0;
+}

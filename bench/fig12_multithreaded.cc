@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 12: IPC speedup and normalized EDP of the four PARSEC
+ * programs (4 threads sharing one address space), vs No-L3.
+ *
+ * Paper: streamcluster +24.0% IPC over baseline (+0.6% over SRAM);
+ * facesim comparable IPC to SRAM but lower EDP (no tag energy);
+ * swaptions/fluidanimate show no improvement or slight degradation
+ * (low MPKI, singleton-heavy).
+ */
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace tdc;
+using namespace tdc::bench;
+
+int
+main()
+{
+    header("Figure 12: multi-threaded (PARSEC) IPC and EDP "
+           "(normalized to NoL3)",
+           "streamcluster +24% IPC; facesim EDP win; "
+           "swaptions/fluidanimate flat or slightly down");
+
+    const Budget b = budget(2'000'000, 2'000'000);
+    const std::vector<OrgKind> orgs = {OrgKind::BankInterleave,
+                                       OrgKind::SramTag,
+                                       OrgKind::Tagless};
+
+    std::cout << format("{:<15}", "program");
+    for (OrgKind k : orgs)
+        std::cout << format(" {:>9}", std::string(toString(k)) + ".I")
+                  << format(" {:>9}", std::string(toString(k)) + ".E");
+    std::cout << "\n";
+
+    for (const auto &prog : parsecNames()) {
+        const RunResult base = runConfig(OrgKind::NoL3, {prog}, b);
+        std::cout << format("{:<15}", prog);
+        for (OrgKind k : orgs) {
+            const RunResult r = runConfig(k, {prog}, b);
+            std::cout << format(" {:>9.3f} {:>9.3f}",
+                                r.sumIpc / base.sumIpc, r.edp / base.edp);
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

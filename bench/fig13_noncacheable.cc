@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 13 / Section 5.4: the non-cacheable-pages case study on
+ * 459.GemsFDTD.
+ *
+ * Pages whose lifetime access count is below 32 (singletons and other
+ * low-reuse pages) are flagged NC in the page table, so the tagless
+ * cache bypasses them: no 4KB fill for a handful of touched blocks.
+ *
+ * Paper: +7.1% IPC over the tagless cache without NC pages, from
+ * reduced bandwidth pollution and a higher effective hit ratio.
+ */
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace tdc;
+using namespace tdc::bench;
+
+namespace {
+
+RunResult
+runGems(bool use_nc, const Budget &b)
+{
+    SystemConfig cfg;
+    cfg.org = OrgKind::Tagless;
+    cfg.workloads = {"GemsFDTD"};
+    cfg.instsPerCore = b.insts;
+    cfg.warmupInsts = b.warmup;
+    System sys(cfg);
+    if (use_nc) {
+        // Offline profile: the generator knows which pages will see
+        // fewer than 32 block accesses (Section 5.4's threshold).
+        auto probe = makeGenerator(getWorkload("GemsFDTD"), 0);
+        const PageNum first = probe->singletonFirstVpn();
+        // The singleton region is consumed sequentially; hint enough of
+        // it to cover the whole run.
+        for (PageNum v = first; v < first + 400'000; ++v)
+            sys.pageTable(0).setNonCacheableHint(v);
+    }
+    return sys.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Figure 13: GemsFDTD with vs without non-cacheable pages",
+           "+7.1% IPC with NC pages over plain tagless");
+
+    const Budget b = budget(4'000'000, 4'000'000);
+    const RunResult base = runConfig(OrgKind::NoL3, {"GemsFDTD"}, b);
+    const RunResult plain = runGems(false, b);
+    const RunResult nc = runGems(true, b);
+
+    std::cout << format("{:<24} {:>10} {:>12} {:>12} {:>12}\n", "config",
+                        "IPC/NoL3", "pageFills", "offPkgMB", "hitRate");
+    auto row = [&](const char *name, const RunResult &r) {
+        std::cout << format("{:<24} {:>10.3f} {:>12} {:>12.1f} {:>11.1f}%\n",
+                            name, r.sumIpc / base.sumIpc, r.pageFills,
+                            static_cast<double>(r.offPkgBytes) / 1e6,
+                            r.l3HitRate * 100);
+    };
+    row("tagless", plain);
+    row("tagless + NC pages", nc);
+
+    std::cout << format("\nmeasured: NC pages {:+.1f}% IPC over plain "
+                        "tagless (paper: +7.1%)\n",
+                        (nc.sumIpc / plain.sumIpc - 1) * 100);
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot simulator components:
+ * TLB lookup, SRAM cache access, DRAM device access, tagless TLB-miss
+ * handling and trace generation. These gate the wall-clock cost of the
+ * experiment harness rather than any modeled latency.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/sram_cache.hh"
+#include "dram/dram_device.hh"
+#include "dram/dram_params.hh"
+#include "dramcache/tagless_cache.hh"
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "trace/workloads.hh"
+#include "vm/page_table.hh"
+#include "vm/phys_mem.hh"
+#include "vm/tlb.hh"
+
+using namespace tdc;
+
+static void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    EventQueue eq;
+    Tlb tlb("tlb", eq, 512);
+    for (PageNum v = 0; v < 512; ++v)
+        tlb.insert(TlbEntry{makeAsidVpn(0, v), v, false});
+    PageNum v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(makeAsidVpn(0, v)));
+        v = (v + 97) & 511;
+    }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+static void
+BM_SramCacheAccess(benchmark::State &state)
+{
+    EventQueue eq;
+    SramCacheParams p;
+    p.sizeBytes = 2 * 1024 * 1024;
+    p.associativity = 16;
+    SramCache cache("l2", eq, p);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(a, false));
+        a = (a + 8 * cacheLineBytes) & ((4ULL << 20) - 1);
+    }
+}
+BENCHMARK(BM_SramCacheAccess);
+
+static void
+BM_DramDeviceAccess(benchmark::State &state)
+{
+    EventQueue eq;
+    DramDevice dev("d", eq, inPackageTiming(), inPackageEnergy());
+    Addr a = 0;
+    Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dev.access(a, 64, false, t));
+        a = (a + 64) & ((1ULL << 30) - 1);
+        t += 2'000;
+    }
+}
+BENCHMARK(BM_DramDeviceAccess);
+
+static void
+BM_TaglessTlbMissVictimHit(benchmark::State &state)
+{
+    EventQueue eq;
+    ClockDomain clk(3'000'000'000ULL);
+    DramDevice in_pkg("in", eq, inPackageTiming(), inPackageEnergy());
+    DramDevice off_pkg("off", eq, offPackageTiming(), offPackageEnergy());
+    PhysMem phys("phys", eq, 1ULL << 21);
+    PageTable pt("pt", eq, 0, phys);
+    TaglessCacheParams params;
+    TaglessCache cache("ctlb", eq, in_pkg, off_pkg, phys, clk, params);
+    cache.setPageInvalidator([](Addr) { return 0u; });
+    Tick t = 0;
+    for (PageNum v = 0; v < 4096; ++v)
+        t = cache.handleTlbMiss(pt, v, 0, t).readyTick;
+    PageNum v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.handleTlbMiss(pt, v, 0, t));
+        v = (v + 61) & 4095;
+        t += 1'000;
+    }
+}
+BENCHMARK(BM_TaglessTlbMissVictimHit);
+
+static void
+BM_SyntheticTraceGen(benchmark::State &state)
+{
+    auto gen = makeGenerator(getWorkload("GemsFDTD"), 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen->next());
+}
+BENCHMARK(BM_SyntheticTraceGen);
+
+BENCHMARK_MAIN();

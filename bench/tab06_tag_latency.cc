@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 6: SRAM tag array size and latency vs cache size (model
+ * inputs), plus a sensitivity sweep showing how the tag latency feeds
+ * the SRAM-tag design's L3 latency while the tagless cache is immune.
+ */
+
+#include "bench_util.hh"
+#include "dramcache/sram_tag_cache.hh"
+
+using namespace tdc;
+using namespace tdc::bench;
+
+int
+main()
+{
+    header("Table 6: SRAM tag size/latency vs cache size",
+           "0.5/1/2/4 MB and 5/6/9/11 cycles for 128MB..1GB");
+
+    std::cout << format("{:<10} {:>10} {:>10}\n", "cache", "tags(MB)",
+                        "lat(cyc)");
+    for (std::uint64_t mb : {128, 256, 512, 1024}) {
+        std::cout << format(
+            "{:<10} {:>10.1f} {:>10}\n", format("{}MB", mb),
+            static_cast<double>(sramTagBytesForSize(mb << 20)) / 1048576,
+            sramTagLatencyForSize(mb << 20));
+    }
+
+    std::cout << "\nSensitivity: SRAM-tag L3 latency vs tag latency "
+                 "(libquantum, 1GB cache);\nthe tagless cache pays no "
+                 "tag latency at any size.\n";
+    const Budget b = budget(3'000'000, 4'000'000);
+    const double ctlb =
+        runConfig(OrgKind::Tagless, {"libquantum"}, b)
+            .avgL3LatencyCycles;
+    std::cout << format("{:<14} {:>12} {:>12}\n", "tag latency",
+                        "SRAM L3cyc", "cTLB L3cyc");
+    for (std::uint64_t lat : {5, 6, 9, 11, 16, 24}) {
+        Config cfg;
+        cfg.set("l3.tag_latency", static_cast<std::uint64_t>(lat));
+        const double sram =
+            runConfig(OrgKind::SramTag, {"libquantum"}, b, 1ULL << 30,
+                      cfg)
+                .avgL3LatencyCycles;
+        std::cout << format("{:<14} {:>12.1f} {:>12.1f}\n",
+                            format("{} cycles", lat), sram, ctlb);
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: build the Table 3 machine with the tagless (cTLB) DRAM
+ * cache, run one memory-bound workload, and print headline numbers.
+ *
+ *   ./quickstart [workload] [org] [key=value ...]
+ *
+ * e.g.  ./quickstart libquantum ctlb l3.size_bytes=268435456
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/format.hh"
+#include "common/units.hh"
+#include "sys/system.hh"
+
+using namespace tdc;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "libquantum";
+    const std::string org = argc > 2 ? argv[2] : "ctlb";
+
+    SystemConfig cfg = makeSystemConfig(orgKindFromString(org),
+                                        {workload});
+    cfg.raw.parseArgs(argc, argv);
+    if (cfg.raw.has("l3.size_bytes"))
+        cfg.l3SizeBytes = cfg.raw.getU64("l3.size_bytes", cfg.l3SizeBytes);
+
+    std::cout << format("workload={} org={} l3={}MB insts/core={}\n",
+                        workload, org, cfg.l3SizeBytes >> 20,
+                        cfg.instsPerCore);
+
+    System sys(cfg);
+    const RunResult r = sys.run();
+
+    std::cout << format("IPC (sum over cores)     : {:.3f}\n", r.sumIpc);
+    std::cout << format("cycles                   : {}\n", r.cycles);
+    std::cout << format("runtime                  : {:.3f} ms\n",
+                        r.seconds * 1e3);
+    std::cout << format("L3 accesses              : {}\n", r.l3Accesses);
+    std::cout << format("L3 hit rate (in-package) : {:.2f}%\n",
+                        r.l3HitRate * 100);
+    std::cout << format("avg L3 latency           : {:.1f} cycles\n",
+                        r.avgL3LatencyCycles);
+    std::cout << format("TLB full-miss rate       : {:.4f}\n",
+                        r.tlbMissRate);
+    std::cout << format("victim hits / cold fills : {} / {}\n",
+                        r.victimHits, r.coldFills);
+    std::cout << format("page writebacks          : {}\n",
+                        r.pageWritebacks);
+    std::cout << format("off-package traffic      : {:.1f} MB\n",
+                        static_cast<double>(r.offPkgBytes) / 1e6);
+    std::cout << format("in-package traffic       : {:.1f} MB\n",
+                        static_cast<double>(r.inPkgBytes) / 1e6);
+    std::cout << format("energy                   : {:.3f} mJ\n",
+                        r.energy.totalPj() * 1e-9);
+    std::cout << format("EDP                      : {:.3f} uJ*s\n",
+                        r.edp * 1e6);
+    std::cout << format("in-pkg avg access lat    : {:.1f} ns\n",
+                        ticksToNs(static_cast<Tick>(
+                            sys.inPkgDram().avgAccessLatency())));
+    std::cout << format("off-pkg avg access lat   : {:.1f} ns\n",
+                        ticksToNs(static_cast<Tick>(
+                            sys.offPkgDram().avgAccessLatency())));
+    if (std::getenv("TDC_DUMP_STATS"))
+        sys.dumpStats(std::cout);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Miss-status holding register file: bounds the number of distinct
+ * outstanding misses and merges requests to the same line.
+ *
+ * The OoO core model uses an Mshr to decide how much memory-level
+ * parallelism a burst of L2 misses can exploit: a new miss can only
+ * begin when a register is free, so the completion times stored here
+ * serialize overflow misses.
+ */
+
+#ifndef TDC_CACHE_MSHR_HH
+#define TDC_CACHE_MSHR_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace tdc {
+
+class Mshr
+{
+  public:
+    explicit Mshr(unsigned entries) : entries_(entries)
+    {
+        tdc_assert(entries > 0, "MSHR needs at least one entry");
+    }
+
+    /**
+     * If line is already outstanding, returns its completion tick
+     * (merged secondary miss). Otherwise returns maxTick.
+     */
+    Tick
+    lookup(std::uint64_t line) const
+    {
+        auto it = active_.find(line);
+        return it == active_.end() ? maxTick : it->second;
+    }
+
+    /**
+     * Earliest tick a *new* miss issued at `when` can actually start,
+     * given that all registers may be busy.
+     */
+    Tick
+    earliestStart(Tick when) const
+    {
+        if (active_.size() < entries_)
+            return when;
+        Tick first_free = maxTick;
+        for (const auto &[line, done] : active_)
+            first_free = std::min(first_free, done);
+        return std::max(when, first_free);
+    }
+
+    /** Records a miss on `line` completing at `done`. */
+    void
+    allocate(std::uint64_t line, Tick done, Tick now)
+    {
+        // Retire registers whose misses have completed.
+        std::erase_if(active_,
+                      [now](const auto &kv) { return kv.second <= now; });
+        tdc_assert(active_.size() < entries_, "MSHR overflow");
+        active_.emplace(line, done);
+    }
+
+    void
+    retireUpTo(Tick now)
+    {
+        std::erase_if(active_,
+                      [now](const auto &kv) { return kv.second <= now; });
+    }
+
+    std::size_t inFlight() const { return active_.size(); }
+    unsigned capacity() const { return entries_; }
+    void clear() { active_.clear(); }
+
+  private:
+    unsigned entries_;
+    std::unordered_map<std::uint64_t, Tick> active_;
+};
+
+} // namespace tdc
+
+#endif // TDC_CACHE_MSHR_HH

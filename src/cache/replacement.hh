@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Replacement policy selection shared by the SRAM caches, the TLBs and
+ * the page-granularity DRAM caches.
+ */
+
+#ifndef TDC_CACHE_REPLACEMENT_HH
+#define TDC_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/logging.hh"
+
+namespace tdc {
+
+enum class ReplPolicy : std::uint8_t {
+    LRU,
+    FIFO,
+    Random,
+};
+
+inline std::string_view
+toString(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::LRU: return "LRU";
+      case ReplPolicy::FIFO: return "FIFO";
+      case ReplPolicy::Random: return "Random";
+    }
+    return "?";
+}
+
+inline ReplPolicy
+replPolicyFromString(std::string_view s)
+{
+    if (s == "lru" || s == "LRU")
+        return ReplPolicy::LRU;
+    if (s == "fifo" || s == "FIFO")
+        return ReplPolicy::FIFO;
+    if (s == "random" || s == "Random")
+        return ReplPolicy::Random;
+    fatal("unknown replacement policy '{}'", s);
+}
+
+} // namespace tdc
+
+#endif // TDC_CACHE_REPLACEMENT_HH

@@ -1,0 +1,155 @@
+#include "cache/sram_cache.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace tdc {
+
+SramCache::SramCache(std::string name, EventQueue &eq,
+                     const SramCacheParams &params)
+    : SimObject(std::move(name), eq), params_(params),
+      rng_(0x5eedcafeULL)
+{
+    tdc_assert(isPowerOf2(params_.lineBytes), "line size must be 2^n");
+    tdc_assert(params_.associativity > 0, "zero associativity");
+    const std::uint64_t num_lines = params_.sizeBytes / params_.lineBytes;
+    tdc_assert(num_lines % params_.associativity == 0,
+               "size/assoc mismatch");
+    numSets_ = static_cast<unsigned>(num_lines / params_.associativity);
+    tdc_assert(isPowerOf2(numSets_), "set count must be 2^n");
+    lineBits_ = floorLog2(params_.lineBytes);
+    lines_.assign(num_lines, Line{});
+
+    auto &sg = statGroup();
+    sg.addScalar("hits", &hits_);
+    sg.addScalar("misses", &misses_);
+    sg.addScalar("writebacks", &writebacks_, "dirty evictions");
+}
+
+std::uint64_t
+SramCache::setIndex(Addr addr) const
+{
+    return (addr >> lineBits_) & (numSets_ - 1);
+}
+
+Addr
+SramCache::tagOf(Addr addr) const
+{
+    return addr >> (lineBits_ + floorLog2(numSets_));
+}
+
+Addr
+SramCache::rebuildAddr(Addr tag, std::uint64_t set) const
+{
+    return (tag << (lineBits_ + floorLog2(numSets_)))
+           | (set << lineBits_);
+}
+
+SramCache::Line &
+SramCache::selectVictim(std::uint64_t set)
+{
+    Line *base = &lines_[set * params_.associativity];
+    // Prefer an invalid way.
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        if (!base[w].valid)
+            return base[w];
+    }
+    switch (params_.policy) {
+      case ReplPolicy::LRU:
+        return *std::min_element(base, base + params_.associativity,
+                                 [](const Line &a, const Line &b) {
+                                     return a.lastUse < b.lastUse;
+                                 });
+      case ReplPolicy::FIFO:
+        return *std::min_element(base, base + params_.associativity,
+                                 [](const Line &a, const Line &b) {
+                                     return a.fillTime < b.fillTime;
+                                 });
+      case ReplPolicy::Random:
+        return base[rng_.below(params_.associativity)];
+    }
+    tdc_panic("unreachable");
+}
+
+CacheAccessOutcome
+SramCache::access(Addr addr, bool is_write)
+{
+    CacheAccessOutcome out;
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * params_.associativity];
+    ++useClock_;
+
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            out.hit = true;
+            line.lastUse = useClock_;
+            line.dirty |= is_write;
+            ++hits_;
+            return out;
+        }
+    }
+
+    ++misses_;
+    Line &victim = selectVictim(set);
+    if (victim.valid && victim.dirty) {
+        out.writebackAddr = rebuildAddr(victim.tag, set);
+        ++writebacks_;
+    }
+    victim.valid = true;
+    victim.tag = tag;
+    victim.dirty = is_write;
+    victim.lastUse = useClock_;
+    victim.fillTime = useClock_;
+    return out;
+}
+
+bool
+SramCache::contains(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines_[set * params_.associativity];
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::vector<Addr>
+SramCache::invalidatePage(Addr base_addr)
+{
+    std::vector<Addr> dirty_lines;
+    const Addr page = alignDown(base_addr, pageBytes);
+    for (Addr a = page; a < page + pageBytes; a += params_.lineBytes) {
+        const std::uint64_t set = setIndex(a);
+        const Addr tag = tagOf(a);
+        Line *base = &lines_[set * params_.associativity];
+        for (unsigned w = 0; w < params_.associativity; ++w) {
+            Line &line = base[w];
+            if (line.valid && line.tag == tag) {
+                if (line.dirty) {
+                    dirty_lines.push_back(a);
+                    ++writebacks_;
+                }
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+    }
+    return dirty_lines;
+}
+
+void
+SramCache::flushAll()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace tdc

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Functional set-associative SRAM cache model (L1I/L1D/L2).
+ *
+ * The cache tracks tags, valid and dirty bits; data contents are not
+ * modeled. Timing is owned by the caller (the per-core MemorySystem),
+ * which charges hitLatency cycles per level and composes miss paths.
+ *
+ * With the tagless DRAM cache, on-die caches are indexed and tagged by
+ * *cache* addresses instead of physical addresses (Section 3.1); the
+ * model is agnostic -- it caches whatever address space it is handed --
+ * but provides invalidatePage() so a DRAM-cache eviction can flush the
+ * stale CA-tagged lines of the departing page.
+ */
+
+#ifndef TDC_CACHE_SRAM_CACHE_HH
+#define TDC_CACHE_SRAM_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace tdc {
+
+/** Result of a functional cache access. */
+struct CacheAccessOutcome
+{
+    bool hit = false;
+    /** Address of a dirty line evicted by the fill, or invalidAddr. */
+    Addr writebackAddr = invalidAddr;
+};
+
+struct SramCacheParams
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned associativity = 4;
+    unsigned lineBytes = cacheLineBytes;
+    Cycles hitLatency = 2;
+    ReplPolicy policy = ReplPolicy::LRU;
+};
+
+class SramCache : public SimObject
+{
+  public:
+    SramCache(std::string name, EventQueue &eq,
+              const SramCacheParams &params);
+
+    /**
+     * Looks up addr; on a miss the line is filled (write-allocate) and
+     * the victim, if dirty, is reported for write-back.
+     */
+    CacheAccessOutcome access(Addr addr, bool is_write);
+
+    /** Probe without state change. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Invalidates every line of the 4 KiB page holding base.
+     * @return addresses of dirty lines that must be written back.
+     */
+    std::vector<Addr> invalidatePage(Addr base);
+
+    /** Drops all contents (e.g. between benchmark phases). */
+    void flushAll();
+
+    const SramCacheParams &params() const { return params_; }
+    Cycles hitLatency() const { return params_.hitLatency; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+
+    double
+    missRate() const
+    {
+        const auto total = hits_.value() + misses_.value();
+        return total ? static_cast<double>(misses_.value()) / total : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = invalidAddr;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;  //!< for LRU
+        std::uint64_t fillTime = 0; //!< for FIFO
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr rebuildAddr(Addr tag, std::uint64_t set) const;
+    Line &selectVictim(std::uint64_t set);
+
+    SramCacheParams params_;
+    unsigned numSets_;
+    unsigned lineBits_;
+    std::vector<Line> lines_; //!< numSets_ * associativity, set-major
+    std::uint64_t useClock_ = 0;
+    Pcg32 rng_;
+
+    stats::Scalar hits_;
+    stats::Scalar misses_;
+    stats::Scalar writebacks_;
+};
+
+} // namespace tdc
+
+#endif // TDC_CACHE_SRAM_CACHE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Bit-manipulation helpers for address math.
+ */
+
+#ifndef TDC_COMMON_BITOPS_HH
+#define TDC_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace tdc {
+
+/** Returns true iff v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** A mask with the low n bits set. */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : (1ULL << n) - 1;
+}
+
+/** Extracts bits [lo, lo+len) of v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & mask(len);
+}
+
+/** Rounds addr down to a multiple of align (a power of two). */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Rounds addr up to a multiple of align (a power of two). */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Page number of an address. */
+constexpr PageNum
+pageOf(Addr addr)
+{
+    return addr >> pageBits;
+}
+
+/** Byte offset of an address within its page. */
+constexpr Addr
+pageOffset(Addr addr)
+{
+    return addr & mask(pageBits);
+}
+
+/** First byte address of a page. */
+constexpr Addr
+pageBase(PageNum page)
+{
+    return static_cast<Addr>(page) << pageBits;
+}
+
+/** Cache-line number of an address (global, 64B granularity). */
+constexpr std::uint64_t
+lineOf(Addr addr)
+{
+    return addr >> cacheLineBits;
+}
+
+/** Index of the 64B block of an address within its 4 KiB page. */
+constexpr unsigned
+lineInPage(Addr addr)
+{
+    return static_cast<unsigned>(bits(addr, cacheLineBits,
+                                      pageBits - cacheLineBits));
+}
+
+} // namespace tdc
+
+#endif // TDC_COMMON_BITOPS_HH

@@ -1,0 +1,115 @@
+#include "common/config.hh"
+
+#include <charconv>
+
+#include "common/logging.hh"
+
+namespace tdc {
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    entries_[key] = value;
+}
+
+void
+Config::set(const std::string &key, std::uint64_t value)
+{
+    entries_[key] = tdc::format("{}", value);
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    entries_[key] = tdc::format("{}", value);
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    entries_[key] = value ? "true" : "false";
+}
+
+bool
+Config::parseAssignment(std::string_view token)
+{
+    auto eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+        return false;
+    entries_[std::string(token.substr(0, eq))] =
+        std::string(token.substr(eq + 1));
+    return true;
+}
+
+void
+Config::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string_view tok(argv[i]);
+        if (tok.find('=') != std::string_view::npos) {
+            if (!parseAssignment(tok))
+                fatal("malformed config assignment '{}'", tok);
+        }
+    }
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return entries_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? def : it->second;
+}
+
+std::uint64_t
+Config::getU64(const std::string &key, std::uint64_t def) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    std::uint64_t out = 0;
+    const auto &s = it->second;
+    auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    if (ec != std::errc{} || p != s.data() + s.size())
+        fatal("config key '{}' has non-integer value '{}'", key, s);
+    return out;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    try {
+        std::size_t pos = 0;
+        double v = std::stod(it->second, &pos);
+        if (pos != it->second.size())
+            throw std::invalid_argument("trailing chars");
+        return v;
+    } catch (const std::exception &) {
+        fatal("config key '{}' has non-numeric value '{}'", key,
+              it->second);
+    }
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return def;
+    const auto &s = it->second;
+    if (s == "true" || s == "1" || s == "yes" || s == "on")
+        return true;
+    if (s == "false" || s == "0" || s == "no" || s == "off")
+        return false;
+    fatal("config key '{}' has non-boolean value '{}'", key, s);
+}
+
+} // namespace tdc

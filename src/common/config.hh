@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A small typed key/value configuration store.
+ *
+ * Values are stored as strings and parsed on read; readers supply the
+ * default, so a Config object only needs to carry overrides. Keys use
+ * dotted paths ("l3.size_mb"). Command-line "key=value" tokens and the
+ * environment can populate it.
+ */
+
+#ifndef TDC_COMMON_CONFIG_HH
+#define TDC_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tdc {
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Sets or overwrites a key. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, std::uint64_t value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    /** Parses a "key=value" token; returns false if malformed. */
+    bool parseAssignment(std::string_view token);
+
+    /** Parses argv-style tokens, ignoring those without '='. */
+    void parseArgs(int argc, char **argv);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters returning the default when the key is absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::uint64_t getU64(const std::string &key, std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** All keys, for diagnostics. */
+    const std::map<std::string, std::string> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::map<std::string, std::string> entries_;
+};
+
+} // namespace tdc
+
+#endif // TDC_COMMON_CONFIG_HH

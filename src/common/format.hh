@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Minimal std::format work-alike (the toolchain's libstdc++ predates
+ * <format>). Supports the subset of the format mini-language this
+ * project uses:
+ *
+ *   {}            default formatting
+ *   {:<N} {:>N}   left/right alignment to width N (space fill)
+ *   {:.P f}       fixed precision P for floating point
+ *   {:#x}         hex with 0x prefix
+ *
+ * Escapes: "{{" and "}}" produce literal braces. Arguments are consumed
+ * positionally; surplus placeholders render as "{?}" rather than
+ * throwing, since this is used inside error paths.
+ */
+
+#ifndef TDC_COMMON_FORMAT_HH
+#define TDC_COMMON_FORMAT_HH
+
+#include <array>
+#include <cstdint>
+#include <iomanip>
+#include <ios>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace tdc {
+
+namespace fmtdetail {
+
+struct Spec
+{
+    char align = 0;     //!< '<', '>' or 0
+    int width = -1;
+    int precision = -1;
+    bool alternate = false; //!< '#'
+    char type = 0;          //!< 'x', 'f', 'd' or 0
+};
+
+inline Spec
+parseSpec(std::string_view s)
+{
+    Spec spec;
+    std::size_t i = 0;
+    if (i < s.size() && (s[i] == '<' || s[i] == '>')) {
+        spec.align = s[i];
+        ++i;
+    }
+    if (i < s.size() && s[i] == '#') {
+        spec.alternate = true;
+        ++i;
+    }
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+        spec.width = (spec.width < 0 ? 0 : spec.width) * 10 + (s[i] - '0');
+        ++i;
+    }
+    if (i < s.size() && s[i] == '.') {
+        ++i;
+        spec.precision = 0;
+        while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+            spec.precision = spec.precision * 10 + (s[i] - '0');
+            ++i;
+        }
+    }
+    if (i < s.size())
+        spec.type = s[i];
+    return spec;
+}
+
+inline void
+applyCommon(std::ostream &os, const Spec &spec)
+{
+    if (spec.width > 0)
+        os << std::setw(spec.width);
+    if (spec.align == '<')
+        os << std::left;
+    else if (spec.align == '>')
+        os << std::right;
+}
+
+template <typename T>
+void
+writeValue(std::ostream &os, const Spec &spec, const T &value)
+{
+    std::ostringstream tmp;
+    if constexpr (std::is_floating_point_v<T>) {
+        if (spec.precision >= 0)
+            tmp << std::fixed << std::setprecision(spec.precision);
+        tmp << value;
+    } else if constexpr (std::is_integral_v<T> && !std::is_same_v<T, bool>
+                         && !std::is_same_v<T, char>) {
+        if (spec.type == 'x') {
+            if (spec.alternate)
+                tmp << "0x";
+            tmp << std::hex << static_cast<std::uint64_t>(value);
+        } else {
+            tmp << value;
+        }
+    } else if constexpr (std::is_same_v<T, bool>) {
+        tmp << (value ? "true" : "false");
+    } else {
+        tmp << value;
+    }
+    applyCommon(os, spec);
+    os << tmp.str();
+}
+
+/** Type-erased reference to one format argument. */
+class Arg
+{
+  public:
+    template <typename T>
+    explicit Arg(const T &v)
+        : ptr_(&v), write_([](std::ostream &os, const Spec &s,
+                              const void *p) {
+              writeValue(os, s, *static_cast<const T *>(p));
+          })
+    {}
+
+    void
+    write(std::ostream &os, const Spec &s) const
+    {
+        write_(os, s, ptr_);
+    }
+
+  private:
+    const void *ptr_;
+    void (*write_)(std::ostream &, const Spec &, const void *);
+};
+
+inline void
+vformat(std::ostream &os, std::string_view pattern, const Arg *args,
+        std::size_t nargs)
+{
+    std::size_t argi = 0;
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+        const char c = pattern[i];
+        if (c == '{') {
+            if (i + 1 < pattern.size() && pattern[i + 1] == '{') {
+                os << '{';
+                ++i;
+                continue;
+            }
+            const auto close = pattern.find('}', i);
+            if (close == std::string_view::npos) {
+                os << pattern.substr(i);
+                return;
+            }
+            std::string_view inner = pattern.substr(i + 1, close - i - 1);
+            Spec spec;
+            if (!inner.empty() && inner.front() == ':')
+                spec = parseSpec(inner.substr(1));
+            if (argi < nargs)
+                args[argi++].write(os, spec);
+            else
+                os << "{?}";
+            i = close;
+        } else if (c == '}') {
+            if (i + 1 < pattern.size() && pattern[i + 1] == '}')
+                ++i;
+            os << '}';
+        } else {
+            os << c;
+        }
+    }
+}
+
+} // namespace fmtdetail
+
+/** Formats `pattern` with positional `{}` placeholders. */
+template <typename... Args>
+std::string
+format(std::string_view pattern, const Args&... args)
+{
+    std::ostringstream os;
+    if constexpr (sizeof...(Args) == 0) {
+        fmtdetail::vformat(os, pattern, nullptr, 0);
+    } else {
+        const std::array<fmtdetail::Arg, sizeof...(Args)> arr{
+            fmtdetail::Arg(args)...};
+        fmtdetail::vformat(os, pattern, arr.data(), arr.size());
+    }
+    return os.str();
+}
+
+} // namespace tdc
+
+#endif // TDC_COMMON_FORMAT_HH

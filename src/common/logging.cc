@@ -1,0 +1,32 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <exception>
+
+namespace tdc {
+namespace detail {
+
+void
+terminatePanic(std::string_view msg, const char *file, int line)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::cerr.flush();
+    std::abort();
+}
+
+void
+terminateFatal(std::string_view msg)
+{
+    std::cerr << "fatal: " << msg << "\n";
+    std::cerr.flush();
+    std::exit(1);
+}
+
+void
+emit(std::string_view level, std::string_view msg)
+{
+    std::cerr << level << ": " << msg << "\n";
+}
+
+} // namespace detail
+} // namespace tdc

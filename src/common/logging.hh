@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition.
+ *
+ * panic()  -- simulator bug: something that must never happen happened.
+ * fatal()  -- user error: bad configuration or arguments; clean exit(1).
+ * warn()   -- suspicious but survivable condition.
+ * inform() -- plain status output.
+ */
+
+#ifndef TDC_COMMON_LOGGING_HH
+#define TDC_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+#include "common/format.hh"
+
+namespace tdc {
+
+namespace detail {
+
+[[noreturn]] void terminatePanic(std::string_view msg, const char *file,
+                                 int line);
+[[noreturn]] void terminateFatal(std::string_view msg);
+void emit(std::string_view level, std::string_view msg);
+
+} // namespace detail
+
+/** Aborts with a message; use for internal invariant violations. */
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, std::string_view fmt,
+        const Args&... args)
+{
+    detail::terminatePanic(format(fmt, args...), file, line);
+}
+
+/** Exits with status 1; use for user-caused errors. */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, const Args&... args)
+{
+    detail::terminateFatal(format(fmt, args...));
+}
+
+/** Prints a warning to stderr. */
+template <typename... Args>
+void
+warn(std::string_view fmt, const Args&... args)
+{
+    detail::emit("warn", format(fmt, args...));
+}
+
+/** Prints a status message to stderr. */
+template <typename... Args>
+void
+inform(std::string_view fmt, const Args&... args)
+{
+    detail::emit("info", format(fmt, args...));
+}
+
+} // namespace tdc
+
+#define tdc_panic(...) ::tdc::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Checks a simulator invariant even in release builds. */
+#define tdc_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) [[unlikely]]                                           \
+            ::tdc::panicAt(__FILE__, __LINE__, "assertion failed: {}: {}",  \
+                           #cond, ::tdc::format(__VA_ARGS__));              \
+    } while (0)
+
+#endif // TDC_COMMON_LOGGING_HH

@@ -1,0 +1,37 @@
+#include "common/stats.hh"
+
+
+namespace tdc {
+namespace stats {
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string path = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &e : scalars_) {
+        os << tdc::format("{}.{:<40} {:>16}", path, e.name,
+                          e.stat->value());
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+    for (const auto &e : averages_) {
+        os << tdc::format("{}.{:<40} {:>16.4f}", path, e.name,
+                          e.stat->mean());
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+    for (const auto &e : histograms_) {
+        os << tdc::format("{}.{:<40} mean={:.4f} n={}", path, e.name,
+                          e.stat->mean(), e.stat->count());
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+    for (const auto *child : children_)
+        child->dump(os, path);
+}
+
+} // namespace stats
+} // namespace tdc

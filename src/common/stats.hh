@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components own Scalar / Average / Histogram instances and register them
+ * with a StatGroup so that a whole system's statistics can be dumped
+ * uniformly at the end of a run. Stats are plain accumulators; there is no
+ * event-driven sampling.
+ */
+
+#ifndef TDC_COMMON_STATS_HH
+#define TDC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tdc {
+namespace stats {
+
+/** A monotonically accumulating counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t v) { value_ += v; return *this; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Mean over an accumulated set of samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    void reset() { sum_ = 0.0; count_ = 0; }
+
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-width-bucket histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width = 1.0, std::size_t buckets = 32)
+        : width_(bucket_width), counts_(buckets + 1, 0)
+    {
+        tdc_assert(bucket_width > 0.0, "non-positive bucket width");
+        tdc_assert(buckets > 0, "histogram needs at least one bucket");
+    }
+
+    void
+    sample(double v)
+    {
+        stat_.sample(v);
+        auto idx = static_cast<std::size_t>(v / width_);
+        if (idx >= counts_.size() - 1)
+            idx = counts_.size() - 1; // overflow bucket
+        ++counts_[idx];
+    }
+
+    void
+    reset()
+    {
+        stat_.reset();
+        for (auto &c : counts_)
+            c = 0;
+    }
+
+    double mean() const { return stat_.mean(); }
+    std::uint64_t count() const { return stat_.count(); }
+    std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+    std::size_t buckets() const { return counts_.size() - 1; }
+    double bucketWidth() const { return width_; }
+    std::uint64_t overflow() const { return counts_.back(); }
+
+  private:
+    Average stat_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+};
+
+/**
+ * A named, hierarchical collection of statistics.
+ *
+ * Ownership: the group stores non-owning pointers; registered stats must
+ * outlive the group (they are members of the same component in practice).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    void
+    addScalar(const std::string &name, const Scalar *s,
+              const std::string &desc = "")
+    {
+        scalars_.emplace_back(Entry<Scalar>{name, desc, s});
+    }
+
+    void
+    addAverage(const std::string &name, const Average *a,
+               const std::string &desc = "")
+    {
+        averages_.emplace_back(Entry<Average>{name, desc, a});
+    }
+
+    void
+    addHistogram(const std::string &name, const Histogram *h,
+                 const std::string &desc = "")
+    {
+        histograms_.emplace_back(Entry<Histogram>{name, desc, h});
+    }
+
+    void addChild(const StatGroup *child) { children_.push_back(child); }
+
+    const std::string &name() const { return name_; }
+
+    /** Dumps every statistic, one per line, prefixed with the path. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    template <typename T>
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        const T *stat;
+    };
+
+    std::string name_;
+    std::vector<Entry<Scalar>> scalars_;
+    std::vector<Entry<Average>> averages_;
+    std::vector<Entry<Histogram>> histograms_;
+    std::vector<const StatGroup *> children_;
+};
+
+} // namespace stats
+} // namespace tdc
+
+#endif // TDC_COMMON_STATS_HH

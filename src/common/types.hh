@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fundamental integer types and constants used throughout the simulator.
+ *
+ * Address-space conventions
+ * -------------------------
+ * Three address spaces exist in the model, mirroring the paper:
+ *   - virtual addresses (VA)  : per-process, produced by the workload,
+ *   - physical addresses (PA) : the off-package DRAM space,
+ *   - cache addresses (CA)    : the in-package DRAM (L3) frame space.
+ * All three are carried as Addr; dedicated wrappers (VirtAddr, PhysAddr,
+ * CacheAddr) exist where confusion would be dangerous (vm/, dramcache/).
+ */
+
+#ifndef TDC_COMMON_TYPES_HH
+#define TDC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace tdc {
+
+/** Simulation time in ticks. One tick == one picosecond. */
+using Tick = std::uint64_t;
+
+/** Cycle count relative to some clock domain. */
+using Cycles = std::uint64_t;
+
+/** A memory address in any of the three address spaces. */
+using Addr = std::uint64_t;
+
+/** A page (frame) number: address >> pageBits. */
+using PageNum = std::uint64_t;
+
+/** Identifier of a hardware thread / core (0-based). */
+using CoreId = std::uint32_t;
+
+/** Identifier of a software process (address space). */
+using ProcId = std::uint32_t;
+
+/** Sentinel for "no tick scheduled". */
+inline constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for invalid addresses / page numbers. */
+inline constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+inline constexpr PageNum invalidPage = std::numeric_limits<PageNum>::max();
+
+/** Ticks per second (tick == 1 ps). */
+inline constexpr Tick ticksPerSecond = 1'000'000'000'000ULL;
+
+/** Conventional cache line size used by the on-die SRAM caches. */
+inline constexpr unsigned cacheLineBytes = 64;
+inline constexpr unsigned cacheLineBits = 6;
+
+/** OS page size used as the caching granularity (4 KiB). */
+inline constexpr unsigned pageBytes = 4096;
+inline constexpr unsigned pageBits = 12;
+
+/** Cache lines per OS page. */
+inline constexpr unsigned linesPerPage = pageBytes / cacheLineBytes;
+
+/** Kind of a memory access as seen by the memory system. */
+enum class AccessType : std::uint8_t {
+    InstFetch,
+    Load,
+    Store,
+};
+
+/** Returns true for accesses that dirty the target line/page. */
+constexpr bool
+isWrite(AccessType t)
+{
+    return t == AccessType::Store;
+}
+
+} // namespace tdc
+
+#endif // TDC_COMMON_TYPES_HH

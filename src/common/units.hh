@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Byte-size and frequency unit helpers.
+ */
+
+#ifndef TDC_COMMON_UNITS_HH
+#define TDC_COMMON_UNITS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace tdc {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/** Converts a frequency in hertz to the tick period (ticks per cycle). */
+constexpr Tick
+frequencyToPeriod(std::uint64_t hz)
+{
+    return ticksPerSecond / hz;
+}
+
+/** Converts nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * 1000.0);
+}
+
+/** Converts ticks to nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / 1000.0;
+}
+
+namespace literals {
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * KiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * MiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * GiB; }
+constexpr std::uint64_t operator""_GHz(unsigned long long v)
+{
+    return v * 1'000'000'000ULL;
+}
+constexpr std::uint64_t operator""_MHz(unsigned long long v)
+{
+    return v * 1'000'000ULL;
+}
+
+} // namespace literals
+
+} // namespace tdc
+
+#endif // TDC_COMMON_UNITS_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Closed-form average-memory-access-time model: Equations 1-5 of the
+ * paper. The amat_model bench cross-checks these formulas against the
+ * simulated latencies; the tab06 bench sweeps the tag latency.
+ */
+
+#ifndef TDC_CORE_AMAT_HH
+#define TDC_CORE_AMAT_HH
+
+namespace tdc {
+namespace amat {
+
+/** Inputs common to both designs; latencies in CPU cycles. */
+struct CommonInputs
+{
+    double missRateTlb = 0.01;      //!< full TLB miss rate per access
+    double missPenaltyTlb = 40.0;   //!< page-walk latency
+    double hitTimeL1L2 = 2.0;       //!< L1 hit time
+    double missRateL1L2 = 0.10;     //!< fraction of accesses reaching L3
+    double blockAccessInPkg = 90.0; //!< 64B access, in-package DRAM
+    double pageAccessOffPkg = 700.0;//!< 4KB page access, off-package
+};
+
+/** Extra inputs of the SRAM-tag design (Equations 1-3). */
+struct SramTagInputs
+{
+    double tagAccess = 11.0; //!< Table 6
+    double missRateL3 = 0.1;
+};
+
+/** Extra inputs of the tagless design (Equations 4-5). */
+struct TaglessInputs
+{
+    double missRateVictim = 0.5; //!< TLB misses that miss the cache too
+    double accessTimeGipt = 100.0;
+};
+
+/** Equation 3. */
+inline double
+avgL3LatencySramTag(const CommonInputs &c, const SramTagInputs &s)
+{
+    return s.tagAccess + c.blockAccessInPkg
+           + s.missRateL3 * c.pageAccessOffPkg;
+}
+
+/** Equations 1-2. */
+inline double
+amatSramTag(const CommonInputs &c, const SramTagInputs &s)
+{
+    const double amat_tlb_hit =
+        c.hitTimeL1L2 + c.missRateL1L2 * avgL3LatencySramTag(c, s);
+    return c.missRateTlb * c.missPenaltyTlb + amat_tlb_hit;
+}
+
+/** Equation 5. */
+inline double
+missPenaltyCtlb(const CommonInputs &c, const TaglessInputs &t)
+{
+    return c.missPenaltyTlb
+           + t.missRateVictim * (t.accessTimeGipt + c.pageAccessOffPkg);
+}
+
+/** Equation 4. */
+inline double
+amatTagless(const CommonInputs &c, const TaglessInputs &t)
+{
+    return c.missRateTlb * missPenaltyCtlb(c, t) + c.hitTimeL1L2
+           + c.missRateL1L2 * c.blockAccessInPkg;
+}
+
+} // namespace amat
+} // namespace tdc
+
+#endif // TDC_CORE_AMAT_HH

@@ -1,0 +1,169 @@
+#include "core/memory_system.hh"
+
+#include "common/bitops.hh"
+
+namespace tdc {
+
+MemorySystem::MemorySystem(std::string name, EventQueue &eq, CoreId core,
+                           const CoreParams &params,
+                           const ClockDomain &clk, PageTable &pt,
+                           DramCacheOrg &org)
+    : SimObject(std::move(name), eq), core_(core), params_(params),
+      clk_(clk), pt_(pt), org_(org)
+{
+    const std::string &n = this->name();
+    itlb_ = std::make_unique<Tlb>(n + ".itlb", eq, params.l1ItlbEntries);
+    dtlb_ = std::make_unique<Tlb>(n + ".dtlb", eq, params.l1DtlbEntries);
+    l2tlb_ = std::make_unique<Tlb>(n + ".l2tlb", eq, params.l2TlbEntries);
+    l1i_ = std::make_unique<SramCache>(n + ".l1i", eq, params.l1i);
+    l1d_ = std::make_unique<SramCache>(n + ".l1d", eq, params.l1d);
+    l2_ = std::make_unique<SramCache>(n + ".l2", eq, params.l2);
+
+    // Residence hooks keep the GIPT's TLB bit vector exact.
+    auto hook = [this](const TlbEntry &e, bool resident) {
+        org_.onTlbResidence(e, core_, resident);
+    };
+    itlb_->setResidenceHook(hook);
+    dtlb_->setResidenceHook(hook);
+    l2tlb_->setResidenceHook(hook);
+
+    auto &sg = statGroup();
+    sg.addScalar("tlb_full_misses", &tlbFullMisses_,
+                 "misses requiring a page walk");
+    sg.addScalar("victim_hits", &victimHits_);
+    sg.addScalar("cold_fills", &coldFills_);
+    sg.addAverage("l3_latency_cycles", &l3LatencyCycles_,
+                  "mean post-L2-miss latency");
+    sg.addAverage("tlb_miss_penalty_cycles", &tlbMissPenaltyCycles_);
+    sg.addChild(&itlb_->statGroup());
+    sg.addChild(&dtlb_->statGroup());
+    sg.addChild(&l2tlb_->statGroup());
+    sg.addChild(&l1i_->statGroup());
+    sg.addChild(&l1d_->statGroup());
+    sg.addChild(&l2_->statGroup());
+}
+
+std::pair<TlbEntry, Tick>
+MemorySystem::translate(AsidVpn key, bool ifetch, Tick when)
+{
+    Tlb &l1tlb = ifetch ? *itlb_ : *dtlb_;
+    // Probe the 2MB granularity only when the process uses superpages;
+    // hardware probes both granularities in parallel anyway.
+    const bool use_super = pt_.hasSuperpages();
+    const AsidVpn super_key = makeSuperKey(pt_.proc(), vpnOf(key));
+
+    if (auto hit = l1tlb.lookup(key))
+        return {*hit, when};
+    if (use_super) {
+        if (auto hit = l1tlb.lookup(super_key))
+            return {*hit, when};
+    }
+
+    for (AsidVpn k : {key, super_key}) {
+        if (k == super_key && !use_super)
+            continue;
+        if (auto hit = l2tlb_->lookup(k)) {
+            // L2 TLB hit: refill the L1 TLB.
+            Tick t = when + clk_.cyclesToTicks(params_.l2TlbHitPenalty);
+            l1tlb.insert(*hit);
+            return {*hit, t};
+        }
+    }
+
+    // Full miss: page walk, then the organization's miss handler (for
+    // the tagless cache this is where fills and PTE rewriting happen).
+    ++tlbFullMisses_;
+    Tick t = when + clk_.cyclesToTicks(params_.pageWalkCycles);
+    const TlbMissResult res =
+        org_.handleTlbMiss(pt_, vpnOf(key), core_, t);
+    if (res.victimHit)
+        ++victimHits_;
+    if (res.coldFill)
+        ++coldFills_;
+    tlbMissPenaltyCycles_.sample(static_cast<double>(
+        clk_.ticksToCycles(res.readyTick - when)));
+    l2tlb_->insert(res.entry);
+    l1tlb.insert(res.entry);
+    return {res.entry, res.readyTick};
+}
+
+MemAccessResult
+MemorySystem::access(Addr vaddr, AccessType type, Tick when)
+{
+    const bool ifetch = type == AccessType::InstFetch;
+    const AsidVpn key = makeAsidVpn(pt_.proc(), pageOf(vaddr));
+
+    MemAccessResult out;
+
+    auto [entry, t] = translate(key, ifetch, when);
+    out.tlbMiss = t > when; // any level beyond the L1 TLB
+
+    // Frame-space address: cache address for cached pages, physical
+    // address for NC pages and conventional organizations. Superpage
+    // entries map a contiguous 512-frame run.
+    Addr frame = entry.frame;
+    if (entry.type == PageType::Page2M)
+        frame += pageOf(vaddr) % pagesPerSuperpage;
+    const Addr fa = entry.nc ? paAddr(frame, pageOffset(vaddr))
+                             : caAddr(frame, pageOffset(vaddr));
+
+    SramCache &l1 = ifetch ? *l1i_ : *l1d_;
+    const bool write = isWrite(type);
+
+    const CacheAccessOutcome l1_out = l1.access(fa, write);
+    if (l1_out.writebackAddr != invalidAddr) {
+        // L1 victim drains into the L2 (functional; timing folded into
+        // the pipelined write-back path).
+        const CacheAccessOutcome wb = l2_->access(l1_out.writebackAddr,
+                                                  true);
+        if (wb.writebackAddr != invalidAddr)
+            org_.writebackLine(wb.writebackAddr, core_, t);
+    }
+    t += clk_.cyclesToTicks(l1.hitLatency());
+    if (l1_out.hit) {
+        out.l1Hit = true;
+        out.completionTick = t;
+        return out;
+    }
+
+    // The demand fill enters the L2 clean even for stores: only the L1
+    // copy is dirtied; the L2 copy becomes dirty when the L1 victim
+    // drains into it.
+    const CacheAccessOutcome l2_out = l2_->access(fa, false);
+    if (l2_out.writebackAddr != invalidAddr)
+        org_.writebackLine(l2_out.writebackAddr, core_, t);
+    t += clk_.cyclesToTicks(l2_->hitLatency());
+    if (l2_out.hit) {
+        out.l2Hit = true;
+        out.completionTick = t;
+        return out;
+    }
+
+    // L3 (the DRAM cache organization under evaluation).
+    out.reachedL3 = true;
+    const L3Result l3 = org_.access(fa, type, core_, t);
+    l3LatencyCycles_.sample(
+        static_cast<double>(clk_.ticksToCycles(l3.completionTick - t)));
+    out.completionTick = l3.completionTick;
+    return out;
+}
+
+unsigned
+MemorySystem::invalidatePage(Addr page_addr)
+{
+    unsigned dirty = 0;
+    dirty += static_cast<unsigned>(l1i_->invalidatePage(page_addr).size());
+    dirty += static_cast<unsigned>(l1d_->invalidatePage(page_addr).size());
+    dirty += static_cast<unsigned>(l2_->invalidatePage(page_addr).size());
+    return dirty;
+}
+
+void
+MemorySystem::shootdown(AsidVpn key)
+{
+    itlb_->invalidate(key);
+    dtlb_->invalidate(key);
+    l2tlb_->invalidate(key);
+}
+
+} // namespace tdc

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Per-core memory system: the access path of Figure 1 (conventional
+ * TLB + tagged L3) or Figure 2 (cTLB + tagless L3), selected purely by
+ * which DramCacheOrg is plugged in.
+ *
+ * Path of one access:
+ *   1. TLB lookup (L1 I/D TLB, then the unified L2 TLB). On a full
+ *      miss, the page walk plus the organization's TLB-miss handler
+ *      run; for the tagless cache that handler performs cache fills.
+ *   2. The translation yields a frame-space address: CA space for
+ *      pages resident in the tagless cache, PA space otherwise.
+ *   3. L1 -> L2 -> L3-organization access, charging each level's
+ *      latency; L2 victim write-backs flow to the organization.
+ */
+
+#ifndef TDC_CORE_MEMORY_SYSTEM_HH
+#define TDC_CORE_MEMORY_SYSTEM_HH
+
+#include <memory>
+
+#include "cache/sram_cache.hh"
+#include "common/stats.hh"
+#include "core/core_params.hh"
+#include "dramcache/dram_cache_org.hh"
+#include "sim/clock.hh"
+#include "sim/sim_object.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+
+namespace tdc {
+
+/** Timing outcome of one memory reference. */
+struct MemAccessResult
+{
+    Tick completionTick = 0;
+    bool l1Hit = false;
+    bool l2Hit = false;
+    bool tlbMiss = false;     //!< missed both TLB levels
+    bool reachedL3 = false;
+};
+
+class MemorySystem : public SimObject
+{
+  public:
+    MemorySystem(std::string name, EventQueue &eq, CoreId core,
+                 const CoreParams &params, const ClockDomain &clk,
+                 PageTable &pt, DramCacheOrg &org);
+
+    /** Performs one timed memory reference. */
+    MemAccessResult access(Addr vaddr, AccessType type, Tick when);
+
+    /**
+     * Flushes one frame-space page from this core's L1/L2 caches.
+     * @return number of dirty lines flushed.
+     */
+    unsigned invalidatePage(Addr page_addr);
+
+    /** TLB shootdown of one translation on this core. */
+    void shootdown(AsidVpn key);
+
+    CoreId coreId() const { return core_; }
+    PageTable &pageTable() { return pt_; }
+
+    const Tlb &itlb() const { return *itlb_; }
+    const Tlb &dtlb() const { return *dtlb_; }
+    const Tlb &l2tlb() const { return *l2tlb_; }
+    const SramCache &l1i() const { return *l1i_; }
+    const SramCache &l1d() const { return *l1d_; }
+    const SramCache &l2() const { return *l2_; }
+
+    std::uint64_t tlbAccesses() const
+    {
+        return itlb_->hits() + itlb_->misses() + dtlb_->hits()
+               + dtlb_->misses();
+    }
+    std::uint64_t l1Accesses() const
+    {
+        return l1i_->hits() + l1i_->misses() + l1d_->hits()
+               + l1d_->misses();
+    }
+    std::uint64_t l2Accesses() const
+    {
+        return l2_->hits() + l2_->misses();
+    }
+
+    std::uint64_t tlbFullMisses() const { return tlbFullMisses_.value(); }
+    std::uint64_t walks() const { return tlbFullMisses_.value(); }
+
+    /** Mean post-L2-miss latency in cycles (Fig. 8 metric). */
+    double avgL3LatencyCycles() const { return l3LatencyCycles_.mean(); }
+    double l3LatencySumCycles() const { return l3LatencyCycles_.sum(); }
+    std::uint64_t l3Samples() const { return l3LatencyCycles_.count(); }
+    double tlbMissPenaltySumCycles() const
+    {
+        return tlbMissPenaltyCycles_.sum();
+    }
+
+  private:
+    /** Resolves a translation, running the miss path if needed. */
+    std::pair<TlbEntry, Tick> translate(AsidVpn key, bool ifetch,
+                                        Tick when);
+
+    CoreId core_;
+    CoreParams params_;
+    const ClockDomain &clk_;
+    PageTable &pt_;
+    DramCacheOrg &org_;
+
+    std::unique_ptr<Tlb> itlb_;
+    std::unique_ptr<Tlb> dtlb_;
+    std::unique_ptr<Tlb> l2tlb_;
+    std::unique_ptr<SramCache> l1i_;
+    std::unique_ptr<SramCache> l1d_;
+    std::unique_ptr<SramCache> l2_;
+
+    stats::Scalar tlbFullMisses_;
+    stats::Scalar victimHits_;
+    stats::Scalar coldFills_;
+    stats::Average l3LatencyCycles_;
+    stats::Average tlbMissPenaltyCycles_;
+};
+
+} // namespace tdc
+
+#endif // TDC_CORE_MEMORY_SYSTEM_HH

@@ -1,0 +1,80 @@
+#include "core/ooo_core.hh"
+
+#include <algorithm>
+
+namespace tdc {
+
+OooCore::OooCore(std::string name, EventQueue &eq, CoreId core,
+                 const CoreParams &params, const ClockDomain &clk,
+                 TraceSource &trace, MemorySystem &mem)
+    : SimObject(std::move(name), eq), core_(core), params_(params),
+      clk_(clk), trace_(trace), mem_(mem)
+{
+    auto &sg = statGroup();
+    sg.addScalar("insts", &insts_, "retired instructions");
+    sg.addScalar("mem_refs", &memRefs_, "memory references");
+    sg.addScalar("mshr_stalls", &mshrStalls_,
+                 "stalls on the outstanding-miss limit");
+    sg.addScalar("rob_stalls", &robStalls_, "stalls on the ROB limit");
+    sg.addChild(&mem_.statGroup());
+}
+
+void
+OooCore::retireCompleted()
+{
+    while (!outstanding_.empty()
+           && outstanding_.front().completion <= now_) {
+        outstanding_.pop_front();
+    }
+}
+
+void
+OooCore::runUntil(Tick horizon, std::uint64_t inst_limit)
+{
+    while (now_ < horizon && insts_.value() < inst_limit) {
+        const TraceRecord rec = trace_.next();
+
+        // Retire the non-memory work preceding this reference.
+        carryInsts_ += rec.nonMemInsts;
+        const std::uint64_t whole_cycles =
+            carryInsts_ / params_.issueWidth;
+        carryInsts_ %= params_.issueWidth;
+        now_ += clk_.cyclesToTicks(whole_cycles);
+        insts_ += rec.nonMemInsts + 1; // +1 for the memory op itself
+        ++memRefs_;
+
+        retireCompleted();
+
+        // Structural limits on memory-level parallelism.
+        if (outstanding_.size() >= params_.maxOutstanding) {
+            ++mshrStalls_;
+            now_ = std::max(now_, outstanding_.front().completion);
+            retireCompleted();
+        }
+        if (!outstanding_.empty()
+            && insts_.value() - outstanding_.front().instNo
+                   >= params_.robSize) {
+            ++robStalls_;
+            now_ = std::max(now_, outstanding_.front().completion);
+            retireCompleted();
+        }
+
+        const MemAccessResult res = mem_.access(rec.vaddr, rec.type,
+                                                now_);
+        if (rec.dependent) {
+            // Serializing load: the core cannot speculate past it, so
+            // everything in flight effectively completes first.
+            now_ = std::max(now_, res.completionTick);
+            retireCompleted();
+            continue;
+        }
+        if (res.l1Hit) {
+            // Pipelined L1 hit: no visible stall beyond issue.
+            continue;
+        }
+        outstanding_.push_back(
+            Outstanding{res.completionTick, insts_.value()});
+    }
+}
+
+} // namespace tdc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Accumulates DRAM energy by event class (Table 4 cost model).
+ */
+
+#ifndef TDC_DRAM_DRAM_ENERGY_HH
+#define TDC_DRAM_DRAM_ENERGY_HH
+
+#include <cstdint>
+
+#include "dram/dram_params.hh"
+
+namespace tdc {
+
+class DramEnergyCounter
+{
+  public:
+    DramEnergyCounter() = default;
+
+    void
+    addActivate(const DramEnergyParams &p)
+    {
+        actPrePj_ += p.actPrePj;
+        ++activates_;
+    }
+
+    /** Amortized activate energy for row-clustered posted writes. */
+    void
+    addFractionalActivate(const DramEnergyParams &p, double fraction)
+    {
+        actPrePj_ += p.actPrePj * fraction;
+    }
+
+    void
+    addTransfer(const DramEnergyParams &p, std::uint64_t bytes)
+    {
+        const double bits = static_cast<double>(bytes) * 8.0;
+        rdwrPj_ += bits * p.rdwrPjPerBit;
+        ioPj_ += bits * p.ioPjPerBit;
+    }
+
+    double actPrePj() const { return actPrePj_; }
+    double rdwrPj() const { return rdwrPj_; }
+    double ioPj() const { return ioPj_; }
+    double totalPj() const { return actPrePj_ + rdwrPj_ + ioPj_; }
+    std::uint64_t activates() const { return activates_; }
+
+    void
+    reset()
+    {
+        actPrePj_ = rdwrPj_ = ioPj_ = 0.0;
+        activates_ = 0;
+    }
+
+    /** Subtracts a baseline snapshot (delta accounting). */
+    void
+    subtract(const DramEnergyCounter &base)
+    {
+        actPrePj_ -= base.actPrePj_;
+        rdwrPj_ -= base.rdwrPj_;
+        ioPj_ -= base.ioPj_;
+        activates_ -= base.activates_;
+    }
+
+  private:
+    double actPrePj_ = 0.0;
+    double rdwrPj_ = 0.0;
+    double ioPj_ = 0.0;
+    std::uint64_t activates_ = 0;
+};
+
+} // namespace tdc
+
+#endif // TDC_DRAM_DRAM_ENERGY_HH

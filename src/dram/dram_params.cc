@@ -1,0 +1,65 @@
+#include "dram/dram_params.hh"
+
+namespace tdc {
+
+using namespace tdc::literals;
+
+DramTimingParams
+inPackageTiming(std::uint64_t capacity_bytes)
+{
+    DramTimingParams p;
+    p.name = "in_pkg_dram";
+    p.capacityBytes = capacity_bytes;
+    p.busFreqHz = 1'600'000'000ULL; // 1.6 GHz bus, DDR 3.2
+    p.busWidthBits = 128;
+    p.channels = 1;
+    p.ranksPerChannel = 2;
+    p.banksPerRank = 16;
+    p.rowBytes = pageBytes;
+    p.tRCD = nsToTicks(8);
+    p.tAA = nsToTicks(10);
+    p.tRAS = nsToTicks(22);
+    p.tRP = nsToTicks(14);
+    return p;
+}
+
+DramEnergyParams
+inPackageEnergy()
+{
+    DramEnergyParams e;
+    e.ioPjPerBit = 2.4;
+    e.rdwrPjPerBit = 4.0;
+    e.actPrePj = 15'000.0; // 15 nJ per 4 KiB row
+    return e;
+}
+
+DramTimingParams
+offPackageTiming(std::uint64_t capacity_bytes)
+{
+    DramTimingParams p;
+    p.name = "off_pkg_dram";
+    p.capacityBytes = capacity_bytes;
+    p.busFreqHz = 800'000'000ULL; // 800 MHz bus, DDR 1.6
+    p.busWidthBits = 64;
+    p.channels = 1;
+    p.ranksPerChannel = 2;
+    p.banksPerRank = 64;
+    p.rowBytes = pageBytes;
+    p.tRCD = nsToTicks(14);
+    p.tAA = nsToTicks(14);
+    p.tRAS = nsToTicks(35);
+    p.tRP = nsToTicks(14);
+    return p;
+}
+
+DramEnergyParams
+offPackageEnergy()
+{
+    DramEnergyParams e;
+    e.ioPjPerBit = 20.0;
+    e.rdwrPjPerBit = 13.0;
+    e.actPrePj = 15'000.0;
+    return e;
+}
+
+} // namespace tdc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Timing and energy parameters for the two DRAM devices in the system,
+ * adapted from Tables 3 and 4 of the paper (values from the Microbank
+ * die-stacked model / CACTI-3DD).
+ */
+
+#ifndef TDC_DRAM_DRAM_PARAMS_HH
+#define TDC_DRAM_DRAM_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace tdc {
+
+/** DRAM device organization and timing. Times are in ticks (ps). */
+struct DramTimingParams
+{
+    std::string name;
+
+    std::uint64_t capacityBytes = 0;
+
+    /** I/O bus clock in Hz; data is transferred at DDR (2x) rate. */
+    std::uint64_t busFreqHz = 0;
+
+    /** Data bus width per channel in bits. */
+    unsigned busWidthBits = 0;
+
+    unsigned channels = 1;
+    unsigned ranksPerChannel = 2;
+    unsigned banksPerRank = 16;
+
+    /** Bytes per DRAM row (row-buffer size); 4 KiB to match OS pages. */
+    std::uint64_t rowBytes = pageBytes;
+
+    Tick tRCD = 0; //!< activate to read/write command
+    Tick tAA = 0;  //!< read command to first data
+    Tick tRAS = 0; //!< activate to precharge
+    Tick tRP = 0;  //!< precharge command period
+
+    unsigned totalBanks() const
+    {
+        return channels * ranksPerChannel * banksPerRank;
+    }
+
+    /** Peak data bytes per second across all channels (DDR). */
+    double
+    peakBandwidthBytesPerSec() const
+    {
+        return 2.0 * static_cast<double>(busFreqHz)
+               * (busWidthBits / 8.0) * channels;
+    }
+
+    /** Ticks to stream `bytes` over one channel's data bus. */
+    Tick
+    transferTicks(std::uint64_t bytes) const
+    {
+        const double bytes_per_tick =
+            2.0 * static_cast<double>(busFreqHz) * (busWidthBits / 8.0)
+            / static_cast<double>(ticksPerSecond);
+        const double t = static_cast<double>(bytes) / bytes_per_tick;
+        return static_cast<Tick>(t + 0.999999);
+    }
+};
+
+/** Per-event DRAM energy costs (Table 4). */
+struct DramEnergyParams
+{
+    double ioPjPerBit = 0.0;     //!< I/O energy
+    double rdwrPjPerBit = 0.0;   //!< read/write energy excluding I/O
+    double actPrePj = 0.0;       //!< activate+precharge energy per 4KB row
+};
+
+/** In-package (die-stacked, TSV) DRAM: Table 3/4 left column. */
+DramTimingParams inPackageTiming(std::uint64_t capacity_bytes = GiB);
+DramEnergyParams inPackageEnergy();
+
+/** Off-package DDR3 DRAM: Table 3/4 right column. */
+DramTimingParams offPackageTiming(std::uint64_t capacity_bytes = 8 * GiB);
+DramEnergyParams offPackageEnergy();
+
+} // namespace tdc
+
+#endif // TDC_DRAM_DRAM_PARAMS_HH

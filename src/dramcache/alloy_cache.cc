@@ -1,0 +1,80 @@
+#include "dramcache/alloy_cache.hh"
+
+namespace tdc {
+
+AlloyCache::AlloyCache(std::string name, EventQueue &eq,
+                       DramDevice &in_pkg, DramDevice &off_pkg,
+                       PhysMem &phys, const ClockDomain &cpu_clk,
+                       const AlloyCacheParams &params)
+    : DramCacheOrg(std::move(name), eq, in_pkg, off_pkg, phys, cpu_clk),
+      params_(params)
+{
+    tags_.assign(params_.cacheBytes / params_.tadBytes, TagEntry{});
+    statGroup().addScalar("dirty_evictions", &dirtyEvictions_);
+}
+
+L3Result
+AlloyCache::access(Addr addr, AccessType type, CoreId core, Tick when)
+{
+    (void)core;
+    tdc_assert(!isCaSpace(addr), "Alloy cache saw a cache address");
+    const std::uint64_t line = lineOf(addr);
+    const std::uint64_t slot = slotOf(line);
+    TagEntry &tag = tags_[slot];
+    const bool write = isWrite(type);
+
+    // One TAD burst reads tag and data together. Keep the burst within
+    // a row: clamp to the row containing the slot start.
+    const Addr dev = slotAddr(slot);
+    const Addr row_end = alignUp(dev + 1, inPkg_.timing().rowBytes);
+    const std::uint64_t burst =
+        std::min<std::uint64_t>(params_.tadBytes, row_end - dev);
+    const Tick probe =
+        inPkg_.access(dev, burst, false, when).completionTick;
+
+    L3Result res;
+    if (tag.valid && tag.line == line) {
+        tag.dirty |= write;
+        if (write)
+            inPkg_.postedWrite(dev, cacheLineBytes, probe);
+        res.completionTick = probe;
+        res.servicedInPackage = true;
+        res.l3Hit = true;
+    } else {
+        // Conflict miss: fetch the block off-package, evicting the slot.
+        if (tag.valid && tag.dirty) {
+            offPkgBlockAccess(tag.line >> (pageBits - cacheLineBits),
+                              (tag.line << cacheLineBits) & mask(pageBits),
+                              true, probe);
+            ++dirtyEvictions_;
+        }
+        const Tick fetched = offPkgBlockAccess(
+            frameNumOf(addr), pageOffset(addr), false, probe);
+        inPkg_.postedWrite(dev, burst, fetched); // background install
+        tag.valid = true;
+        tag.line = line;
+        tag.dirty = write;
+        res.completionTick = fetched;
+        res.servicedInPackage = false;
+        res.l3Hit = false;
+    }
+    recordAccess(when, res);
+    return res;
+}
+
+void
+AlloyCache::writebackLine(Addr addr, CoreId core, Tick when)
+{
+    (void)core;
+    const std::uint64_t line = lineOf(addr);
+    const std::uint64_t slot = slotOf(line);
+    TagEntry &tag = tags_[slot];
+    if (tag.valid && tag.line == line) {
+        tag.dirty = true;
+        inPkg_.postedWrite(slotAddr(slot), cacheLineBytes, when);
+    } else {
+        offPkgBlockAccess(frameNumOf(addr), pageOffset(addr), true, when);
+    }
+}
+
+} // namespace tdc

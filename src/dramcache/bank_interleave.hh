@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Heterogeneity-oblivious bank-interleaving organization ("BI",
+ * Section 4): the in-package DRAM is mapped flat into the physical
+ * address space and pages are spread across both devices with no
+ * placement intelligence or migration. The capacity-proportional
+ * interleave is implemented by the PhysMem allocator.
+ */
+
+#ifndef TDC_DRAMCACHE_BANK_INTERLEAVE_HH
+#define TDC_DRAMCACHE_BANK_INTERLEAVE_HH
+
+#include "dramcache/dram_cache_org.hh"
+
+namespace tdc {
+
+class BankInterleave : public DramCacheOrg
+{
+  public:
+    using DramCacheOrg::DramCacheOrg;
+
+    L3Result access(Addr addr, AccessType type, CoreId core,
+                    Tick when) override;
+
+    std::string_view kind() const override { return "BI"; }
+};
+
+} // namespace tdc
+
+#endif // TDC_DRAMCACHE_BANK_INTERLEAVE_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Common interface of the last-level (L3) memory organizations compared
+ * in the paper's evaluation: No-L3, Bank-Interleaving, SRAM-tag
+ * page cache, the tagless cTLB cache, an Ideal all-in-package system,
+ * and (for the Table 2 design-space discussion) an Alloy-style
+ * block-based cache.
+ *
+ * An organization owns three responsibilities:
+ *  1. the TLB-miss path (handleTlbMiss), which for the tagless design
+ *     performs cache fills and PTE rewriting;
+ *  2. the post-L2-miss access path (access), which times the 64B block
+ *     delivery from in-package or off-package DRAM;
+ *  3. accepting L2 write-backs (writebackLine).
+ */
+
+#ifndef TDC_DRAMCACHE_DRAM_CACHE_ORG_HH
+#define TDC_DRAMCACHE_DRAM_CACHE_ORG_HH
+
+#include <functional>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/dram_device.hh"
+#include "dramcache/frame_space.hh"
+#include "sim/clock.hh"
+#include "sim/sim_object.hh"
+#include "vm/page_table.hh"
+#include "vm/phys_mem.hh"
+#include "vm/tlb.hh"
+
+namespace tdc {
+
+/** Result of the TLB-miss handler. */
+struct TlbMissResult
+{
+    TlbEntry entry;        //!< translation to install in the TLB(s)
+    Tick readyTick = 0;    //!< when the handler returns
+    bool victimHit = false; //!< TLB miss but page already in-package
+    bool coldFill = false;  //!< page had to be fetched off-package
+};
+
+/** Result of an L3-level block access. */
+struct L3Result
+{
+    Tick completionTick = 0;
+    bool servicedInPackage = false;
+    bool l3Hit = false; //!< for orgs with a hit/miss notion
+};
+
+class DramCacheOrg : public SimObject
+{
+  public:
+    /**
+     * Flushes the on-die cache lines of one (frame-space) page and
+     * returns how many dirty lines were written back in the process.
+     */
+    using PageInvalidator = std::function<unsigned(Addr page_addr)>;
+
+    /** Invalidates one translation in every core's TLBs. */
+    using ShootdownFn = std::function<void(AsidVpn key)>;
+
+    DramCacheOrg(std::string name, EventQueue &eq, DramDevice &in_pkg,
+                 DramDevice &off_pkg, PhysMem &phys,
+                 const ClockDomain &cpu_clk);
+
+    /**
+     * Handles a TLB miss on (pt.proc, vpn): performs the page walk
+     * (functionally; the caller charges the walk latency) and whatever
+     * cache management the organization requires, returning the
+     * translation to install. `when` is the tick at which the walk has
+     * completed.
+     */
+    virtual TlbMissResult handleTlbMiss(PageTable &pt, PageNum vpn,
+                                        CoreId core, Tick when);
+
+    /** Times a 64-byte demand access that missed the on-die caches. */
+    virtual L3Result access(Addr addr, AccessType type, CoreId core,
+                            Tick when) = 0;
+
+    /** Accepts a 64-byte dirty line evicted by an L2 cache. */
+    virtual void writebackLine(Addr addr, CoreId core, Tick when);
+
+    /** TLB insert/evict notification for residence tracking. */
+    virtual void onTlbResidence(const TlbEntry &entry, CoreId core,
+                                bool resident);
+
+    /** Name used in reports ("cTLB", "SRAM", ...). */
+    virtual std::string_view kind() const = 0;
+
+    /** True when the organization translates VAs to cache addresses. */
+    virtual bool usesCacheAddressSpace() const { return false; }
+
+    void setPageInvalidator(PageInvalidator fn) { invalidator_ = std::move(fn); }
+    void setShootdownFn(ShootdownFn fn) { shootdown_ = std::move(fn); }
+
+    /** On-die SRAM bits this organization spends on L3 metadata. */
+    virtual std::uint64_t onDieTagBits() const { return 0; }
+
+    /** Tag-array probes performed (0 for tagless designs). */
+    virtual std::uint64_t tagProbeCount() const { return 0; }
+
+    // Aggregate statistics shared by all organizations.
+    std::uint64_t l3Accesses() const { return accesses_.value(); }
+    std::uint64_t l3Hits() const { return hitsInPkg_.value(); }
+    std::uint64_t l3Misses() const { return missesOffPkg_.value(); }
+    std::uint64_t pageFills() const { return pageFills_.value(); }
+    std::uint64_t pageWritebacks() const { return pageWritebacks_.value(); }
+    std::uint64_t victimHits() const { return victimHits_.value(); }
+    double avgL3Latency() const { return l3Latency_.mean(); }
+
+    double
+    l3HitRate() const
+    {
+        const auto total = accesses_.value();
+        return total ? static_cast<double>(hitsInPkg_.value()) / total
+                     : 0.0;
+    }
+
+  protected:
+    /** Times a 64-byte access on the off-package device. */
+    Tick offPkgBlockAccess(PageNum ppn, Addr offset, bool is_write,
+                           Tick when);
+
+    /** Times a 64-byte access on the in-package device. */
+    Tick inPkgBlockAccess(std::uint64_t frame, Addr offset, bool is_write,
+                          Tick when);
+
+    /** Streams a whole 4 KiB page off-package (one row). */
+    Tick offPkgPageAccess(PageNum ppn, bool is_write, Tick when);
+
+    /** Streams a whole 4 KiB page in-package (one row). */
+    Tick inPkgPageAccess(std::uint64_t frame, bool is_write, Tick when);
+
+    void
+    recordAccess(Tick start, const L3Result &res)
+    {
+        ++accesses_;
+        if (res.servicedInPackage)
+            ++hitsInPkg_;
+        else
+            ++missesOffPkg_;
+        l3Latency_.sample(
+            static_cast<double>(res.completionTick - start));
+    }
+
+    DramDevice &inPkg_;
+    DramDevice &offPkg_;
+    PhysMem &phys_;
+    const ClockDomain &cpuClk_;
+    PageInvalidator invalidator_;
+    ShootdownFn shootdown_;
+
+    stats::Scalar accesses_;
+    stats::Scalar hitsInPkg_;
+    stats::Scalar missesOffPkg_;
+    stats::Scalar pageFills_;
+    stats::Scalar pageWritebacks_;
+    stats::Scalar victimHits_;
+    stats::Average l3Latency_;
+};
+
+} // namespace tdc
+
+#endif // TDC_DRAMCACHE_DRAM_CACHE_ORG_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Address-space tagging for frame addresses flowing through the on-die
+ * cache hierarchy.
+ *
+ * With the tagless design the on-die L1/L2 caches are indexed and tagged
+ * by *cache* addresses, while non-cacheable pages keep physical
+ * addresses (Section 3.2). Both kinds of address flow through the same
+ * caches, so cache-frame numbers must never alias physical page
+ * numbers; a discriminator bit well above any real frame keeps the two
+ * spaces disjoint.
+ */
+
+#ifndef TDC_DRAMCACHE_FRAME_SPACE_HH
+#define TDC_DRAMCACHE_FRAME_SPACE_HH
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace tdc {
+
+/** Bit 46 set == in-package cache address (CA) space. */
+inline constexpr Addr caSpaceBit = 1ULL << 46;
+
+/** Builds a full byte address in PA space. */
+constexpr Addr
+paAddr(PageNum ppn, Addr offset)
+{
+    return pageBase(ppn) | offset;
+}
+
+/** Builds a full byte address in CA space. */
+constexpr Addr
+caAddr(std::uint64_t frame, Addr offset)
+{
+    return caSpaceBit | pageBase(frame) | offset;
+}
+
+constexpr bool
+isCaSpace(Addr addr)
+{
+    return (addr & caSpaceBit) != 0;
+}
+
+/** Frame (page) number with the space tag stripped. */
+constexpr std::uint64_t
+frameNumOf(Addr addr)
+{
+    return pageOf(addr & ~caSpaceBit);
+}
+
+} // namespace tdc
+
+#endif // TDC_DRAMCACHE_FRAME_SPACE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Free-block bookkeeping for the tagless cache (Section 3.2).
+ *
+ * The paper maintains a header pointer (HP) to the next free cache
+ * block and a FIFO "free queue" of blocks awaiting asynchronous
+ * eviction; draining the queue turns victims back into free blocks.
+ *
+ * In this model eviction work is performed eagerly but its DRAM traffic
+ * is timed in the background, so a freed frame carries a readyTick: the
+ * moment its (possibly dirty) eviction traffic completes and the frame
+ * may be re-allocated. A fill that pops a frame whose readyTick is in
+ * the future stalls for the difference -- that is exactly the "fewer
+ * than alpha free blocks available" corner the paper's asynchronous
+ * scheme is designed to make rare.
+ */
+
+#ifndef TDC_DRAMCACHE_FREE_QUEUE_HH
+#define TDC_DRAMCACHE_FREE_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace tdc {
+
+class FreeQueue
+{
+  public:
+    struct FreeBlock
+    {
+        std::uint64_t frame;
+        Tick readyTick; //!< eviction traffic completes at this tick
+    };
+
+    /** Enqueues a freed frame. */
+    void
+    push(std::uint64_t frame, Tick ready)
+    {
+        queue_.push_back(FreeBlock{frame, ready});
+    }
+
+    /** The header pointer's target: the next free block. */
+    const FreeBlock &
+    front() const
+    {
+        tdc_assert(!queue_.empty(), "free queue empty");
+        return queue_.front();
+    }
+
+    FreeBlock
+    pop()
+    {
+        tdc_assert(!queue_.empty(), "free queue empty");
+        FreeBlock b = queue_.front();
+        queue_.pop_front();
+        return b;
+    }
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+
+  private:
+    std::deque<FreeBlock> queue_;
+};
+
+} // namespace tdc
+
+#endif // TDC_DRAMCACHE_FREE_QUEUE_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Ideal organization ("Ideal", Section 4): all data is assumed to fit
+ * in the in-package DRAM, so every post-L2 access is serviced at
+ * in-package timing with no fill or tag cost of any kind.
+ */
+
+#ifndef TDC_DRAMCACHE_IDEAL_CACHE_HH
+#define TDC_DRAMCACHE_IDEAL_CACHE_HH
+
+#include "dramcache/dram_cache_org.hh"
+
+namespace tdc {
+
+class IdealCache : public DramCacheOrg
+{
+  public:
+    using DramCacheOrg::DramCacheOrg;
+
+    L3Result access(Addr addr, AccessType type, CoreId core,
+                    Tick when) override;
+
+    std::string_view kind() const override { return "Ideal"; }
+};
+
+} // namespace tdc
+
+#endif // TDC_DRAMCACHE_IDEAL_CACHE_HH

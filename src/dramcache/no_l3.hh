@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Baseline organization with no DRAM cache: every post-L2 access goes to
+ * the off-package DDR3 device ("No L3" in Section 4).
+ */
+
+#ifndef TDC_DRAMCACHE_NO_L3_HH
+#define TDC_DRAMCACHE_NO_L3_HH
+
+#include "dramcache/dram_cache_org.hh"
+
+namespace tdc {
+
+class NoL3 : public DramCacheOrg
+{
+  public:
+    using DramCacheOrg::DramCacheOrg;
+
+    L3Result access(Addr addr, AccessType type, CoreId core,
+                    Tick when) override;
+
+    std::string_view kind() const override { return "NoL3"; }
+};
+
+} // namespace tdc
+
+#endif // TDC_DRAMCACHE_NO_L3_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Builds a DramCacheOrg from a configuration string, the single switch
+ * the System and the benches use to select an evaluation design point.
+ */
+
+#ifndef TDC_DRAMCACHE_ORG_FACTORY_HH
+#define TDC_DRAMCACHE_ORG_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/config.hh"
+#include "dramcache/dram_cache_org.hh"
+
+namespace tdc {
+
+/** The design points of Section 4, plus the block-based extra. */
+enum class OrgKind {
+    NoL3,
+    BankInterleave,
+    SramTag,
+    Tagless,
+    Ideal,
+    Alloy,
+};
+
+OrgKind orgKindFromString(std::string_view s);
+std::string_view toString(OrgKind k);
+
+/**
+ * Instantiates an organization.
+ *
+ * Config keys consumed (all optional):
+ *   l3.size_bytes        in-package capacity used as cache (1 GiB)
+ *   l3.policy            "fifo" | "lru" (tagless / sram-tag)
+ *   l3.alpha             tagless free-block low-water mark
+ *   l3.tag_latency       override the Table 6 SRAM tag latency
+ *   l3.gipt_writes       off-package writes charged per GIPT update
+ *   l3.filter            enable the online hot/cold page filter
+ *   l3.filter_threshold  TLB misses before a page may be cached
+ */
+std::unique_ptr<DramCacheOrg>
+makeDramCacheOrg(OrgKind kind, const Config &cfg, EventQueue &eq,
+                 DramDevice &in_pkg, DramDevice &off_pkg, PhysMem &phys,
+                 const ClockDomain &cpu_clk);
+
+} // namespace tdc
+
+#endif // TDC_DRAMCACHE_ORG_FACTORY_HH

@@ -1,0 +1,510 @@
+#include "dramcache/tagless_cache.hh"
+
+#include <algorithm>
+
+namespace tdc {
+
+TaglessCache::TaglessCache(std::string name, EventQueue &eq,
+                           DramDevice &in_pkg, DramDevice &off_pkg,
+                           PhysMem &phys, const ClockDomain &cpu_clk,
+                           const TaglessCacheParams &params)
+    : DramCacheOrg(std::move(name), eq, in_pkg, off_pkg, phys, cpu_clk),
+      params_(params), gipt_(params.cacheBytes / pageBytes),
+      frames_(params.cacheBytes / pageBytes),
+      frameIsFree_(params.cacheBytes / pageBytes, true)
+{
+    tdc_assert(params_.alphaFreeBlocks >= 1, "alpha must be >= 1");
+
+    // Initially the whole cache is free; the header pointer starts at
+    // frame 0 and walks the frames in order.
+    for (std::uint64_t f = 0; f < frames_.size(); ++f)
+        freeQueue_.push(f, 0);
+
+    // The GIPT itself lives in ordinary (off-package) DRAM right after
+    // the last usable physical page.
+    giptBase_ = pageBase(phys_.offPkgPages());
+
+    auto &sg = statGroup();
+    sg.addScalar("nc_bypasses", &ncBypasses_,
+                 "accesses bypassing to off-package (NC pages)");
+    sg.addScalar("pu_waits", &puWaits_,
+                 "TLB misses that waited on an in-flight fill");
+    sg.addScalar("free_stalls", &freeStalls_,
+                 "fills that waited for eviction traffic");
+    sg.addScalar("shootdowns", &shootdowns_,
+                 "evictions requiring TLB shootdown");
+    sg.addScalar("evictions", &evictions_, "frames reclaimed");
+    sg.addScalar("resident_skips", &residentSkips_,
+                 "victim candidates skipped for TLB residence");
+    sg.addScalar("gipt_writes", &giptWrites_);
+    sg.addScalar("gipt_reads", &giptReads_);
+    sg.addScalar("superpage_fills", &superpageFills_,
+                 "2MB superpages cached");
+    sg.addScalar("superpage_nc_fallbacks", &superpageNcFallbacks_,
+                 "superpages made NC for lack of a contiguous run");
+}
+
+void
+TaglessCache::touch(std::uint64_t frame)
+{
+    frames_[frame].lastTouch = ++touchClock_;
+    if (params_.policy == ReplPolicy::LRU)
+        lruHeap_.emplace(frames_[frame].lastTouch, frame);
+}
+
+TlbMissResult
+TaglessCache::handleTlbMiss(PageTable &pt, PageNum vpn, CoreId core,
+                            Tick when)
+{
+    (void)core;
+    Pte &pte = pt.walk(vpn);
+    const AsidVpn key = makeAsidVpn(pt.proc(), vpn);
+
+    TlbMissResult res;
+    res.entry.key = key;
+    res.readyTick = when;
+
+    if (pte.type == PageType::Page2M) {
+        // Superpage path (Section 6): the whole 2 MiB region is cached
+        // or bypassed as a unit.
+        res.entry.key = makeSuperKey(pt.proc(), vpn);
+        res.entry.type = PageType::Page2M;
+        res.entry.frame = pte.frame;
+        res.entry.nc = pte.nc || !pte.vc;
+        if (pte.nc) {
+            return res; // declared non-cacheable by the OS or fallback
+        }
+        if (pte.vc) {
+            res.victimHit = false; // superpages never leave the cache
+            return res;
+        }
+        // Try to cache it: needs an aligned free 512-frame run.
+        const std::uint64_t base = reserveSuperpageRun();
+        if (base == invalidPage) {
+            // No contiguous space: fall back to bypassing (the "safe
+            // to specify superpages as non-cacheable" escape hatch).
+            pte.nc = true;
+            ++superpageNcFallbacks_;
+            res.entry.nc = true;
+            return res;
+        }
+        Tick t = when;
+        // GIPT updates for 512 entries: HP-sequential, row-friendly.
+        for (unsigned i = 0; i < params_.giptUpdateWrites * 4; ++i) {
+            const Addr a =
+                alignDown(giptEntryAddr(base), cacheLineBytes)
+                + static_cast<Addr>(i) * cacheLineBytes;
+            t = offPkg_.access(a, cacheLineBytes, true, t)
+                    .completionTick;
+            ++giptWrites_;
+        }
+        const PageNum old_base_ppn = pte.frame;
+        for (unsigned i = 0; i < pagesPerSuperpage; ++i) {
+            gipt_.install(base + i, old_base_ppn + i, &pte);
+            frames_[base + i] = FrameMeta{};
+            frames_[base + i].pinned = true;
+            // Stream the page in: off-package reads pipeline on the
+            // bus; in-package writes are posted.
+            const Tick rd = offPkgPageAccess(old_base_ppn + i, false, t);
+            inPkgPageAccess(base + i, true, rd);
+            t = rd;
+        }
+        pinnedCount_ += pagesPerSuperpage;
+        pte.frame = base;
+        pte.vc = true;
+        ++superpageFills_;
+        ++pageFills_;
+        res.entry.frame = base;
+        res.entry.nc = false;
+        res.readyTick = t;
+        res.coldFill = true;
+        return res;
+    }
+
+    if (pte.nc) {
+        // Non-cacheable page: the cTLB entry keeps the physical mapping.
+        res.entry.frame = pte.frame;
+        res.entry.nc = true;
+        return res;
+    }
+
+    if (pte.pu) {
+        // Another thread's fill is in flight: busy-wait on the PU bit.
+        auto it = pendingFills_.find(&pte);
+        if (it != pendingFills_.end())
+            res.readyTick = std::max(when, it->second);
+        ++puWaits_;
+        tdc_assert(pte.vc, "PU set but mapping not yet a cache address");
+        res.entry.frame = pte.frame;
+        res.entry.nc = false;
+        return res;
+    }
+
+    if (pte.vc) {
+        // In-package victim hit: the page is cached but fell out of the
+        // TLB reach. No penalty beyond the TLB miss itself (Table 1).
+        res.entry.frame = pte.frame;
+        res.entry.nc = false;
+        res.victimHit = true;
+        ++victimHits_;
+        touch(pte.frame);
+        return res;
+    }
+
+    if (params_.filterEnabled && !passesFilter(key)) {
+        // Cold page under probation: serve it off-package through a
+        // conventional mapping; it can still be promoted by a later
+        // TLB miss once it proves hot.
+        ++filterRejects_;
+        res.entry.frame = pte.frame;
+        res.entry.nc = true;
+        return res;
+    }
+
+    // Cold fill (shaded path of Figure 4).
+    pte.pu = true;
+    Tick t = when;
+
+    if (freeQueue_.empty()) {
+        // The asynchronous evictor fell behind; reclaim synchronously.
+        evictOne(t);
+    }
+    FreeQueue::FreeBlock fb = freeQueue_.pop();
+    frameIsFree_[fb.frame] = false;
+    if (fb.readyTick > t) {
+        ++freeStalls_;
+        t = fb.readyTick;
+    }
+    const std::uint64_t frame = fb.frame;
+
+    // GIPT update, charged conservatively as two full off-package
+    // writes (Section 3.4). HP increments by one per fill, so these
+    // writes enjoy row-buffer locality automatically.
+    const PageNum old_ppn = pte.frame;
+    for (unsigned i = 0; i < params_.giptUpdateWrites; ++i) {
+        const Addr a = alignDown(giptEntryAddr(frame), cacheLineBytes)
+                       + static_cast<Addr>(i) * cacheLineBytes;
+        t = offPkg_.access(a, cacheLineBytes, true, t).completionTick;
+        ++giptWrites_;
+    }
+    gipt_.install(frame, old_ppn, &pte);
+
+    // Cache fill: stream the page from off-package DRAM (critical path)
+    // into the frame (the in-package write overlaps subsequent work).
+    const Tick page_read_done = offPkgPageAccess(old_ppn, false, t);
+    inPkgPageAccess(frame, true, page_read_done);
+    t = page_read_done;
+    ++pageFills_;
+
+    // Rewrite the PTE with the cache address and publish. PU stays set
+    // until the handler is done so the replenish scan below cannot pick
+    // the page we are just filling (in hardware the cTLB entry is
+    // installed before the handler returns, protecting it the same way).
+    pte.frame = frame;
+    pte.vc = true;
+    pendingFills_[&pte] = t;
+    frames_[frame] = FrameMeta{};
+    touch(frame);
+    allocOrder_.push_back(frame);
+
+    // Keep at least alpha free blocks available for the next fill.
+    while (freeQueue_.size() < params_.alphaFreeBlocks)
+        evictOne(t);
+
+    pte.pu = false;
+
+    res.entry.frame = frame;
+    res.entry.nc = false;
+    res.readyTick = t;
+    res.coldFill = true;
+    return res;
+}
+
+bool
+TaglessCache::passesFilter(AsidVpn key)
+{
+    if (filterCounts_.size() >= params_.filterTableSize) {
+        // Decay: halve every count and drop the ones that hit zero, so
+        // the filter tracks the current phase rather than all history.
+        for (auto it = filterCounts_.begin();
+             it != filterCounts_.end();) {
+            it->second /= 2;
+            it = it->second == 0 ? filterCounts_.erase(it)
+                                 : std::next(it);
+        }
+    }
+    std::uint32_t &count = filterCounts_[key];
+    if (count + 1 >= params_.filterThreshold) {
+        filterCounts_.erase(key);
+        return true;
+    }
+    ++count;
+    return false;
+}
+
+std::uint64_t
+TaglessCache::reserveSuperpageRun()
+{
+    const std::uint64_t slots = frames_.size() / pagesPerSuperpage;
+    for (std::uint64_t s = 0; s < slots; ++s) {
+        const std::uint64_t base = s * pagesPerSuperpage;
+        bool all_free = true;
+        for (unsigned i = 0; i < pagesPerSuperpage && all_free; ++i)
+            all_free = frameIsFree_[base + i];
+        if (!all_free)
+            continue;
+        // Claim the run: mark used and drop the frames from the free
+        // queue (rare operation; a linear rebuild is fine).
+        for (unsigned i = 0; i < pagesPerSuperpage; ++i)
+            frameIsFree_[base + i] = false;
+        FreeQueue rebuilt;
+        while (!freeQueue_.empty()) {
+            const auto fb = freeQueue_.pop();
+            if (fb.frame < base || fb.frame >= base + pagesPerSuperpage)
+                rebuilt.push(fb.frame, fb.readyTick);
+        }
+        freeQueue_ = std::move(rebuilt);
+        return base;
+    }
+    return invalidPage;
+}
+
+Tick
+TaglessCache::releaseSuperpage(PageTable &pt, PageNum base_vpn,
+                               Tick when)
+{
+    Pte *pte = pt.findSuperpage(base_vpn);
+    tdc_assert(pte != nullptr, "no superpage at vpn {}", base_vpn);
+    tdc_assert(pte->vc, "superpage at vpn {} is not cached", base_vpn);
+    const std::uint64_t base = pte->frame;
+    const PageNum old_base_ppn = gipt_.at(base).ppn;
+
+    // Drop the translation everywhere before unpinning (shared-cache
+    // consistency, Section 6: TLB shootdown on eviction).
+    if (shootdown_)
+        shootdown_(makeSuperKey(pte->proc, base_vpn));
+    ++shootdowns_;
+
+    Tick bt = when;
+    for (unsigned i = 0; i < pagesPerSuperpage; ++i) {
+        const std::uint64_t f = base + i;
+        if (invalidator_) {
+            const unsigned dirty_lines = invalidator_(caAddr(f, 0));
+            if (dirty_lines > 0)
+                frames_[f].dirty = true;
+        }
+        if (frames_[f].dirty) {
+            const Tick rd = inPkgPageAccess(f, false, bt);
+            bt = offPkgPageAccess(old_base_ppn + i, true, rd);
+            ++pageWritebacks_;
+        }
+        gipt_.invalidate(f);
+        frames_[f] = FrameMeta{};
+        freeQueue_.push(f, bt);
+        frameIsFree_[f] = true;
+        ++evictions_;
+    }
+    tdc_assert(pinnedCount_ >= pagesPerSuperpage,
+               "pinned-frame underflow");
+    pinnedCount_ -= pagesPerSuperpage;
+
+    pte->vc = false;
+    pte->frame = old_base_ppn;
+    return bt;
+}
+
+std::uint64_t
+TaglessCache::pickVictimFifo()
+{
+    tdc_assert(!allocOrder_.empty(), "no victim candidates");
+    const std::size_t limit = allocOrder_.size();
+    for (std::size_t i = 0; i < limit; ++i) {
+        const std::uint64_t f = allocOrder_.front();
+        allocOrder_.pop_front();
+        if (!gipt_.at(f).valid)
+            continue; // stale entry (frame freed by another path)
+        if (evictionBlocked(f)) {
+            // Hot within the TLB reach: rotate to the back and keep
+            // scanning (the paper only evicts non-resident blocks).
+            allocOrder_.push_back(f);
+            ++residentSkips_;
+            continue;
+        }
+        return f;
+    }
+    // Everything is TLB-resident (tiny cache / huge TLB reach): evict
+    // the oldest anyway, after shooting its translation down. Frames
+    // mid-fill (PU set) stay protected even here.
+    const std::size_t fallback_limit = allocOrder_.size();
+    for (std::size_t i = 0; i < fallback_limit; ++i) {
+        const std::uint64_t f = allocOrder_.front();
+        allocOrder_.pop_front();
+        if (!gipt_.at(f).valid)
+            continue;
+        if (gipt_.at(f).ptep && gipt_.at(f).ptep->pu) {
+            allocOrder_.push_back(f);
+            continue;
+        }
+        forceShootdown(f);
+        return f;
+    }
+    tdc_panic("no evictable frame in tagless cache");
+}
+
+std::uint64_t
+TaglessCache::pickVictimLru()
+{
+    // Bound the scan: a blocked frame is re-pushed with a fresh stamp,
+    // so without a limit an all-resident cache would loop forever.
+    std::size_t blocked_skips = 0;
+    while (!lruHeap_.empty() && blocked_skips <= frames_.size()) {
+        auto [stamp, f] = lruHeap_.top();
+        lruHeap_.pop();
+        if (!gipt_.at(f).valid || frames_[f].lastTouch != stamp)
+            continue; // stale heap entry
+        if (evictionBlocked(f)) {
+            // Second chance: pretend it was just used.
+            touch(f);
+            ++residentSkips_;
+            ++blocked_skips;
+            continue;
+        }
+        return f;
+    }
+    // Everything blocked; fall back to FIFO order + shootdown.
+    return pickVictimFifo();
+}
+
+void
+TaglessCache::forceShootdown(std::uint64_t frame)
+{
+    Gipt::Entry &g = gipt_.at(frame);
+    tdc_assert(g.ptep != nullptr, "shootdown of unmapped frame");
+    tdc_assert(!g.ptep->pu, "shootdown of frame mid-fill");
+    ++shootdowns_;
+    if (shootdown_)
+        shootdown_(makeAsidVpn(g.ptep->proc, g.ptep->vpn));
+    tdc_assert(!g.residentAnywhere(),
+               "frame still TLB-resident after shootdown");
+}
+
+void
+TaglessCache::evictOne(Tick when)
+{
+    const std::uint64_t frame = params_.policy == ReplPolicy::LRU
+                                    ? pickVictimLru()
+                                    : pickVictimFifo();
+    Gipt::Entry &g = gipt_.at(frame);
+    tdc_assert(g.valid, "evicting unoccupied frame {}", frame);
+
+    // All of the following is off the access critical path (the free
+    // queue is drained asynchronously); `bt` tracks background traffic.
+    Tick bt = when;
+
+    // GIPT lookup to recover the PPN and the PTE pointer.
+    bt = offPkg_
+             .access(alignDown(giptEntryAddr(frame), cacheLineBytes),
+                     cacheLineBytes, false, bt)
+             .completionTick;
+    ++giptReads_;
+
+    // Flush CA-tagged lines of the departing page from the on-die
+    // caches; dirty ones must land in the frame before the copy-out.
+    if (invalidator_) {
+        const unsigned dirty_lines = invalidator_(caAddr(frame, 0));
+        if (dirty_lines > 0) {
+            bt = inPkg_
+                     .access(pageBase(frame),
+                             std::uint64_t{dirty_lines} * cacheLineBytes,
+                             true, bt)
+                     .completionTick;
+            frames_[frame].dirty = true;
+        }
+    }
+
+    // Dirty pages stream back to off-package DRAM.
+    if (frames_[frame].dirty) {
+        const Tick rd = inPkgPageAccess(frame, false, bt);
+        bt = offPkgPageAccess(g.ppn, true, rd);
+        ++pageWritebacks_;
+    }
+
+    // Restore the physical mapping in the PTE.
+    Pte &pte = *g.ptep;
+    tdc_assert(pte.vc && pte.frame == frame,
+               "PTE/GIPT mismatch on eviction");
+    pte.vc = false;
+    pte.frame = g.ppn;
+    pendingFills_.erase(&pte);
+
+    gipt_.invalidate(frame);
+    frames_[frame] = FrameMeta{};
+    freeQueue_.push(frame, bt);
+    frameIsFree_[frame] = true;
+    ++evictions_;
+}
+
+L3Result
+TaglessCache::access(Addr addr, AccessType type, CoreId core, Tick when)
+{
+    (void)core;
+    const bool write = isWrite(type);
+    L3Result res;
+
+    if (isCaSpace(addr)) {
+        const std::uint64_t frame = frameNumOf(addr);
+        // The tagless guarantee: a cTLB translation always points at an
+        // occupied frame, so this access needs no membership check.
+        tdc_assert(gipt_.at(frame).valid,
+                   "CA access to unoccupied frame {}", frame);
+        frames_[frame].dirty |= write;
+        touch(frame);
+        res.completionTick =
+            inPkgBlockAccess(frame, pageOffset(addr), write, when);
+        res.servicedInPackage = true;
+        res.l3Hit = true;
+    } else {
+        // Non-cacheable page: straight to off-package DRAM.
+        ++ncBypasses_;
+        res.completionTick = offPkgBlockAccess(
+            frameNumOf(addr), pageOffset(addr), write, when);
+        res.servicedInPackage = false;
+        res.l3Hit = false;
+    }
+    recordAccess(when, res);
+    return res;
+}
+
+void
+TaglessCache::writebackLine(Addr addr, CoreId core, Tick when)
+{
+    (void)core;
+    if (isCaSpace(addr)) {
+        const std::uint64_t frame = frameNumOf(addr);
+        tdc_assert(gipt_.at(frame).valid,
+                   "CA writeback to unoccupied frame {}", frame);
+        frames_[frame].dirty = true;
+        inPkgBlockAccess(frame, pageOffset(addr), true, when);
+    } else {
+        offPkgBlockAccess(frameNumOf(addr), pageOffset(addr), true, when);
+    }
+}
+
+void
+TaglessCache::onTlbResidence(const TlbEntry &entry, CoreId core,
+                             bool resident)
+{
+    if (entry.nc)
+        return; // physical mapping: not an in-package frame
+    if (entry.type == PageType::Page2M)
+        return; // superpages are pinned; residence tracking unneeded
+    const std::uint64_t frame = entry.frame;
+    if (!gipt_.at(frame).valid)
+        return; // raced with an eviction path that already cleaned up
+    if (resident)
+        gipt_.addResidence(frame, core);
+    else
+        gipt_.removeResidence(frame, core);
+}
+
+} // namespace tdc

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The paper's contribution: a fully associative, tagless DRAM cache
+ * driven by the cache-map TLB (cTLB).
+ *
+ * The TLB miss handler (handleTlbMiss) consolidates address translation
+ * and cache management (Figure 4):
+ *
+ *   - page walk finds the PTE (functional walk; the caller charges the
+ *     walk latency);
+ *   - NC page          -> return the physical mapping (bypass);
+ *   - PU set           -> busy-wait until the in-flight fill completes;
+ *   - VC set           -> in-package *victim hit*: return the cache
+ *                         address with no extra penalty;
+ *   - otherwise        -> cold fill: set PU, pop a free frame (header
+ *                         pointer), update the GIPT (charged as two full
+ *                         off-package writes, Section 3.4), copy the
+ *                         page from off-package DRAM, rewrite the PTE
+ *                         with the cache address, clear PU, and top the
+ *                         free list back up to alpha blocks by evicting
+ *                         FIFO victims asynchronously.
+ *
+ * A cTLB hit therefore guarantees an in-package hit: access() asserts
+ * that every cache-space address targets an occupied frame. Because any
+ * cached page can live in any frame, the cache is fully associative.
+ */
+
+#ifndef TDC_DRAMCACHE_TAGLESS_CACHE_HH
+#define TDC_DRAMCACHE_TAGLESS_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "dramcache/dram_cache_org.hh"
+#include "dramcache/free_queue.hh"
+#include "dramcache/gipt.hh"
+
+namespace tdc {
+
+struct TaglessCacheParams
+{
+    std::uint64_t cacheBytes = 1ULL << 30;
+    /** Low-water mark of always-available free blocks (alpha). */
+    unsigned alphaFreeBlocks = 1;
+    /** Victim selection: FIFO (default, Section 5.2) or LRU (Fig. 11). */
+    ReplPolicy policy = ReplPolicy::FIFO;
+    /** Off-package 64B writes charged per GIPT update (conservative). */
+    unsigned giptUpdateWrites = 2;
+    /** GIPT entry footprint in bytes (82 bits rounded up). */
+    unsigned giptEntryBytes = 11;
+
+    /**
+     * Online hot/cold page filter (the CHOP-style alternative to
+     * Section 5.4's offline NC profiling): a page is only filled after
+     * it has taken `filterThreshold` TLB misses while uncached; colder
+     * pages are served from off-package DRAM through a conventional
+     * (physical) cTLB entry. Plugged into the TLB miss handler, which
+     * is exactly the flexibility hook the paper advertises.
+     */
+    bool filterEnabled = false;
+    unsigned filterThreshold = 2;
+    /** Bound on tracked pages; counts halve when the table fills. */
+    std::size_t filterTableSize = 1 << 16;
+};
+
+class TaglessCache : public DramCacheOrg
+{
+  public:
+    TaglessCache(std::string name, EventQueue &eq, DramDevice &in_pkg,
+                 DramDevice &off_pkg, PhysMem &phys,
+                 const ClockDomain &cpu_clk,
+                 const TaglessCacheParams &params);
+
+    TlbMissResult handleTlbMiss(PageTable &pt, PageNum vpn, CoreId core,
+                                Tick when) override;
+
+    /**
+     * Evicts a cached 2 MiB superpage: writes dirty frames back,
+     * restores the physical mapping, shoots the translation down and
+     * returns the frames to the free queue. The OS calls this before
+     * splitting a superpage (Section 6).
+     * @return tick at which the eviction traffic completes.
+     */
+    Tick releaseSuperpage(PageTable &pt, PageNum base_vpn, Tick when);
+
+    /** Frames currently pinned by cached superpages. */
+    std::uint64_t pinnedFrames() const { return pinnedCount_; }
+
+    L3Result access(Addr addr, AccessType type, CoreId core,
+                    Tick when) override;
+
+    void writebackLine(Addr addr, CoreId core, Tick when) override;
+
+    void onTlbResidence(const TlbEntry &entry, CoreId core,
+                        bool resident) override;
+
+    std::string_view kind() const override { return "cTLB"; }
+    bool usesCacheAddressSpace() const override { return true; }
+
+    const TaglessCacheParams &params() const { return params_; }
+    const Gipt &gipt() const { return gipt_; }
+    std::uint64_t totalFrames() const { return frames_.size(); }
+    std::size_t freeBlocks() const { return freeQueue_.size(); }
+
+    std::uint64_t coldFills() const { return pageFills_.value(); }
+    std::uint64_t ncBypasses() const { return ncBypasses_.value(); }
+    std::uint64_t filterRejects() const { return filterRejects_.value(); }
+    std::uint64_t puWaits() const { return puWaits_.value(); }
+    std::uint64_t freeStalls() const { return freeStalls_.value(); }
+    std::uint64_t shootdowns() const { return shootdowns_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
+
+    /** True if the page of a CA-space frame is currently occupied. */
+    bool
+    frameOccupied(std::uint64_t frame) const
+    {
+        return gipt_.at(frame).valid;
+    }
+
+  private:
+    struct FrameMeta
+    {
+        bool dirty = false;
+        /** Part of a cached superpage: excluded from victim selection
+         *  (reclaimed only via releaseSuperpage). */
+        bool pinned = false;
+        std::uint64_t lastTouch = 0;
+    };
+
+    /**
+     * Finds a 512-aligned run of free frames and removes it from the
+     * free queue; returns the base frame or invalidPage if no aligned
+     * run is currently free (the caller then falls back to NC).
+     */
+    std::uint64_t reserveSuperpageRun();
+
+    /** Marks a frame recently used (LRU bookkeeping). */
+    void touch(std::uint64_t frame);
+
+    /** Picks and evicts one victim; free frame enqueued with its
+     *  eviction-traffic completion tick. */
+    void evictOne(Tick when);
+
+    /** FIFO victim: oldest fill that is not TLB-resident / mid-fill. */
+    std::uint64_t pickVictimFifo();
+
+    /** LRU victim via a lazily invalidated min-heap. */
+    std::uint64_t pickVictimLru();
+
+    bool
+    evictionBlocked(std::uint64_t frame) const
+    {
+        if (frames_[frame].pinned)
+            return true;
+        const Gipt::Entry &g = gipt_.at(frame);
+        return g.residentAnywhere() || (g.ptep && g.ptep->pu);
+    }
+
+    /** Forces eviction eligibility via TLB shootdown. */
+    void forceShootdown(std::uint64_t frame);
+
+    Addr
+    giptEntryAddr(std::uint64_t frame) const
+    {
+        return giptBase_ + frame * params_.giptEntryBytes;
+    }
+
+    TaglessCacheParams params_;
+    Gipt gipt_;
+    FreeQueue freeQueue_;
+    std::vector<FrameMeta> frames_;
+
+    /** Mirror of the free queue for contiguous-run searches. */
+    std::vector<bool> frameIsFree_;
+
+    /** Frames in fill order (FIFO replacement candidates). */
+    std::deque<std::uint64_t> allocOrder_;
+
+    /** Lazily invalidated (lastTouch, frame) min-heap for LRU mode. */
+    using LruKey = std::pair<std::uint64_t, std::uint64_t>;
+    std::priority_queue<LruKey, std::vector<LruKey>, std::greater<>>
+        lruHeap_;
+
+    /** In-flight fills: PTE -> completion tick (PU bit semantics). */
+    std::unordered_map<const Pte *, Tick> pendingFills_;
+
+    /** Online filter: TLB-miss counts of uncached pages. */
+    std::unordered_map<AsidVpn, std::uint32_t> filterCounts_;
+
+    /** True once the page has proven hot enough to cache. */
+    bool passesFilter(AsidVpn key);
+
+    /** Off-package byte address of the GIPT storage region. */
+    Addr giptBase_;
+
+    std::uint64_t touchClock_ = 0;
+
+    stats::Scalar ncBypasses_;
+    stats::Scalar puWaits_;
+    stats::Scalar freeStalls_;
+    stats::Scalar shootdowns_;
+    stats::Scalar evictions_;
+    stats::Scalar residentSkips_;
+    stats::Scalar giptWrites_;
+    stats::Scalar giptReads_;
+    stats::Scalar superpageFills_;
+    stats::Scalar superpageNcFallbacks_;
+    stats::Scalar filterRejects_;
+    std::uint64_t pinnedCount_ = 0;
+};
+
+} // namespace tdc
+
+#endif // TDC_DRAMCACHE_TAGLESS_CACHE_HH

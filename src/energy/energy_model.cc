@@ -1,0 +1,25 @@
+#include "energy/energy_model.hh"
+
+namespace tdc {
+
+EnergyBreakdown
+EnergyModel::compute(const EnergyInputs &in) const
+{
+    EnergyBreakdown b;
+    b.corePj = static_cast<double>(in.instructions) * params_.instDynamicPj
+               + static_cast<double>(in.cycles) * in.cores
+                     * params_.coreLeakPjPerCycle;
+    b.onDiePj = static_cast<double>(in.l1Accesses) * params_.l1AccessPj
+                + static_cast<double>(in.l2Accesses) * params_.l2AccessPj
+                + static_cast<double>(in.tlbAccesses)
+                      * params_.tlbAccessPj;
+    b.tagPj = static_cast<double>(in.tagProbes) * params_.tagProbePjPerMb
+                  * in.tagArrayMb
+              + static_cast<double>(in.cycles) * in.tagArrayMb
+                    * params_.tagLeakPjPerMbPerCycle;
+    b.inPkgPj = in.inPkg.totalPj();
+    b.offPkgPj = in.offPkg.totalPj();
+    return b;
+}
+
+} // namespace tdc

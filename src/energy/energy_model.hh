@@ -1,0 +1,89 @@
+/**
+ * @file
+ * System energy accounting and energy-delay product (EDP).
+ *
+ * The paper extracts core/cache power from McPAT and DRAM energy from
+ * the per-event costs of Table 4. This model does the same arithmetic
+ * from simulation counters: fixed energy per committed instruction and
+ * per on-die cache/TLB/tag access, leakage proportional to runtime, and
+ * the DRAM devices' own accumulated event energy.
+ */
+
+#ifndef TDC_ENERGY_ENERGY_MODEL_HH
+#define TDC_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "dram/dram_energy.hh"
+
+namespace tdc {
+
+/** McPAT-flavoured per-event / per-cycle energy constants (pJ). */
+struct EnergyParams
+{
+    double instDynamicPj = 250.0;     //!< per committed instruction
+    double coreLeakPjPerCycle = 80.0; //!< per core, per cycle
+    double l1AccessPj = 10.0;
+    double l2AccessPj = 60.0;
+    double tlbAccessPj = 2.0;
+    /** Per SRAM-tag-array probe, for a 2MB array (scaled by size). */
+    double tagProbePjPerMb = 500.0;
+    /** SRAM tag leakage per MB of tag array per cycle. */
+    double tagLeakPjPerMbPerCycle = 15.0;
+};
+
+/** Event counts the model consumes (gathered by the System). */
+struct EnergyInputs
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0; //!< wall-clock cycles of the run
+    unsigned cores = 1;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t tlbAccesses = 0;
+    std::uint64_t tagProbes = 0;
+    double tagArrayMb = 0.0; //!< on-die SRAM tag capacity
+    DramEnergyCounter inPkg;
+    DramEnergyCounter offPkg;
+};
+
+struct EnergyBreakdown
+{
+    double corePj = 0.0;
+    double onDiePj = 0.0;  //!< L1/L2/TLB access energy
+    double tagPj = 0.0;    //!< SRAM tag probes + leakage
+    double inPkgPj = 0.0;
+    double offPkgPj = 0.0;
+
+    double
+    totalPj() const
+    {
+        return corePj + onDiePj + tagPj + inPkgPj + offPkgPj;
+    }
+};
+
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = EnergyParams{})
+        : params_(params)
+    {}
+
+    EnergyBreakdown compute(const EnergyInputs &in) const;
+
+    /** Energy-delay product in joule-seconds. */
+    double
+    edp(const EnergyBreakdown &b, double seconds) const
+    {
+        return b.totalPj() * 1e-12 * seconds;
+    }
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace tdc
+
+#endif // TDC_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Clock-domain helper converting between cycles and ticks.
+ */
+
+#ifndef TDC_SIM_CLOCK_HH
+#define TDC_SIM_CLOCK_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace tdc {
+
+/**
+ * A frequency domain. Components that reason in cycles hold a ClockDomain
+ * and convert at the boundary to the global tick time base.
+ */
+class ClockDomain
+{
+  public:
+    explicit ClockDomain(std::uint64_t freq_hz)
+        : freqHz_(freq_hz), period_(frequencyToPeriod(freq_hz))
+    {
+        tdc_assert(freq_hz > 0, "zero clock frequency");
+        tdc_assert(period_ > 0, "clock faster than tick resolution");
+    }
+
+    std::uint64_t frequencyHz() const { return freqHz_; }
+    Tick period() const { return period_; }
+
+    Tick cyclesToTicks(Cycles c) const { return c * period_; }
+
+    /** Ticks → whole elapsed cycles (floor). */
+    Cycles ticksToCycles(Tick t) const { return t / period_; }
+
+    /** First tick at or after t that lies on a cycle boundary. */
+    Tick
+    nextCycleEdge(Tick t) const
+    {
+        return ((t + period_ - 1) / period_) * period_;
+    }
+
+  private:
+    std::uint64_t freqHz_;
+    Tick period_;
+};
+
+} // namespace tdc
+
+#endif // TDC_SIM_CLOCK_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tick-based discrete-event simulation kernel.
+ *
+ * Events are callbacks scheduled at absolute ticks. Ties are broken by
+ * insertion order (FIFO among equal ticks) so simulations are
+ * deterministic. The queue is single-threaded by design.
+ */
+
+#ifndef TDC_SIM_EVENT_QUEUE_HH
+#define TDC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace tdc {
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedules cb at absolute tick when (>= now). */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        tdc_assert(when >= now_, "scheduling into the past: {} < {}",
+                   when, now_);
+        heap_.push(Entry{when, seq_++, std::move(cb)});
+    }
+
+    /** Schedules cb delta ticks in the future. */
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the next pending event; maxTick when empty. */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? maxTick : heap_.top().when;
+    }
+
+    /**
+     * Executes the single next event, advancing time to it.
+     * @retval true if an event was run, false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        // Move the callback out before popping so that the callback may
+        // schedule new events without invalidating the entry.
+        Entry top = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = top.when;
+        top.cb();
+        ++executed_;
+        return true;
+    }
+
+    /** Runs until the queue drains or the tick limit is exceeded. */
+    void
+    run(Tick limit = maxTick)
+    {
+        while (!heap_.empty() && heap_.top().when <= limit)
+            step();
+        if (now_ < limit && limit != maxTick)
+            now_ = limit;
+    }
+
+    /** Advances time with no event execution (for quiescent skips). */
+    void
+    advanceTo(Tick when)
+    {
+        tdc_assert(when >= now_, "advancing into the past");
+        tdc_assert(heap_.empty() || heap_.top().when >= when,
+                   "advancing past a pending event");
+        now_ = when;
+    }
+
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace tdc
+
+#endif // TDC_SIM_EVENT_QUEUE_HH

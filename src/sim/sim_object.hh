@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Base class for named simulation components.
+ */
+
+#ifndef TDC_SIM_SIM_OBJECT_HH
+#define TDC_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "common/stats.hh"
+
+namespace tdc {
+
+class EventQueue;
+
+/**
+ * A named component with a stats group. Components receive the shared
+ * event queue by reference; the System owns the queue and all components.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : name_(std::move(name)), eventq_(eq), statGroup_(name_)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    EventQueue &eventq() { return eventq_; }
+    const EventQueue &eventq() const { return eventq_; }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+    const stats::StatGroup &statGroup() const { return statGroup_; }
+
+  private:
+    std::string name_;
+    EventQueue &eventq_;
+    stats::StatGroup statGroup_;
+};
+
+} // namespace tdc
+
+#endif // TDC_SIM_SIM_OBJECT_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Synthetic memory-reference generator.
+ *
+ * A stream is a weighted mixture of four access classes:
+ *
+ *  - hot:       Zipf-distributed references over a small hot page set
+ *               (captures L1/L2-filtered temporal locality);
+ *  - stream:    sequential sweeps over the main footprint with a
+ *               configurable spatial run length per page; sweeps wrap,
+ *               so small footprints are re-visited (libquantum-style
+ *               reuse) while large ones behave like one-shot scans
+ *               (GemsFDTD/milc-style low reuse);
+ *  - chase:     uniform random references over the footprint
+ *               (pointer-chasing, mcf/omnetpp-style);
+ *  - singleton: pages touched exactly once in one or two blocks
+ *               (the server-workload singletons of Section 5.4).
+ *
+ * The virtual address map of one stream:
+ *
+ *   [ hot pages | streamed/chased footprint | endless singleton region ]
+ *
+ * Multi-threaded workloads give each thread the same shared segment
+ * plus a thread-private segment at a disjoint offset (one process, one
+ * page table -- shared pages stay cacheable, Section 3.5).
+ */
+
+#ifndef TDC_TRACE_SYNTHETIC_HH
+#define TDC_TRACE_SYNTHETIC_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace tdc {
+
+/** Tuning knobs of one synthetic stream. */
+struct SyntheticParams
+{
+    /** Pages in the streamed/chased footprint (dominant region). */
+    std::uint64_t footprintPages = 16384;
+
+    /** Pages in the hot set. */
+    std::uint64_t hotPages = 128;
+
+    // Mixture weights (normalized internally).
+    double hotWeight = 0.50;
+    double streamWeight = 0.40;
+    double chaseWeight = 0.10;
+    double singletonWeight = 0.0;
+
+    /** Consecutive 64B blocks touched per page while streaming. */
+    unsigned seqRunLines = 16;
+
+    /**
+     * Blocks touched in each low-reuse ("singleton") page before it is
+     * abandoned; the paper's threshold for non-cacheable classification
+     * is 32 accesses, so anything well below that qualifies.
+     */
+    unsigned singletonRunLines = 1;
+
+    /** Fraction of instructions that are memory references. */
+    double memRefFraction = 0.30;
+
+    /** Fraction of references that are stores. */
+    double writeFraction = 0.25;
+
+    /** Zipf skew of the hot set. */
+    double zipfSkew = 0.9;
+
+    /**
+     * Probability that a load is serializing (value feeds address or
+     * control). Chase references are always dependent on top of this.
+     */
+    double depFraction = 0.25;
+
+    /** Base virtual address of the stream. */
+    Addr baseVaddr = 0x1000'0000;
+
+    /**
+     * Extra page offset of the singleton region past the footprint;
+     * gives each thread of a multithreaded workload a private,
+     * non-overlapping singleton space.
+     */
+    std::uint64_t singletonRegionOffsetPages = 0;
+
+    /** RNG seed (deterministic per workload/thread). */
+    std::uint64_t seed = 1;
+};
+
+class SyntheticTraceGen : public TraceSource
+{
+  public:
+    explicit SyntheticTraceGen(const SyntheticParams &params);
+
+    TraceRecord next() override;
+    void reset() override;
+
+    const SyntheticParams &params() const { return params_; }
+
+    /** First VPN of the streamed/chased footprint. */
+    PageNum footprintFirstVpn() const;
+    /** One past the last VPN of the streamed/chased footprint. */
+    PageNum footprintEndVpn() const;
+    /** First VPN of the (endless) singleton region. */
+    PageNum singletonFirstVpn() const;
+
+    /**
+     * True if the page will see fewer than `threshold` block accesses
+     * over the stream's lifetime -- the oracle behind the
+     * non-cacheable-page case study (Section 5.4). Singleton pages
+     * always qualify; chase-only footprints qualify when the expected
+     * per-page touch count is below the threshold.
+     */
+    bool isLowReusePage(PageNum vpn, unsigned threshold = 32) const;
+
+  private:
+    enum class Cls { Hot, Stream, Chase, Singleton };
+
+    Cls pickClass();
+    Addr hotRef();
+    Addr streamRef();
+    Addr chaseRef();
+    Addr singletonRef();
+
+    SyntheticParams params_;
+    Pcg32 rng_;
+    std::unique_ptr<ZipfSampler> zipf_;
+
+    // Normalized cumulative weights.
+    double cHot_, cStream_, cChase_;
+
+    // Streaming cursor.
+    std::uint64_t streamPage_ = 0; //!< index within footprint
+    unsigned streamLine_ = 0;      //!< line within current run
+    unsigned runStartLine_ = 0;
+
+    // Singleton cursor.
+    std::uint64_t singletonPage_ = 0;
+    unsigned singletonLine_ = 0;
+    double avgGap_; //!< mean non-memory instructions per reference
+};
+
+} // namespace tdc
+
+#endif // TDC_TRACE_SYNTHETIC_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Trace record format and the trace-source interface consumed by the
+ * core model.
+ *
+ * The paper drives McSimA+ with 100M-instruction SimPoint slices of
+ * SPEC CPU2006 / PARSEC. Those traces are proprietary, so this
+ * reproduction substitutes parameterized synthetic sources
+ * (trace/synthetic.hh) that match the first-order properties the
+ * evaluation depends on: memory intensity, footprint, page-level reuse,
+ * spatial run length and write fraction.
+ */
+
+#ifndef TDC_TRACE_TRACE_HH
+#define TDC_TRACE_TRACE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace tdc {
+
+/** One memory reference plus the non-memory work preceding it. */
+struct TraceRecord
+{
+    /** Non-memory instructions executed before this reference. */
+    std::uint32_t nonMemInsts = 0;
+    AccessType type = AccessType::Load;
+    Addr vaddr = 0;
+
+    /**
+     * Dependent load: later work needs its value (pointer chase, loop-
+     * carried dependence), so the core cannot run ahead of it. Limits
+     * achievable memory-level parallelism exactly where real programs
+     * lose it.
+     */
+    bool dependent = false;
+};
+
+/** An endless instruction stream; cores stop at their budget. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produces the next record. Sources never run dry. */
+    virtual TraceRecord next() = 0;
+
+    /** Restarts the stream deterministically. */
+    virtual void reset() = 0;
+};
+
+} // namespace tdc
+
+#endif // TDC_TRACE_TRACE_HH

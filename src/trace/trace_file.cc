@@ -1,0 +1,126 @@
+#include "trace/trace_file.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace tdc {
+
+namespace {
+
+constexpr char magic[8] = {'T', 'D', 'C', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t formatVersion = 1;
+
+struct FileHeader
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t flags;
+};
+static_assert(sizeof(FileHeader) == 16);
+
+struct FileRecord
+{
+    std::uint64_t vaddr;
+    std::uint32_t nonMemInsts;
+    std::uint8_t type;
+    std::uint8_t dependent;
+    std::uint16_t pad;
+};
+static_assert(sizeof(FileRecord) == 16);
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_)
+        fatal("cannot open trace file '{}' for writing", path);
+    FileHeader h{};
+    std::memcpy(h.magic, magic, sizeof(magic));
+    h.version = formatVersion;
+    h.flags = 0;
+    out_.write(reinterpret_cast<const char *>(&h), sizeof(h));
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!closed_)
+        close();
+}
+
+void
+TraceWriter::write(const TraceRecord &rec)
+{
+    tdc_assert(!closed_, "write after close");
+    FileRecord fr{};
+    fr.vaddr = rec.vaddr;
+    fr.nonMemInsts = rec.nonMemInsts;
+    fr.type = static_cast<std::uint8_t>(rec.type);
+    fr.dependent = rec.dependent ? 1 : 0;
+    out_.write(reinterpret_cast<const char *>(&fr), sizeof(fr));
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    out_.flush();
+    out_.close();
+    closed_ = true;
+}
+
+FileTraceSource::FileTraceSource(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open trace file '{}'", path);
+    FileHeader h{};
+    in.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!in || std::memcmp(h.magic, magic, sizeof(magic)) != 0)
+        fatal("'{}' is not a TDC trace file", path);
+    if (h.version != formatVersion)
+        fatal("trace file '{}' has unsupported version {}", path,
+              h.version);
+
+    FileRecord fr{};
+    while (in.read(reinterpret_cast<char *>(&fr), sizeof(fr))) {
+        TraceRecord rec;
+        rec.vaddr = fr.vaddr;
+        rec.nonMemInsts = fr.nonMemInsts;
+        rec.type = static_cast<AccessType>(fr.type);
+        rec.dependent = fr.dependent != 0;
+        records_.push_back(rec);
+    }
+    if (records_.empty())
+        fatal("trace file '{}' contains no records", path);
+}
+
+TraceRecord
+FileTraceSource::next()
+{
+    const TraceRecord rec = records_[pos_];
+    pos_ = (pos_ + 1) % records_.size();
+    return rec;
+}
+
+void
+FileTraceSource::reset()
+{
+    pos_ = 0;
+}
+
+void
+captureTrace(TraceSource &source, const std::string &path,
+             std::uint64_t count)
+{
+    TraceWriter writer(path);
+    for (std::uint64_t i = 0; i < count; ++i)
+        writer.write(source.next());
+    writer.close();
+}
+
+} // namespace tdc

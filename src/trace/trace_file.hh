@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * Synthetic generation is fast enough that the experiment harness never
+ * stores traces, but a file format matters for interoperability: traces
+ * captured elsewhere (Pin, DynamoRIO, another simulator) can drive this
+ * model, and generated traces can be exported for inspection.
+ *
+ * Format: a 16-byte header ("TDCTRACE", version, flags) followed by
+ * fixed-size little-endian records:
+ *
+ *   u64 vaddr | u32 nonMemInsts | u8 type | u8 dependent | u16 pad
+ */
+
+#ifndef TDC_TRACE_TRACE_FILE_HH
+#define TDC_TRACE_TRACE_FILE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace tdc {
+
+/** Streams TraceRecords to a file. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void write(const TraceRecord &rec);
+
+    /** Flushes and finalizes the file. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    std::uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/** Replays a trace file; loops when it reaches the end. */
+class FileTraceSource : public TraceSource
+{
+  public:
+    explicit FileTraceSource(const std::string &path);
+
+    TraceRecord next() override;
+    void reset() override;
+
+    std::size_t records() const { return records_.size(); }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+/** Captures `count` records from any source into a file. */
+void captureTrace(TraceSource &source, const std::string &path,
+                  std::uint64_t count);
+
+} // namespace tdc
+
+#endif // TDC_TRACE_TRACE_FILE_HH

@@ -1,0 +1,163 @@
+#include "trace/workloads.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace tdc {
+
+namespace {
+
+/** Convenience builder for the profile table below. */
+WorkloadProfile
+prof(std::string name, std::uint64_t footprint_pages,
+     std::uint64_t hot_pages, double w_hot, double w_stream,
+     double w_chase, double w_singleton, unsigned seq_run,
+     double mem_frac, double write_frac, double dep_frac,
+     bool multithreaded = false)
+{
+    WorkloadProfile p;
+    p.name = std::move(name);
+    p.base.footprintPages = footprint_pages;
+    p.base.hotPages = hot_pages;
+    p.base.hotWeight = w_hot;
+    p.base.streamWeight = w_stream;
+    p.base.chaseWeight = w_chase;
+    p.base.singletonWeight = w_singleton;
+    p.base.seqRunLines = seq_run;
+    p.base.memRefFraction = mem_frac;
+    p.base.writeFraction = write_frac;
+    p.base.depFraction = dep_frac;
+    p.multithreaded = multithreaded;
+    return p;
+}
+
+/**
+ * The profile table. Footprints are sized for the default 8M-instruction
+ * runs so that single programs sweep their data 0.5-3x (reuse spectrum)
+ * and the Table 5 mixes overflow a 256MB cache but fit in 512MB-1GB
+ * (Fig. 10 crossover). Pages are 4 KiB.
+ */
+const std::map<std::string, WorkloadProfile, std::less<>> &
+profileTable()
+{
+    static const std::map<std::string, WorkloadProfile, std::less<>> t = [] {
+        std::map<std::string, WorkloadProfile, std::less<>> m;
+        auto add = [&m](WorkloadProfile p) {
+            m.emplace(p.name, std::move(p));
+        };
+
+        // --- SPEC CPU 2006 memory-bound stand-ins -------------------
+        // Streaming profiles use long spatial runs (32-64 lines/page)
+        // so page fills are well utilized; footprints set the reuse
+        // spectrum relative to the default 8M-instruction window.
+        // name            footprint   hot   hot   strm  chase sngl seq  mem   wr    dep
+        add(prof("mcf",        20480,  256, 0.80, 0.02, 0.18, 0.00, 16, 0.35, 0.20, 0.35));
+        add(prof("milc",        8192,  128, 0.86, 0.12, 0.02, 0.00, 48, 0.30, 0.25, 0.15));
+        add(prof("leslie3d",    4096,  256, 0.88, 0.10, 0.02, 0.00, 48, 0.30, 0.25, 0.15));
+        add(prof("soplex",      6144,  256, 0.85, 0.08, 0.07, 0.00, 32, 0.30, 0.20, 0.25));
+        {
+            auto p = prof("GemsFDTD", 4096, 128, 0.84, 0.12, 0.02,
+                          0.006, 32, 0.30, 0.30, 0.15);
+            p.base.singletonRunLines = 4;
+            add(std::move(p));
+        }
+        add(prof("lbm",         5120,   64, 0.82, 0.16, 0.02, 0.00, 64, 0.30, 0.45, 0.10));
+        add(prof("omnetpp",    10240,  512, 0.85, 0.02, 0.13, 0.00, 16, 0.33, 0.25, 0.40));
+        add(prof("sphinx3",     2048,  512, 0.90, 0.08, 0.02, 0.00, 48, 0.30, 0.10, 0.20));
+        add(prof("libquantum",  4096,   32, 0.78, 0.22, 0.00, 0.00, 48, 0.30, 0.25, 0.10));
+        add(prof("bwaves",      6144,  128, 0.88, 0.10, 0.02, 0.00, 64, 0.30, 0.25, 0.12));
+        add(prof("zeusmp",      3072,  256, 0.90, 0.08, 0.02, 0.00, 48, 0.28, 0.25, 0.15));
+
+        // --- PARSEC multi-threaded stand-ins (Section 5.3) ----------
+        add(prof("streamcluster", 8192, 256, 0.82, 0.15, 0.03, 0.00, 32,
+                 0.30, 0.15, 0.20, true));
+        {
+            auto p = prof("facesim", 16384, 256, 0.876, 0.10, 0.02,
+                          0.004, 32, 0.30, 0.30, 0.20, true);
+            p.base.singletonRunLines = 8;
+            add(std::move(p));
+        }
+        {
+            auto p = prof("swaptions", 512, 128, 0.9885, 0.005, 0.005,
+                          0.0015, 16, 0.20, 0.20, 0.25, true);
+            p.base.singletonRunLines = 8;
+            add(std::move(p));
+        }
+        {
+            auto p = prof("fluidanimate", 4096, 256, 0.9738, 0.01, 0.005,
+                          0.0012, 16, 0.25, 0.30, 0.25, true);
+            p.base.singletonRunLines = 8;
+            add(std::move(p));
+        }
+        return m;
+    }();
+    return t;
+}
+
+} // namespace
+
+const WorkloadProfile &
+getWorkload(std::string_view name)
+{
+    const auto &t = profileTable();
+    auto it = t.find(name);
+    if (it == t.end())
+        fatal("unknown workload '{}'", name);
+    return it->second;
+}
+
+const std::vector<std::string> &
+spec11Names()
+{
+    static const std::vector<std::string> names = {
+        "mcf",     "milc",    "leslie3d",   "soplex", "GemsFDTD", "lbm",
+        "omnetpp", "sphinx3", "libquantum", "bwaves", "zeusmp",
+    };
+    return names;
+}
+
+const std::vector<std::array<std::string, 4>> &
+table5Mixes()
+{
+    // Table 5 of the paper, verbatim.
+    static const std::vector<std::array<std::string, 4>> mixes = {
+        {"milc", "leslie3d", "omnetpp", "sphinx3"},     // MIX1
+        {"milc", "leslie3d", "soplex", "omnetpp"},      // MIX2
+        {"milc", "soplex", "GemsFDTD", "omnetpp"},      // MIX3
+        {"soplex", "GemsFDTD", "lbm", "omnetpp"},       // MIX4
+        {"mcf", "soplex", "GemsFDTD", "lbm"},           // MIX5
+        {"mcf", "leslie3d", "lbm", "sphinx3"},          // MIX6
+        {"milc", "soplex", "lbm", "sphinx3"},           // MIX7
+        {"mcf", "leslie3d", "GemsFDTD", "omnetpp"},     // MIX8
+    };
+    return mixes;
+}
+
+const std::vector<std::string> &
+parsecNames()
+{
+    static const std::vector<std::string> names = {
+        "swaptions",
+        "facesim",
+        "fluidanimate",
+        "streamcluster",
+    };
+    return names;
+}
+
+std::unique_ptr<SyntheticTraceGen>
+makeGenerator(const WorkloadProfile &profile, unsigned thread)
+{
+    SyntheticParams p = profile.base;
+    p.seed = std::hash<std::string>{}(profile.name) ^ (0x9e37 + thread);
+    if (profile.multithreaded) {
+        // Shared footprint and hot set (one address space); private,
+        // disjoint singleton regions per thread.
+        p.singletonRegionOffsetPages =
+            std::uint64_t{thread} * (1ULL << 24); // 64 GiB apart
+    }
+    return std::make_unique<SyntheticTraceGen>(p);
+}
+
+} // namespace tdc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Workload registry: synthetic profiles standing in for the paper's
+ * SPEC CPU2006 SimPoint slices and PARSEC runs.
+ *
+ * Each profile is calibrated to the first-order properties that drive
+ * the evaluation -- memory intensity (L3 MPKI), footprint relative to
+ * the DRAM-cache sizes swept in Fig. 10, page-level reuse (sweep count
+ * within a run), spatial run length and write fraction. Absolute IPCs
+ * will differ from the paper's testbed; the relative behaviour of the
+ * cache organizations is what these profiles preserve. See DESIGN.md.
+ */
+
+#ifndef TDC_TRACE_WORKLOADS_HH
+#define TDC_TRACE_WORKLOADS_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace tdc {
+
+struct WorkloadProfile
+{
+    std::string name;
+    SyntheticParams base;
+    /** PARSEC-style: 4 threads sharing one address space. */
+    bool multithreaded = false;
+};
+
+/** Looks a profile up by name; fatal() on unknown names. */
+const WorkloadProfile &getWorkload(std::string_view name);
+
+/** The 11 memory-bound SPEC CPU 2006 stand-ins (Fig. 7 / Fig. 8). */
+const std::vector<std::string> &spec11Names();
+
+/** Table 5: the eight quad-program mixes. */
+const std::vector<std::array<std::string, 4>> &table5Mixes();
+
+/** The four PARSEC programs of Section 5.3. */
+const std::vector<std::string> &parsecNames();
+
+/**
+ * Builds the generator for one hardware context.
+ *
+ * For multithreaded profiles all threads share the footprint and hot
+ * set (same process); seeds and singleton regions are per-thread. For
+ * single-programmed profiles `thread` simply perturbs the seed.
+ */
+std::unique_ptr<SyntheticTraceGen>
+makeGenerator(const WorkloadProfile &profile, unsigned thread);
+
+} // namespace tdc
+
+#endif // TDC_TRACE_WORKLOADS_HH

@@ -1,0 +1,111 @@
+#include "vm/page_table.hh"
+
+namespace tdc {
+
+PageTable::PageTable(std::string name, EventQueue &eq, ProcId proc,
+                     PhysMem &phys)
+    : SimObject(std::move(name), eq), proc_(proc), phys_(phys)
+{
+    statGroup().addScalar("demand_allocs", &demandAllocs_,
+                          "pages allocated on first touch");
+}
+
+Pte *
+PageTable::find(PageNum vpn)
+{
+    auto it = table_.find(vpn);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+const Pte *
+PageTable::find(PageNum vpn) const
+{
+    auto it = table_.find(vpn);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+Pte *
+PageTable::findSuperpage(PageNum vpn)
+{
+    auto it = table2m_.find(vpn / pagesPerSuperpage);
+    return it == table2m_.end() ? nullptr : &it->second;
+}
+
+Pte &
+PageTable::installSuperpage(PageNum base_vpn)
+{
+    tdc_assert(base_vpn % pagesPerSuperpage == 0,
+               "superpage base {} not aligned", base_vpn);
+    tdc_assert(table2m_.count(base_vpn / pagesPerSuperpage) == 0,
+               "superpage already installed");
+    for (PageNum v = base_vpn; v < base_vpn + pagesPerSuperpage; ++v) {
+        tdc_assert(table_.count(v) == 0,
+                   "vpn {} already mapped at 4K granularity", v);
+    }
+
+    Pte pte;
+    pte.frame = phys_.allocContiguous(pagesPerSuperpage);
+    pte.valid = true;
+    pte.type = PageType::Page2M;
+    pte.proc = proc_;
+    pte.vpn = base_vpn;
+    ++demandAllocs_;
+    return table2m_.emplace(base_vpn / pagesPerSuperpage, pte)
+        .first->second;
+}
+
+void
+PageTable::splitSuperpage(PageNum base_vpn)
+{
+    auto it = table2m_.find(base_vpn / pagesPerSuperpage);
+    tdc_assert(it != table2m_.end(), "no superpage at {}", base_vpn);
+    const Pte &sp = it->second;
+    tdc_assert(!sp.vc, "cannot split a cached superpage");
+
+    for (unsigned i = 0; i < pagesPerSuperpage; ++i) {
+        Pte pte;
+        pte.frame = sp.frame + i;
+        pte.valid = true;
+        pte.type = PageType::Page4K;
+        pte.nc = sp.nc;
+        pte.proc = proc_;
+        pte.vpn = base_vpn + i;
+        table_.emplace(base_vpn + i, pte);
+    }
+    table2m_.erase(it);
+}
+
+Pte &
+PageTable::walk(PageNum vpn)
+{
+    if (Pte *sp = findSuperpage(vpn))
+        return *sp;
+
+    auto it = table_.find(vpn);
+    if (it != table_.end())
+        return it->second;
+
+    Pte pte;
+    pte.frame = phys_.allocPage();
+    pte.valid = true;
+    pte.proc = proc_;
+    pte.vpn = vpn;
+    auto hint = ncHints_.find(vpn);
+    if (hint != ncHints_.end())
+        pte.nc = hint->second;
+    ++demandAllocs_;
+    Pte &ref = table_.emplace(vpn, pte).first->second;
+    if (hook_)
+        hook_(ref);
+    return ref;
+}
+
+void
+PageTable::setNonCacheableHint(PageNum vpn)
+{
+    ncHints_[vpn] = true;
+    if (Pte *pte = find(vpn))
+        pte->nc = true;
+}
+
+} // namespace tdc

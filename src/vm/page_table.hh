@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-process page table.
+ *
+ * Entries live in node-based storage so that Pte* pointers remain stable
+ * for the lifetime of the process -- the GIPT stores such pointers
+ * (PTEP field) to rewrite PTEs at eviction time, exactly as the paper's
+ * hardware stores the PTE's physical address.
+ */
+
+#ifndef TDC_VM_PAGE_TABLE_HH
+#define TDC_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+#include "vm/phys_mem.hh"
+#include "vm/pte.hh"
+
+namespace tdc {
+
+class PageTable : public SimObject
+{
+  public:
+    /** Called when a page is touched for the first time (demand zero). */
+    using FirstTouchHook = std::function<void(Pte &)>;
+
+    PageTable(std::string name, EventQueue &eq, ProcId proc,
+              PhysMem &phys);
+
+    ProcId proc() const { return proc_; }
+
+    /** Finds an existing mapping; nullptr if the VPN was never touched. */
+    Pte *find(PageNum vpn);
+    const Pte *find(PageNum vpn) const;
+
+    /**
+     * Finds or demand-allocates the mapping for vpn. A fresh mapping
+     * receives a physical frame from PhysMem and (vc, nc, pu) = 0.
+     * If the VPN falls inside an installed superpage, the superpage
+     * PTE is returned instead.
+     */
+    Pte &walk(PageNum vpn);
+
+    /**
+     * Installs a 2 MiB superpage mapping over [base_vpn, base_vpn+512)
+     * (Section 6). The base must be 512-aligned and the range not yet
+     * touched at 4 KiB granularity. Returns the superpage PTE.
+     */
+    Pte &installSuperpage(PageNum base_vpn);
+
+    /**
+     * Splits a superpage back into 512 4 KiB mappings (the hierarchical
+     * page-table breakdown of Section 6). The superpage must not be
+     * cached (vc == 0). Physical contiguity is preserved.
+     */
+    void splitSuperpage(PageNum base_vpn);
+
+    /** The superpage PTE covering vpn, or nullptr. */
+    Pte *findSuperpage(PageNum vpn);
+
+    /** True once any superpage mapping exists (fast-path gate). */
+    bool hasSuperpages() const { return !table2m_.empty(); }
+
+    /** Marks future first-touches of this vpn non-cacheable. */
+    void setNonCacheableHint(PageNum vpn);
+
+    /** Installed mappings count. */
+    std::size_t size() const { return table_.size(); }
+
+    /** Hook invoked on demand allocation (used by NC classification). */
+    void setFirstTouchHook(FirstTouchHook hook) { hook_ = std::move(hook); }
+
+    std::uint64_t demandAllocs() const { return demandAllocs_.value(); }
+
+  private:
+    ProcId proc_;
+    PhysMem &phys_;
+    std::unordered_map<PageNum, Pte> table_;
+    /** 2 MiB mappings, keyed by vpn >> 9 (superpage number). */
+    std::unordered_map<PageNum, Pte> table2m_;
+    std::unordered_map<PageNum, bool> ncHints_;
+    FirstTouchHook hook_;
+
+    stats::Scalar demandAllocs_;
+};
+
+} // namespace tdc
+
+#endif // TDC_VM_PAGE_TABLE_HH

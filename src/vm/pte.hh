@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Page table entry with the three extra flag bits the paper adds
+ * (Section 3.2): Valid-in-Cache (VC), Non-Cacheable (NC) and
+ * Pending-Update (PU).
+ */
+
+#ifndef TDC_VM_PTE_HH
+#define TDC_VM_PTE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace tdc {
+
+/**
+ * Page granularities (Section 6, superpage support). The GIPT entry
+ * carries a 2-bit type field in the paper; this model supports the two
+ * sizes the evaluation discussion focuses on.
+ */
+enum class PageType : std::uint8_t {
+    Page4K,
+    Page2M,
+};
+
+/** 4 KiB pages per 2 MiB superpage. */
+inline constexpr unsigned pagesPerSuperpage = 512;
+
+/** Packs (process, virtual page) into one TLB/table key. */
+using AsidVpn = std::uint64_t;
+
+constexpr AsidVpn
+makeAsidVpn(ProcId proc, PageNum vpn)
+{
+    return (static_cast<std::uint64_t>(proc) << 48) | vpn;
+}
+
+constexpr PageNum
+vpnOf(AsidVpn key)
+{
+    return key & ((1ULL << 48) - 1);
+}
+
+constexpr ProcId
+procOf(AsidVpn key)
+{
+    return static_cast<ProcId>((key >> 48) & 0x7fff);
+}
+
+/** Tag bit distinguishing 2 MiB-granularity TLB keys. */
+inline constexpr AsidVpn superKeyBit = 1ULL << 63;
+
+/** TLB key of the superpage covering vpn. */
+constexpr AsidVpn
+makeSuperKey(ProcId proc, PageNum vpn)
+{
+    return superKeyBit | makeAsidVpn(proc, vpn / pagesPerSuperpage);
+}
+
+constexpr bool
+isSuperKey(AsidVpn key)
+{
+    return (key & superKeyBit) != 0;
+}
+
+/**
+ * A page-table entry.
+ *
+ * `frame` is the off-package physical page number when vc == false, and
+ * the in-package cache frame number when vc == true -- exactly the PTE
+ * rewriting trick of the tagless design. The original PPN of a cached
+ * page is recoverable only through the GIPT.
+ */
+struct Pte
+{
+    Addr frame = invalidPage;
+    bool valid = false; //!< a translation exists
+    bool vc = false;    //!< Valid-in-Cache
+    bool nc = false;    //!< Non-Cacheable (bypasses the DRAM cache)
+    bool pu = false;    //!< Pending-Update (fill in progress)
+
+    /** Mapping granularity; 2M entries map pagesPerSuperpage frames. */
+    PageType type = PageType::Page4K;
+
+    /** Identity of the mapping, for GIPT back-pointers/diagnostics.
+     *  For superpages, vpn is the (512-aligned) base VPN. */
+    ProcId proc = 0;
+    PageNum vpn = invalidPage;
+};
+
+} // namespace tdc
+
+#endif // TDC_VM_PTE_HH

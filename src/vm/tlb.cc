@@ -1,0 +1,85 @@
+#include "vm/tlb.hh"
+
+namespace tdc {
+
+Tlb::Tlb(std::string name, EventQueue &eq, unsigned entries)
+    : SimObject(std::move(name), eq), capacity_(entries)
+{
+    tdc_assert(entries > 0, "zero-entry TLB");
+    auto &sg = statGroup();
+    sg.addScalar("hits", &hits_);
+    sg.addScalar("misses", &misses_);
+    sg.addScalar("evictions", &evictions_);
+}
+
+std::optional<TlbEntry>
+Tlb::lookup(AsidVpn key)
+{
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return *it->second;
+}
+
+bool
+Tlb::contains(AsidVpn key) const
+{
+    return map_.count(key) != 0;
+}
+
+std::optional<TlbEntry>
+Tlb::insert(const TlbEntry &entry)
+{
+    auto it = map_.find(entry.key);
+    if (it != map_.end()) {
+        // Refresh in place (e.g. mapping changed PA->CA).
+        *it->second = entry;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return std::nullopt;
+    }
+
+    std::optional<TlbEntry> victim;
+    if (map_.size() >= capacity_) {
+        victim = lru_.back();
+        map_.erase(victim->key);
+        lru_.pop_back();
+        ++evictions_;
+        if (hook_)
+            hook_(*victim, false);
+    }
+    lru_.push_front(entry);
+    map_.emplace(entry.key, lru_.begin());
+    if (hook_)
+        hook_(entry, true);
+    return victim;
+}
+
+bool
+Tlb::invalidate(AsidVpn key)
+{
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return false;
+    if (hook_)
+        hook_(*it->second, false);
+    lru_.erase(it->second);
+    map_.erase(it);
+    return true;
+}
+
+void
+Tlb::flushAll()
+{
+    if (hook_) {
+        for (const auto &e : lru_)
+            hook_(e, false);
+    }
+    lru_.clear();
+    map_.clear();
+}
+
+} // namespace tdc

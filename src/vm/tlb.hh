@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Translation lookaside buffer.
+ *
+ * One class serves both the conventional TLB and the paper's cache-map
+ * TLB (cTLB): hardware organization is identical (Section 3.2); only the
+ * meaning of `frame` differs (PPN vs. cache frame number, selected by
+ * the nc bit on a per-entry basis).
+ *
+ * The TLB is fully associative with true-LRU replacement and is tagged
+ * with (process, vpn) keys so multi-programmed mixes do not alias.
+ * Insert/evict hooks let the tagless DRAM cache maintain the GIPT's
+ * TLB-residence bit vector.
+ */
+
+#ifndef TDC_VM_TLB_HH
+#define TDC_VM_TLB_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+#include "vm/pte.hh"
+
+namespace tdc {
+
+/** What a TLB hands back on a hit. */
+struct TlbEntry
+{
+    AsidVpn key = 0;
+    Addr frame = invalidPage; //!< PPN (nc==true) or cache frame (nc==false)
+    bool nc = false;          //!< entry holds a physical mapping
+    /** Mapping granularity; for Page2M, frame is the 512-aligned base
+     *  and key carries the superKeyBit. */
+    PageType type = PageType::Page4K;
+};
+
+class Tlb : public SimObject
+{
+  public:
+    using ResidenceHook =
+        std::function<void(const TlbEntry &entry, bool resident)>;
+
+    Tlb(std::string name, EventQueue &eq, unsigned entries);
+
+    /** Looks up a translation, updating recency on a hit. */
+    std::optional<TlbEntry> lookup(AsidVpn key);
+
+    /** Probe without recency update. */
+    bool contains(AsidVpn key) const;
+
+    /**
+     * Inserts (or refreshes) a translation.
+     * @return the entry evicted to make room, if any.
+     */
+    std::optional<TlbEntry> insert(const TlbEntry &entry);
+
+    /** Drops a translation (TLB shootdown); fires the residence hook. */
+    bool invalidate(AsidVpn key);
+
+    /** Invalidate everything (context switch / phase boundary). */
+    void flushAll();
+
+    /** Called with (key, true) on insert and (key, false) on eviction. */
+    void setResidenceHook(ResidenceHook hook) { hook_ = std::move(hook); }
+
+    unsigned capacity() const { return capacity_; }
+    std::size_t size() const { return map_.size(); }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    double
+    missRate() const
+    {
+        const auto total = hits_.value() + misses_.value();
+        return total ? static_cast<double>(misses_.value()) / total : 0.0;
+    }
+
+  private:
+    using LruList = std::list<TlbEntry>;
+
+    unsigned capacity_;
+    LruList lru_; //!< front == most recent
+    std::unordered_map<AsidVpn, LruList::iterator> map_;
+    ResidenceHook hook_;
+
+    stats::Scalar hits_;
+    stats::Scalar misses_;
+    stats::Scalar evictions_;
+};
+
+} // namespace tdc
+
+#endif // TDC_VM_TLB_HH

@@ -1,0 +1,268 @@
+/** @file Tests for the set-associative SRAM cache and the MSHR. */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+#include "cache/sram_cache.hh"
+#include "sim/event_queue.hh"
+
+using namespace tdc;
+
+namespace {
+
+SramCacheParams
+smallParams(ReplPolicy policy = ReplPolicy::LRU, unsigned assoc = 2)
+{
+    SramCacheParams p;
+    p.sizeBytes = 1024; // 16 lines
+    p.associativity = assoc;
+    p.lineBytes = 64;
+    p.hitLatency = 2;
+    p.policy = policy;
+    return p;
+}
+
+/** Two addresses mapping to the same set differ by sets*line bytes. */
+constexpr Addr setStride = 1024 / 2; // 8 sets * 64 B
+
+} // namespace
+
+TEST(SramCache, MissThenHit)
+{
+    EventQueue eq;
+    SramCache c("c", eq, smallParams());
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x103f, false).hit); // same line
+    EXPECT_FALSE(c.access(0x1040, false).hit); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(SramCache, LruEvictsLeastRecentlyUsed)
+{
+    EventQueue eq;
+    SramCache c("c", eq, smallParams());
+    const Addr a = 0, b = a + setStride, x = a + 2 * setStride;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false); // a is now MRU
+    c.access(x, false); // evicts b
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_TRUE(c.contains(x));
+}
+
+TEST(SramCache, FifoEvictsOldestFill)
+{
+    EventQueue eq;
+    SramCache c("c", eq, smallParams(ReplPolicy::FIFO));
+    const Addr a = 0, b = a + setStride, x = a + 2 * setStride;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false); // recency must NOT matter
+    c.access(x, false); // evicts a (oldest fill)
+    EXPECT_FALSE(c.contains(a));
+    EXPECT_TRUE(c.contains(b));
+    EXPECT_TRUE(c.contains(x));
+}
+
+TEST(SramCache, DirtyEvictionReportsWriteback)
+{
+    EventQueue eq;
+    SramCache c("c", eq, smallParams());
+    const Addr a = 0, b = a + setStride, x = a + 2 * setStride;
+    c.access(a, true); // dirty
+    c.access(b, false);
+    c.access(b, false);
+    const auto out = c.access(x, false); // evicts dirty a
+    EXPECT_EQ(out.writebackAddr, a);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(SramCache, CleanEvictionNoWriteback)
+{
+    EventQueue eq;
+    SramCache c("c", eq, smallParams());
+    const Addr a = 0, b = a + setStride, x = a + 2 * setStride;
+    c.access(a, false);
+    c.access(b, false);
+    const auto out = c.access(x, false);
+    EXPECT_EQ(out.writebackAddr, invalidAddr);
+}
+
+TEST(SramCache, WriteMarksDirtyOnHit)
+{
+    EventQueue eq;
+    SramCache c("c", eq, smallParams());
+    const Addr a = 0, b = a + setStride, x = a + 2 * setStride;
+    c.access(a, false); // clean fill
+    c.access(a, true);  // dirtied by a later store
+    c.access(b, false);
+    c.access(b, false);
+    EXPECT_EQ(c.access(x, false).writebackAddr, a);
+}
+
+TEST(SramCache, InvalidatePageFlushesAllLines)
+{
+    EventQueue eq;
+    SramCacheParams p;
+    p.sizeBytes = 64 * 1024;
+    p.associativity = 4;
+    SramCache c("c", eq, p);
+    for (Addr a = 0x4000; a < 0x5000; a += 64)
+        c.access(a, (a & 64) != 0); // alternate dirty lines
+    const auto dirty = c.invalidatePage(0x4321);
+    EXPECT_EQ(dirty.size(), 32u);
+    for (Addr a = 0x4000; a < 0x5000; a += 64)
+        EXPECT_FALSE(c.contains(a));
+}
+
+TEST(SramCache, InvalidatePageLeavesOtherPages)
+{
+    EventQueue eq;
+    SramCacheParams p;
+    p.sizeBytes = 64 * 1024;
+    p.associativity = 4;
+    SramCache c("c", eq, p);
+    c.access(0x4000, false);
+    c.access(0x8000, false);
+    c.invalidatePage(0x4000);
+    EXPECT_FALSE(c.contains(0x4000));
+    EXPECT_TRUE(c.contains(0x8000));
+}
+
+TEST(SramCache, FlushAll)
+{
+    EventQueue eq;
+    SramCache c("c", eq, smallParams());
+    c.access(0x0, true);
+    c.access(0x40, false);
+    c.flushAll();
+    EXPECT_FALSE(c.contains(0x0));
+    EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(SramCache, HighAddressBitsDistinguishTags)
+{
+    EventQueue eq;
+    SramCache c("c", eq, smallParams());
+    const Addr ca_space = 1ULL << 46;
+    c.access(0x1000, false);
+    EXPECT_FALSE(c.access(ca_space | 0x1000, false).hit);
+    EXPECT_TRUE(c.contains(0x1000));
+    EXPECT_TRUE(c.contains(ca_space | 0x1000));
+}
+
+TEST(SramCache, MissRate)
+{
+    EventQueue eq;
+    SramCache c("c", eq, smallParams());
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.25);
+}
+
+/** Associativity sweep: a set never holds more lines than ways. */
+class SramCacheAssoc : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(SramCacheAssoc, SetCapacityRespected)
+{
+    const unsigned assoc = GetParam();
+    EventQueue eq;
+    SramCache c("c", eq, smallParams(ReplPolicy::LRU, assoc));
+    const unsigned sets = 16 / assoc;
+    const Addr stride = Addr{sets} * 64;
+    // Fill the set with exactly `assoc` lines: all must be resident.
+    for (unsigned i = 0; i < assoc; ++i)
+        c.access(i * stride, false);
+    for (unsigned i = 0; i < assoc; ++i)
+        EXPECT_TRUE(c.contains(i * stride)) << i;
+    // One more line evicts exactly one.
+    c.access(Addr{assoc} * stride, false);
+    unsigned resident = 0;
+    for (unsigned i = 0; i <= assoc; ++i)
+        resident += c.contains(i * stride);
+    EXPECT_EQ(resident, assoc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, SramCacheAssoc,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+/** Replacement-policy sweep: basic workload sanity for all policies. */
+class SramCachePolicy : public ::testing::TestWithParam<ReplPolicy>
+{};
+
+TEST_P(SramCachePolicy, HitsAfterFill)
+{
+    EventQueue eq;
+    SramCache c("c", eq, smallParams(GetParam(), 4));
+    for (Addr a = 0; a < 1024; a += 64)
+        c.access(a, false);
+    // Cache is exactly full: everything must still be resident.
+    for (Addr a = 0; a < 1024; a += 64)
+        EXPECT_TRUE(c.contains(a)) << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SramCachePolicy,
+                         ::testing::Values(ReplPolicy::LRU,
+                                           ReplPolicy::FIFO,
+                                           ReplPolicy::Random));
+
+// ----------------------------------------------------------------- MSHR
+
+TEST(Mshr, StartsEmpty)
+{
+    Mshr m(4);
+    EXPECT_EQ(m.inFlight(), 0u);
+    EXPECT_EQ(m.lookup(1), maxTick);
+    EXPECT_EQ(m.earliestStart(100), 100u);
+}
+
+TEST(Mshr, MergesSameLine)
+{
+    Mshr m(4);
+    m.allocate(7, 500, 0);
+    EXPECT_EQ(m.lookup(7), 500u);
+    EXPECT_EQ(m.lookup(8), maxTick);
+}
+
+TEST(Mshr, FullDelaysNewMisses)
+{
+    Mshr m(2);
+    m.allocate(1, 100, 0);
+    m.allocate(2, 200, 0);
+    EXPECT_EQ(m.earliestStart(50), 100u); // must wait for line 1
+    EXPECT_EQ(m.earliestStart(150), 150u); // line 1 already done
+}
+
+TEST(Mshr, RetireFreesEntries)
+{
+    Mshr m(2);
+    m.allocate(1, 100, 0);
+    m.allocate(2, 200, 0);
+    m.retireUpTo(150);
+    EXPECT_EQ(m.inFlight(), 1u);
+    m.allocate(3, 300, 150);
+    EXPECT_EQ(m.inFlight(), 2u);
+}
+
+TEST(Mshr, AllocateRetiresCompleted)
+{
+    Mshr m(1);
+    m.allocate(1, 100, 0);
+    // At t=100 the first miss has completed; allocation must succeed.
+    m.allocate(2, 300, 100);
+    EXPECT_EQ(m.inFlight(), 1u);
+}
+
+TEST(Mshr, Clear)
+{
+    Mshr m(2);
+    m.allocate(1, 100, 0);
+    m.clear();
+    EXPECT_EQ(m.inFlight(), 0u);
+}

@@ -1,0 +1,268 @@
+/** @file Tests for bit operations, units, config, stats and RNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitops.hh"
+#include "common/config.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+
+using namespace tdc;
+
+// --------------------------------------------------------------- bitops
+
+TEST(BitOps, PowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(BitOps, Logs)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(BitOps, Masks)
+{
+    EXPECT_EQ(mask(0), 0ULL);
+    EXPECT_EQ(mask(12), 0xfffULL);
+    EXPECT_EQ(mask(64), ~0ULL);
+    EXPECT_EQ(bits(0xabcd, 4, 8), 0xbcULL);
+}
+
+TEST(BitOps, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1fff, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0x1001, 0x1000), 0x2000u);
+    EXPECT_EQ(alignUp(0x1000, 0x1000), 0x1000u);
+}
+
+TEST(BitOps, PageMath)
+{
+    const Addr a = 0x12345678;
+    EXPECT_EQ(pageOf(a), a >> 12);
+    EXPECT_EQ(pageOffset(a), a & 0xfffu);
+    EXPECT_EQ(pageBase(pageOf(a)) + pageOffset(a), a);
+    EXPECT_EQ(lineOf(a), a >> 6);
+    EXPECT_EQ(lineInPage(a), (a >> 6) & 63u);
+}
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, Literals)
+{
+    using namespace tdc::literals;
+    EXPECT_EQ(4_KiB, 4096u);
+    EXPECT_EQ(1_MiB, 1024u * 1024u);
+    EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+    EXPECT_EQ(3_GHz, 3'000'000'000ull);
+}
+
+TEST(Units, FrequencyPeriod)
+{
+    EXPECT_EQ(frequencyToPeriod(1'000'000'000ULL), 1000u); // 1 GHz = 1 ns
+    EXPECT_EQ(frequencyToPeriod(2'000'000'000ULL), 500u);
+}
+
+TEST(Units, NsTicks)
+{
+    EXPECT_EQ(nsToTicks(1.0), 1000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(2500), 2.5);
+}
+
+// --------------------------------------------------------------- config
+
+TEST(Config, SetAndGet)
+{
+    Config c;
+    c.set("a", std::uint64_t{42});
+    c.set("b", std::string("hello"));
+    c.set("c", true);
+    EXPECT_EQ(c.getU64("a", 0), 42u);
+    EXPECT_EQ(c.getString("b", ""), "hello");
+    EXPECT_TRUE(c.getBool("c", false));
+}
+
+TEST(Config, Defaults)
+{
+    Config c;
+    EXPECT_EQ(c.getU64("missing", 7), 7u);
+    EXPECT_EQ(c.getString("missing", "d"), "d");
+    EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, ParseAssignment)
+{
+    Config c;
+    EXPECT_TRUE(c.parseAssignment("x.y=12"));
+    EXPECT_EQ(c.getU64("x.y", 0), 12u);
+    EXPECT_FALSE(c.parseAssignment("no-equals"));
+    EXPECT_FALSE(c.parseAssignment("=value"));
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    for (const char *t : {"true", "1", "yes", "on"}) {
+        c.set("k", std::string(t));
+        EXPECT_TRUE(c.getBool("k", false)) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off"}) {
+        c.set("k", std::string(f));
+        EXPECT_FALSE(c.getBool("k", true)) << f;
+    }
+}
+
+TEST(Config, DoubleRoundTrip)
+{
+    Config c;
+    c.set("d", 2.5);
+    EXPECT_DOUBLE_EQ(c.getDouble("d", 0.0), 2.5);
+}
+
+TEST(ConfigDeath, MalformedInteger)
+{
+    Config c;
+    c.set("k", std::string("abc"));
+    EXPECT_EXIT(c.getU64("k", 0), ::testing::ExitedWithCode(1), "fatal");
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, Scalar)
+{
+    stats::Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 10;
+    EXPECT_EQ(s.value(), 11u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, Average)
+{
+    stats::Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+}
+
+TEST(Stats, Histogram)
+{
+    stats::Histogram h(10.0, 4);
+    h.sample(5.0);   // bucket 0
+    h.sample(15.0);  // bucket 1
+    h.sample(39.9);  // bucket 3
+    h.sample(1000);  // overflow
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Stats, GroupDump)
+{
+    stats::StatGroup g("grp");
+    stats::Scalar s;
+    s += 5;
+    g.addScalar("cnt", &s, "a counter");
+    std::ostringstream os;
+    g.dump(os, "top");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("top.grp.cnt"), std::string::npos);
+    EXPECT_NE(out.find("5"), std::string::npos);
+    EXPECT_NE(out.find("a counter"), std::string::npos);
+}
+
+// --------------------------------------------------------------- random
+
+TEST(Random, Deterministic)
+{
+    Pcg32 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, SeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Random, BelowBounds)
+{
+    Pcg32 r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, Below64Bounds)
+{
+    Pcg32 r(7);
+    const std::uint64_t bound = (1ULL << 40) + 12345;
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below64(bound), bound);
+}
+
+TEST(Random, UniformRange)
+{
+    Pcg32 r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Pcg32 r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Random, ZipfSkewsTowardLowRanks)
+{
+    Pcg32 r(13);
+    ZipfSampler z(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[z.sample(r)];
+    EXPECT_GT(counts[0], counts[50]);
+    EXPECT_GT(counts[0], 20000 / 100); // far above uniform share
+}
+
+TEST(Random, ZipfCoversDomain)
+{
+    Pcg32 r(17);
+    ZipfSampler z(8, 0.5);
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 5000; ++i)
+        seen.insert(z.sample(r));
+    EXPECT_EQ(seen.size(), 8u);
+}

@@ -1,0 +1,140 @@
+/** @file Tests for the energy model and the Equations 1-5 AMAT model. */
+
+#include <gtest/gtest.h>
+
+#include "core/amat.hh"
+#include "energy/energy_model.hh"
+
+using namespace tdc;
+
+TEST(Energy, CoreEnergyArithmetic)
+{
+    EnergyParams p;
+    p.instDynamicPj = 100.0;
+    p.coreLeakPjPerCycle = 10.0;
+    EnergyModel m(p);
+    EnergyInputs in;
+    in.instructions = 1000;
+    in.cycles = 500;
+    in.cores = 4;
+    const auto b = m.compute(in);
+    EXPECT_DOUBLE_EQ(b.corePj, 1000 * 100.0 + 500 * 4 * 10.0);
+}
+
+TEST(Energy, TagEnergyScalesWithArraySize)
+{
+    EnergyModel m;
+    EnergyInputs small, large;
+    small.tagProbes = large.tagProbes = 1000;
+    small.cycles = large.cycles = 10'000;
+    small.tagArrayMb = 1.0;
+    large.tagArrayMb = 4.0;
+    EXPECT_NEAR(m.compute(large).tagPj / m.compute(small).tagPj, 4.0,
+                1e-9);
+}
+
+TEST(Energy, TaglessHasZeroTagEnergy)
+{
+    EnergyModel m;
+    EnergyInputs in;
+    in.tagProbes = 0;
+    in.tagArrayMb = 0.0;
+    in.cycles = 1'000'000;
+    EXPECT_DOUBLE_EQ(m.compute(in).tagPj, 0.0);
+}
+
+TEST(Energy, DramCountersFlowThrough)
+{
+    EnergyModel m;
+    EnergyInputs in;
+    DramEnergyParams dp;
+    dp.ioPjPerBit = 1.0;
+    dp.rdwrPjPerBit = 1.0;
+    dp.actPrePj = 100.0;
+    in.inPkg.addActivate(dp);
+    in.inPkg.addTransfer(dp, 64);
+    const auto b = m.compute(in);
+    EXPECT_DOUBLE_EQ(b.inPkgPj, 100.0 + 64 * 8 * 2.0);
+    EXPECT_DOUBLE_EQ(b.offPkgPj, 0.0);
+}
+
+TEST(Energy, EdpDefinition)
+{
+    EnergyModel m;
+    EnergyBreakdown b;
+    b.corePj = 2e12; // 2 J
+    EXPECT_DOUBLE_EQ(m.edp(b, 0.5), 1.0); // 2 J * 0.5 s
+}
+
+TEST(Energy, BreakdownTotal)
+{
+    EnergyBreakdown b;
+    b.corePj = 1;
+    b.onDiePj = 2;
+    b.tagPj = 3;
+    b.inPkgPj = 4;
+    b.offPkgPj = 5;
+    EXPECT_DOUBLE_EQ(b.totalPj(), 15.0);
+}
+
+// ----------------------------------------------------------------- AMAT
+
+TEST(Amat, Equation3)
+{
+    amat::CommonInputs c;
+    c.blockAccessInPkg = 90;
+    c.pageAccessOffPkg = 1000;
+    amat::SramTagInputs s;
+    s.tagAccess = 11;
+    s.missRateL3 = 0.1;
+    EXPECT_DOUBLE_EQ(amat::avgL3LatencySramTag(c, s),
+                     11 + 90 + 0.1 * 1000);
+}
+
+TEST(Amat, Equation5)
+{
+    amat::CommonInputs c;
+    c.missPenaltyTlb = 40;
+    c.pageAccessOffPkg = 1000;
+    amat::TaglessInputs t;
+    t.missRateVictim = 0.5;
+    t.accessTimeGipt = 100;
+    EXPECT_DOUBLE_EQ(amat::missPenaltyCtlb(c, t), 40 + 0.5 * 1100);
+}
+
+TEST(Amat, TaglessBeatsSramTagAtHighHitRates)
+{
+    // With matched hit rates the tagless design must win: it saves the
+    // tag access on every L3 access and pays only at TLB misses.
+    amat::CommonInputs c;
+    c.missRateTlb = 0.005;
+    c.missRateL1L2 = 0.10;
+    amat::SramTagInputs s;
+    s.missRateL3 = 0.05;
+    amat::TaglessInputs t;
+    t.missRateVictim = 0.5;
+    EXPECT_LT(amat::amatTagless(c, t), amat::amatSramTag(c, s));
+}
+
+TEST(Amat, TagLatencyScalesTheGap)
+{
+    amat::CommonInputs c;
+    amat::TaglessInputs t;
+    amat::SramTagInputs s5, s11;
+    s5.tagAccess = 5;
+    s11.tagAccess = 11;
+    const double gap5 = amat::amatSramTag(c, s5) - amat::amatTagless(c, t);
+    const double gap11 =
+        amat::amatSramTag(c, s11) - amat::amatTagless(c, t);
+    EXPECT_GT(gap11, gap5);
+    EXPECT_NEAR(gap11 - gap5, c.missRateL1L2 * 6.0, 1e-9);
+}
+
+TEST(Amat, ZeroMissRatesDegenerate)
+{
+    amat::CommonInputs c;
+    c.missRateTlb = 0.0;
+    c.missRateL1L2 = 0.0;
+    amat::TaglessInputs t;
+    EXPECT_DOUBLE_EQ(amat::amatTagless(c, t), c.hitTimeL1L2);
+}

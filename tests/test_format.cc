@@ -1,0 +1,80 @@
+/** @file Tests for the std::format work-alike. */
+
+#include <gtest/gtest.h>
+
+#include "common/format.hh"
+
+using tdc::format;
+
+TEST(Format, PlainText)
+{
+    EXPECT_EQ(format("hello"), "hello");
+    EXPECT_EQ(format(""), "");
+}
+
+TEST(Format, BasicSubstitution)
+{
+    EXPECT_EQ(format("{}", 42), "42");
+    EXPECT_EQ(format("a={} b={}", 1, 2), "a=1 b=2");
+    EXPECT_EQ(format("{}", "str"), "str");
+    EXPECT_EQ(format("{}", std::string("s2")), "s2");
+}
+
+TEST(Format, Booleans)
+{
+    EXPECT_EQ(format("{}", true), "true");
+    EXPECT_EQ(format("{}", false), "false");
+}
+
+TEST(Format, Hex)
+{
+    EXPECT_EQ(format("{:#x}", 255), "0xff");
+    EXPECT_EQ(format("{:x}", 255), "ff");
+    EXPECT_EQ(format("{:#x}", 0x1234abcdULL), "0x1234abcd");
+}
+
+TEST(Format, Alignment)
+{
+    EXPECT_EQ(format("{:<5}", 7), "7    ");
+    EXPECT_EQ(format("{:>5}", 7), "    7");
+    EXPECT_EQ(format("{:<4}", "ab"), "ab  ");
+}
+
+TEST(Format, FloatPrecision)
+{
+    EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+    EXPECT_EQ(format("{:.0f}", 2.7), "3");
+    EXPECT_EQ(format("{:>8.2f}", 3.14159), "    3.14");
+}
+
+TEST(Format, BraceEscapes)
+{
+    EXPECT_EQ(format("{{}}"), "{}");
+    EXPECT_EQ(format("a{{b}}c {}", 1), "a{b}c 1");
+}
+
+TEST(Format, SurplusPlaceholders)
+{
+    EXPECT_EQ(format("{} {}", 1), "1 {?}");
+}
+
+TEST(Format, ExtraArgumentsIgnored)
+{
+    EXPECT_EQ(format("{}", 1, 2, 3), "1");
+}
+
+TEST(Format, UnterminatedBrace)
+{
+    EXPECT_EQ(format("x{", 1), "x{");
+}
+
+TEST(Format, NegativeNumbers)
+{
+    EXPECT_EQ(format("{}", -17), "-17");
+    EXPECT_EQ(format("{:.1f}", -2.55), "-2.5");
+}
+
+TEST(Format, Uint64Max)
+{
+    EXPECT_EQ(format("{}", UINT64_MAX), "18446744073709551615");
+}

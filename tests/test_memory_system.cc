@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the per-core memory system: translation paths, address-
+ * space selection (Figure 1 vs Figure 2), invalidation, shootdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/memory_system.hh"
+#include "dramcache/no_l3.hh"
+#include "dramcache/tagless_cache.hh"
+#include "test_util.hh"
+
+using namespace tdc;
+using tdc::test::Machine;
+
+namespace {
+
+struct MemSysTest : public ::testing::Test
+{
+    Machine m;
+    CoreParams params;
+    std::unique_ptr<DramCacheOrg> org;
+    std::unique_ptr<MemorySystem> ms;
+
+    void
+    buildTagless(std::uint64_t frames = 4096)
+    {
+        TaglessCacheParams p;
+        p.cacheBytes = frames * pageBytes;
+        org = std::make_unique<TaglessCache>(
+            "ctlb", m.eq, m.inPkg, m.offPkg, m.phys, m.cpuClk, p);
+        finish();
+    }
+
+    void
+    buildNoL3()
+    {
+        org = std::make_unique<NoL3>("nol3", m.eq, m.inPkg, m.offPkg,
+                                     m.phys, m.cpuClk);
+        finish();
+    }
+
+    void
+    finish()
+    {
+        ms = std::make_unique<MemorySystem>("mem", m.eq, 0, params,
+                                            m.cpuClk, m.pt, *org);
+        org->setPageInvalidator(
+            [this](Addr a) { return ms->invalidatePage(a); });
+        org->setShootdownFn([this](AsidVpn k) { ms->shootdown(k); });
+    }
+};
+
+} // namespace
+
+TEST_F(MemSysTest, FirstAccessWalksAndFills)
+{
+    buildTagless();
+    const auto res = ms->access(0x10000, AccessType::Load, 0);
+    EXPECT_TRUE(res.tlbMiss);
+    EXPECT_EQ(ms->tlbFullMisses(), 1u);
+    EXPECT_EQ(org->pageFills(), 1u);
+    EXPECT_GT(res.completionTick, 0u);
+}
+
+TEST_F(MemSysTest, SecondAccessHitsTlbAndL1)
+{
+    buildTagless();
+    const auto first = ms->access(0x10000, AccessType::Load, 0);
+    const auto second = ms->access(0x10000, AccessType::Load,
+                                   first.completionTick);
+    EXPECT_FALSE(second.tlbMiss);
+    EXPECT_TRUE(second.l1Hit);
+    // L1 hit: just the L1 latency.
+    EXPECT_EQ(second.completionTick - first.completionTick,
+              m.cpuClk.cyclesToTicks(params.l1d.hitLatency));
+}
+
+TEST_F(MemSysTest, TaglessTlbHitImpliesL3Hit)
+{
+    buildTagless();
+    Tick t = 0;
+    // Touch many pages, then revisit: any post-TLB-hit L3 access must
+    // be serviced in-package (the paper's core guarantee).
+    for (PageNum v = 0; v < 64; ++v)
+        t = ms->access(pageBase(v) + 0x40000000, AccessType::Load, t)
+                .completionTick;
+    const auto hits_before = org->l3Hits();
+    const auto misses_before = org->l3Misses();
+    for (PageNum v = 0; v < 64; ++v)
+        t = ms->access(pageBase(v) + 0x40000000 + 64, AccessType::Load,
+                       t)
+                .completionTick;
+    EXPECT_GT(org->l3Hits(), hits_before);
+    EXPECT_EQ(org->l3Misses(), misses_before);
+}
+
+TEST_F(MemSysTest, L2TlbCatchesL1TlbEvictions)
+{
+    buildTagless();
+    Tick t = 0;
+    // Touch more pages than the 32-entry L1 DTLB but fewer than the
+    // 512-entry L2 TLB.
+    for (PageNum v = 0; v < 64; ++v)
+        t = ms->access(pageBase(v), AccessType::Load, t).completionTick;
+    const auto walks_before = ms->tlbFullMisses();
+    for (PageNum v = 0; v < 64; ++v)
+        t = ms->access(pageBase(v), AccessType::Load, t).completionTick;
+    EXPECT_EQ(ms->tlbFullMisses(), walks_before)
+        << "revisits within L2 TLB reach must not walk";
+}
+
+TEST_F(MemSysTest, VictimHitAfterTlbEviction)
+{
+    buildTagless();
+    Tick t = 0;
+    // Touch enough pages to overflow even the L2 TLB (512 entries).
+    for (PageNum v = 0; v < 600; ++v)
+        t = ms->access(pageBase(v), AccessType::Load, t).completionTick;
+    const auto victim_before = org->victimHits();
+    t = ms->access(pageBase(0), AccessType::Load, t).completionTick;
+    EXPECT_EQ(org->victimHits(), victim_before + 1)
+        << "page fell out of TLB reach but stayed in the cache";
+}
+
+TEST_F(MemSysTest, InstructionPathUsesItlbAndL1i)
+{
+    buildTagless();
+    ms->access(0x7000000, AccessType::InstFetch, 0);
+    EXPECT_EQ(ms->itlb().misses(), 1u);
+    EXPECT_EQ(ms->dtlb().misses(), 0u);
+    EXPECT_EQ(ms->l1i().misses(), 1u);
+    EXPECT_EQ(ms->l1d().misses(), 0u);
+}
+
+TEST_F(MemSysTest, ConventionalOrgUsesPhysicalAddresses)
+{
+    buildNoL3();
+    const auto res = ms->access(0x10000, AccessType::Load, 0);
+    (void)res;
+    // The L1 caches the PA-space line; the same VA hits again.
+    EXPECT_TRUE(ms->access(0x10000, AccessType::Load, 0).l1Hit);
+    EXPECT_EQ(m.inPkg.reads() + m.inPkg.writes(), 0u);
+}
+
+TEST_F(MemSysTest, InvalidatePageReportsDirtyLines)
+{
+    buildTagless();
+    const auto r1 = ms->access(0x10000, AccessType::Store, 0);
+    ms->access(0x10040, AccessType::Store, r1.completionTick);
+    // Find the frame-space address of the page via the page table.
+    const Pte *pte = m.pt.find(pageOf(0x10000));
+    ASSERT_NE(pte, nullptr);
+    ASSERT_TRUE(pte->vc);
+    const unsigned dirty = ms->invalidatePage(caAddr(pte->frame, 0));
+    EXPECT_EQ(dirty, 2u) << "stores dirty the L1 copies only";
+    // The lines are gone from L1 now.
+    EXPECT_FALSE(
+        ms->access(0x10000, AccessType::Load, r1.completionTick).l1Hit);
+}
+
+TEST_F(MemSysTest, ShootdownDropsTranslations)
+{
+    buildTagless();
+    ms->access(0x10000, AccessType::Load, 0);
+    const AsidVpn key = makeAsidVpn(0, pageOf(0x10000));
+    EXPECT_TRUE(ms->dtlb().contains(key));
+    EXPECT_TRUE(ms->l2tlb().contains(key));
+    ms->shootdown(key);
+    EXPECT_FALSE(ms->dtlb().contains(key));
+    EXPECT_FALSE(ms->l2tlb().contains(key));
+}
+
+TEST_F(MemSysTest, WritebacksReachTheOrg)
+{
+    buildTagless();
+    // Dirty many distinct lines so L2 evictions occur: 2MB L2 / 64B =
+    // 32K lines; stream 48K dirty lines.
+    Tick t = 0;
+    const auto wb_before = m.inPkg.writes();
+    for (Addr a = 0; a < 48 * 1024 * 64; a += 64)
+        t = ms->access(0x40000000 + a, AccessType::Store, t)
+                .completionTick;
+    EXPECT_GT(m.inPkg.writes(), wb_before)
+        << "dirty L2 victims must be written to the DRAM cache";
+}
+
+TEST_F(MemSysTest, StatsAccessors)
+{
+    buildTagless();
+    ms->access(0x10000, AccessType::Load, 0);
+    ms->access(0x10000, AccessType::Load, 1'000'000);
+    EXPECT_EQ(ms->tlbAccesses(), 2u);
+    EXPECT_GE(ms->l1Accesses(), 2u);
+    EXPECT_GE(ms->l2Accesses(), 1u);
+    EXPECT_GT(ms->avgL3LatencyCycles(), 0.0);
+}

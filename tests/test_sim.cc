@@ -1,0 +1,127 @@
+/** @file Tests for the event queue and clock domains. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+
+using namespace tdc;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, FifoAmongEqualTicks)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleFromCallback)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] {
+        ++fired;
+        eq.scheduleIn(5, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, StepOneAtATime)
+{
+    EventQueue eq;
+    int n = 0;
+    eq.schedule(1, [&] { ++n; });
+    eq.schedule(2, [&] { ++n; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(n, 1);
+    EXPECT_EQ(eq.now(), 1u);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly)
+{
+    EventQueue eq;
+    int n = 0;
+    eq.schedule(10, [&] { ++n; });
+    eq.schedule(100, [&] { ++n; });
+    eq.run(50);
+    EXPECT_EQ(n, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run();
+    EXPECT_EQ(n, 2);
+}
+
+TEST(EventQueue, NextEventTick)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextEventTick(), maxTick);
+    eq.schedule(42, [] {});
+    EXPECT_EQ(eq.nextEventTick(), 42u);
+}
+
+TEST(EventQueue, AdvanceTo)
+{
+    EventQueue eq;
+    eq.advanceTo(1000);
+    EXPECT_EQ(eq.now(), 1000u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoPast)
+{
+    EventQueue eq;
+    eq.advanceTo(100);
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueue, ExecutedCounter)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 7u);
+}
+
+TEST(Clock, Conversions)
+{
+    ClockDomain clk(2'000'000'000ULL); // 2 GHz -> 500 ps period
+    EXPECT_EQ(clk.period(), 500u);
+    EXPECT_EQ(clk.cyclesToTicks(4), 2000u);
+    EXPECT_EQ(clk.ticksToCycles(2000), 4u);
+    EXPECT_EQ(clk.ticksToCycles(2499), 4u); // floor
+}
+
+TEST(Clock, NextCycleEdge)
+{
+    ClockDomain clk(1'000'000'000ULL); // period 1000
+    EXPECT_EQ(clk.nextCycleEdge(0), 0u);
+    EXPECT_EQ(clk.nextCycleEdge(1), 1000u);
+    EXPECT_EQ(clk.nextCycleEdge(1000), 1000u);
+    EXPECT_EQ(clk.nextCycleEdge(1001), 2000u);
+}
+
+TEST(Clock, ThreeGHz)
+{
+    ClockDomain clk(3'000'000'000ULL);
+    EXPECT_EQ(clk.period(), 333u); // truncated ps
+    EXPECT_EQ(clk.cyclesToTicks(3), 999u);
+}

@@ -1,0 +1,304 @@
+/** @file Tests for the synthetic trace generator and workload registry. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/bitops.hh"
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+
+using namespace tdc;
+
+namespace {
+
+SyntheticParams
+basicParams()
+{
+    SyntheticParams p;
+    p.footprintPages = 256;
+    p.hotPages = 16;
+    p.hotWeight = 0.4;
+    p.streamWeight = 0.4;
+    p.chaseWeight = 0.1;
+    p.singletonWeight = 0.1;
+    p.seqRunLines = 8;
+    p.memRefFraction = 0.25;
+    p.writeFraction = 0.3;
+    p.seed = 42;
+    return p;
+}
+
+} // namespace
+
+TEST(Synthetic, Deterministic)
+{
+    SyntheticTraceGen a(basicParams()), b(basicParams());
+    for (int i = 0; i < 10'000; ++i) {
+        const auto ra = a.next(), rb = b.next();
+        ASSERT_EQ(ra.vaddr, rb.vaddr);
+        ASSERT_EQ(ra.nonMemInsts, rb.nonMemInsts);
+        ASSERT_EQ(ra.type, rb.type);
+        ASSERT_EQ(ra.dependent, rb.dependent);
+    }
+}
+
+TEST(Synthetic, ResetRestartsStream)
+{
+    SyntheticTraceGen g(basicParams());
+    std::vector<Addr> first;
+    for (int i = 0; i < 100; ++i)
+        first.push_back(g.next().vaddr);
+    g.reset();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(g.next().vaddr, first[i]);
+}
+
+TEST(Synthetic, MeanGapMatchesMemRefFraction)
+{
+    SyntheticTraceGen g(basicParams());
+    double insts = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        insts += g.next().nonMemInsts + 1;
+    EXPECT_NEAR(n / insts, 0.25, 0.02);
+}
+
+TEST(Synthetic, WriteFractionRespected)
+{
+    SyntheticTraceGen g(basicParams());
+    int stores = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        stores += g.next().type == AccessType::Store;
+    EXPECT_NEAR(static_cast<double>(stores) / n, 0.3, 0.02);
+}
+
+TEST(Synthetic, AddressesStayInRegions)
+{
+    SyntheticParams p = basicParams();
+    SyntheticTraceGen g(p);
+    const PageNum hot_first = pageOf(p.baseVaddr);
+    for (int i = 0; i < 50'000; ++i) {
+        const PageNum vpn = pageOf(g.next().vaddr);
+        EXPECT_GE(vpn, hot_first);
+        // Hot, footprint, or singleton region -- never below base.
+        if (vpn < g.footprintFirstVpn()) {
+            EXPECT_LT(vpn, hot_first + p.hotPages);
+        }
+    }
+}
+
+TEST(Synthetic, StreamSweepsSequentially)
+{
+    SyntheticParams p = basicParams();
+    p.hotWeight = 0;
+    p.chaseWeight = 0;
+    p.singletonWeight = 0;
+    p.streamWeight = 1.0;
+    SyntheticTraceGen g(p);
+    // Pages appear in nondecreasing order until the wrap.
+    PageNum prev = g.footprintFirstVpn();
+    for (int i = 0; i < 8 * 200; ++i) { // under one sweep
+        const PageNum vpn = pageOf(g.next().vaddr);
+        EXPECT_GE(vpn, prev);
+        EXPECT_LE(vpn, prev + 1);
+        prev = vpn;
+    }
+}
+
+TEST(Synthetic, StreamWrapsAndResweeps)
+{
+    SyntheticParams p = basicParams();
+    p.footprintPages = 16;
+    p.hotWeight = 0;
+    p.chaseWeight = 0;
+    p.singletonWeight = 0;
+    p.streamWeight = 1.0;
+    SyntheticTraceGen g(p);
+    std::map<PageNum, int> visits;
+    for (int i = 0; i < 8 * 16 * 3; ++i)
+        ++visits[pageOf(g.next().vaddr)];
+    EXPECT_EQ(visits.size(), 16u);
+    for (const auto &[vpn, n] : visits)
+        EXPECT_EQ(n, 24) << vpn; // 3 sweeps * 8 lines
+}
+
+TEST(Synthetic, SingletonPagesNeverRepeat)
+{
+    SyntheticParams p = basicParams();
+    p.hotWeight = 0;
+    p.chaseWeight = 0;
+    p.streamWeight = 0;
+    p.singletonWeight = 1.0;
+    p.singletonRunLines = 2;
+    SyntheticTraceGen g(p);
+    std::map<PageNum, int> counts;
+    for (int i = 0; i < 10'000; ++i)
+        ++counts[pageOf(g.next().vaddr)];
+    for (const auto &[vpn, n] : counts) {
+        EXPECT_GE(vpn, g.singletonFirstVpn());
+        EXPECT_EQ(n, 2) << vpn;
+    }
+}
+
+TEST(Synthetic, ChaseRefsAreDependent)
+{
+    SyntheticParams p = basicParams();
+    p.hotWeight = 0;
+    p.streamWeight = 0;
+    p.singletonWeight = 0;
+    p.chaseWeight = 1.0;
+    p.depFraction = 0.0;
+    p.writeFraction = 0.0;
+    SyntheticTraceGen g(p);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(g.next().dependent);
+}
+
+TEST(Synthetic, LowReuseOracle)
+{
+    SyntheticParams p = basicParams();
+    SyntheticTraceGen g(p);
+    EXPECT_TRUE(g.isLowReusePage(g.singletonFirstVpn()));
+    EXPECT_TRUE(g.isLowReusePage(g.singletonFirstVpn() + 100));
+    EXPECT_FALSE(g.isLowReusePage(g.footprintFirstVpn()));
+    EXPECT_FALSE(g.isLowReusePage(pageOf(p.baseVaddr)));
+}
+
+TEST(Synthetic, SingletonRegionOffsetSeparatesThreads)
+{
+    SyntheticParams a = basicParams();
+    SyntheticParams b = basicParams();
+    b.singletonRegionOffsetPages = 1 << 20;
+    SyntheticTraceGen ga(a), gb(b);
+    EXPECT_EQ(gb.singletonFirstVpn() - ga.singletonFirstVpn(),
+              1u << 20);
+}
+
+TEST(SyntheticDeath, ZeroWeights)
+{
+    SyntheticParams p = basicParams();
+    p.hotWeight = p.streamWeight = p.chaseWeight = p.singletonWeight = 0;
+    EXPECT_DEATH(SyntheticTraceGen{p}, "weights");
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(Workloads, Spec11Complete)
+{
+    const auto &names = spec11Names();
+    EXPECT_EQ(names.size(), 11u);
+    for (const auto &n : names) {
+        const auto &p = getWorkload(n);
+        EXPECT_EQ(p.name, n);
+        EXPECT_FALSE(p.multithreaded);
+    }
+}
+
+TEST(Workloads, Table5MixesVerbatim)
+{
+    const auto &mixes = table5Mixes();
+    ASSERT_EQ(mixes.size(), 8u);
+    // Spot-check against the paper's Table 5.
+    EXPECT_EQ(mixes[0],
+              (std::array<std::string, 4>{"milc", "leslie3d", "omnetpp",
+                                          "sphinx3"}));
+    EXPECT_EQ(mixes[4],
+              (std::array<std::string, 4>{"mcf", "soplex", "GemsFDTD",
+                                          "lbm"}));
+    EXPECT_EQ(mixes[7],
+              (std::array<std::string, 4>{"mcf", "leslie3d", "GemsFDTD",
+                                          "omnetpp"}));
+    for (const auto &mix : mixes)
+        for (const auto &prog : mix)
+            getWorkload(prog); // must not be fatal
+}
+
+TEST(Workloads, ParsecProfilesAreMultithreaded)
+{
+    const auto &names = parsecNames();
+    EXPECT_EQ(names.size(), 4u);
+    for (const auto &n : names)
+        EXPECT_TRUE(getWorkload(n).multithreaded) << n;
+}
+
+TEST(Workloads, GeneratorsPerThreadShareFootprint)
+{
+    const auto &p = getWorkload("streamcluster");
+    auto g0 = makeGenerator(p, 0);
+    auto g1 = makeGenerator(p, 1);
+    EXPECT_EQ(g0->footprintFirstVpn(), g1->footprintFirstVpn());
+    EXPECT_NE(g0->singletonFirstVpn(), g1->singletonFirstVpn());
+}
+
+TEST(Workloads, GeneratorSeedsDifferPerThread)
+{
+    const auto &p = getWorkload("mcf");
+    auto g0 = makeGenerator(p, 0);
+    auto g1 = makeGenerator(p, 1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += g0->next().vaddr == g1->next().vaddr;
+    EXPECT_LT(same, 50);
+}
+
+TEST(WorkloadsDeath, UnknownName)
+{
+    EXPECT_EXIT(getWorkload("nonexistent"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+// ------------------------------------- per-profile property sweeps
+
+/** Every registered workload profile obeys the generator contract. */
+class WorkloadPropertyTest
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(WorkloadPropertyTest, GeneratorContractHolds)
+{
+    const auto &prof = getWorkload(GetParam());
+    auto gen = makeGenerator(prof, 0);
+    const double mem_frac = prof.base.memRefFraction;
+
+    double insts = 0;
+    std::uint64_t stores = 0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i) {
+        const TraceRecord r = gen->next();
+        insts += r.nonMemInsts + 1;
+        stores += r.type == AccessType::Store;
+        // Addresses land in the declared regions.
+        const PageNum vpn = pageOf(r.vaddr);
+        ASSERT_GE(vpn, pageOf(prof.base.baseVaddr));
+        ASSERT_TRUE(vpn < gen->footprintEndVpn()
+                    || vpn >= gen->singletonFirstVpn());
+        // Stores are never "dependent loads".
+        if (r.type == AccessType::Store) {
+            ASSERT_FALSE(r.dependent);
+        }
+    }
+    // Memory intensity within 15% of the profile's parameter.
+    EXPECT_NEAR(n / insts, mem_frac, mem_frac * 0.15);
+    // Write fraction within 5 points.
+    EXPECT_NEAR(static_cast<double>(stores) / n,
+                prof.base.writeFraction, 0.05);
+}
+
+TEST_P(WorkloadPropertyTest, PerThreadDeterminism)
+{
+    const auto &prof = getWorkload(GetParam());
+    auto a = makeGenerator(prof, 2);
+    auto b = makeGenerator(prof, 2);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a->next().vaddr, b->next().vaddr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, WorkloadPropertyTest,
+    ::testing::Values("mcf", "milc", "leslie3d", "soplex", "GemsFDTD",
+                      "lbm", "omnetpp", "sphinx3", "libquantum",
+                      "bwaves", "zeusmp", "streamcluster", "facesim",
+                      "swaptions", "fluidanimate"));

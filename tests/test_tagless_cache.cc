@@ -1,0 +1,502 @@
+/**
+ * @file
+ * Tests for the tagless (cTLB) DRAM cache: fill, victim hit, NC bypass,
+ * PU serialization, FIFO/LRU eviction, GIPT consistency, residence
+ * protection, shootdowns and the free-queue alpha invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+#include "common/units.hh"
+#include "dramcache/tagless_cache.hh"
+#include "test_util.hh"
+
+using namespace tdc;
+using tdc::test::Machine;
+
+namespace {
+
+struct TaglessTest : public ::testing::Test
+{
+    Machine m;
+    TaglessCacheParams params;
+    std::unique_ptr<TaglessCache> cache;
+
+    // Pages invalidated via the page-invalidator hook.
+    std::vector<Addr> invalidated;
+    // Keys shot down via the shootdown hook.
+    std::vector<AsidVpn> shotDown;
+    unsigned dirtyLinesToReport = 0;
+
+    void
+    build(std::uint64_t frames = 16, ReplPolicy policy = ReplPolicy::FIFO,
+          unsigned alpha = 1)
+    {
+        params.cacheBytes = frames * pageBytes;
+        params.policy = policy;
+        params.alphaFreeBlocks = alpha;
+        cache = std::make_unique<TaglessCache>(
+            "ctlb", m.eq, m.inPkg, m.offPkg, m.phys, m.cpuClk, params);
+        cache->setPageInvalidator([this](Addr a) {
+            invalidated.push_back(a);
+            return dirtyLinesToReport;
+        });
+        cache->setShootdownFn([this](AsidVpn k) {
+            shotDown.push_back(k);
+            // Emulate every core's TLBs dropping the translation.
+            const Pte *pte = m.pt.find(vpnOf(k));
+            ASSERT_NE(pte, nullptr);
+            for (CoreId c = 0; c < Gipt::maxCores; ++c) {
+                while (cache->gipt().at(pte->frame).residence[c] > 0)
+                    cache->onTlbResidence(
+                        TlbEntry{k, pte->frame, false}, c, false);
+            }
+        });
+    }
+
+    TlbMissResult
+    miss(PageNum vpn, Tick when = 0)
+    {
+        return cache->handleTlbMiss(m.pt, vpn, 0, when);
+    }
+};
+
+} // namespace
+
+TEST_F(TaglessTest, ColdFillAllocatesFrameAndRewritesPte)
+{
+    build();
+    const auto res = miss(100);
+    EXPECT_TRUE(res.coldFill);
+    EXPECT_FALSE(res.victimHit);
+    EXPECT_FALSE(res.entry.nc);
+    EXPECT_GT(res.readyTick, 0u); // GIPT update + page copy took time
+
+    const Pte *pte = m.pt.find(100);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_TRUE(pte->vc);
+    EXPECT_FALSE(pte->pu);
+    EXPECT_EQ(pte->frame, res.entry.frame);
+
+    const auto &g = cache->gipt().at(res.entry.frame);
+    EXPECT_TRUE(g.valid);
+    EXPECT_EQ(g.ptep, pte);
+}
+
+TEST_F(TaglessTest, GiptBacksUpOriginalPpn)
+{
+    build();
+    // Touch the page first through a conventional walk to learn its PPN.
+    const PageNum original_ppn = m.pt.walk(100).frame;
+    const auto res = miss(100);
+    EXPECT_EQ(cache->gipt().at(res.entry.frame).ppn, original_ppn);
+}
+
+TEST_F(TaglessTest, HeaderPointerWalksFramesInOrder)
+{
+    build();
+    EXPECT_EQ(miss(1).entry.frame, 0u);
+    EXPECT_EQ(miss(2).entry.frame, 1u);
+    EXPECT_EQ(miss(3).entry.frame, 2u);
+}
+
+TEST_F(TaglessTest, VictimHitReturnsCachedFrameWithNoPenalty)
+{
+    build();
+    const auto fill = miss(100);
+    const Tick t = fill.readyTick + 1'000'000;
+    const auto victim = miss(100, t);
+    EXPECT_TRUE(victim.victimHit);
+    EXPECT_FALSE(victim.coldFill);
+    EXPECT_EQ(victim.entry.frame, fill.entry.frame);
+    EXPECT_EQ(victim.readyTick, t); // Table 1: zero extra latency
+    EXPECT_EQ(cache->victimHits(), 1u);
+}
+
+TEST_F(TaglessTest, NonCacheablePageBypasses)
+{
+    build();
+    m.pt.setNonCacheableHint(55);
+    const auto res = miss(55);
+    EXPECT_TRUE(res.entry.nc);
+    EXPECT_FALSE(res.coldFill);
+    EXPECT_EQ(cache->coldFills(), 0u);
+
+    // Accesses go off-package and count as bypasses.
+    const auto acc = cache->access(paAddr(res.entry.frame, 64),
+                                   AccessType::Load, 0, res.readyTick);
+    EXPECT_FALSE(acc.servicedInPackage);
+    EXPECT_EQ(cache->ncBypasses(), 1u);
+}
+
+TEST_F(TaglessTest, CaAccessAlwaysHitsInPackage)
+{
+    build();
+    const auto fill = miss(7);
+    const auto acc = cache->access(caAddr(fill.entry.frame, 128),
+                                   AccessType::Load, 0, fill.readyTick);
+    EXPECT_TRUE(acc.servicedInPackage);
+    EXPECT_TRUE(acc.l3Hit);
+    EXPECT_DOUBLE_EQ(cache->l3HitRate(), 1.0);
+}
+
+TEST_F(TaglessTest, CaAccessToUnoccupiedFramePanics)
+{
+    build();
+    EXPECT_DEATH(cache->access(caAddr(5, 0), AccessType::Load, 0, 0),
+                 "unoccupied");
+}
+
+TEST_F(TaglessTest, PendingUpdateSerializesConcurrentFills)
+{
+    build();
+    // Core 0 starts a fill; functionally the PTE is updated at once but
+    // the fill completes at fill.readyTick.
+    Pte &pte = m.pt.walk(100);
+    pte.pu = true; // simulate a fill in flight from another thread
+    pte.vc = true;
+    pte.frame = 3;
+    const auto res = miss(100, 10);
+    EXPECT_EQ(res.entry.frame, 3u);
+    EXPECT_EQ(cache->puWaits(), 1u);
+    EXPECT_FALSE(res.coldFill);
+}
+
+TEST_F(TaglessTest, FifoEvictionRecyclesOldestFrame)
+{
+    build(4);
+    // Fill all 4 frames; alpha=1 forces an eviction on the 4th fill.
+    miss(1);
+    miss(2);
+    miss(3);
+    miss(4);
+    // Frame 0 (page 1) must have been evicted to keep a free block.
+    const Pte *pte1 = m.pt.find(1);
+    EXPECT_FALSE(pte1->vc);
+    EXPECT_EQ(cache->evictions(), 1u);
+    EXPECT_GE(cache->freeBlocks(), 1u);
+}
+
+TEST_F(TaglessTest, EvictionRestoresOriginalPpn)
+{
+    build(2);
+    const PageNum ppn1 = m.pt.walk(1).frame;
+    miss(1);
+    miss(2); // evicts page 1 (alpha = 1)
+    miss(3);
+    const Pte *pte1 = m.pt.find(1);
+    EXPECT_FALSE(pte1->vc);
+    EXPECT_EQ(pte1->frame, ppn1);
+}
+
+TEST_F(TaglessTest, AlphaFreeBlocksMaintained)
+{
+    build(8, ReplPolicy::FIFO, 3);
+    for (PageNum v = 1; v <= 20; ++v) {
+        miss(v);
+        EXPECT_GE(cache->freeBlocks(), 3u) << "after filling page " << v;
+    }
+}
+
+TEST_F(TaglessTest, DirtyPageWrittenBackOnEviction)
+{
+    build(2);
+    const auto f1 = miss(1);
+    cache->access(caAddr(f1.entry.frame, 0), AccessType::Store, 0,
+                  f1.readyTick);
+    const auto wb_before = cache->pageWritebacks();
+    miss(2);
+    miss(3); // evicts dirty page 1
+    EXPECT_EQ(cache->pageWritebacks(), wb_before + 1);
+}
+
+TEST_F(TaglessTest, CleanPageNotWrittenBack)
+{
+    build(2);
+    const auto f1 = miss(1);
+    cache->access(caAddr(f1.entry.frame, 0), AccessType::Load, 0,
+                  f1.readyTick);
+    miss(2);
+    miss(3);
+    EXPECT_EQ(cache->pageWritebacks(), 0u);
+}
+
+TEST_F(TaglessTest, WritebackLineMarksPageDirty)
+{
+    build(2);
+    const auto f1 = miss(1);
+    cache->writebackLine(caAddr(f1.entry.frame, 192), 0, f1.readyTick);
+    miss(2);
+    miss(3); // evicts page 1
+    EXPECT_EQ(cache->pageWritebacks(), 1u);
+}
+
+TEST_F(TaglessTest, EvictionFlushesOnDieCaches)
+{
+    build(2);
+    const auto f1 = miss(1);
+    miss(2);
+    miss(3); // evicts frame of page 1
+    ASSERT_FALSE(invalidated.empty());
+    EXPECT_EQ(invalidated.front(), caAddr(f1.entry.frame, 0));
+}
+
+TEST_F(TaglessTest, DirtyOnDieLinesForceWriteback)
+{
+    build(2);
+    miss(1);
+    dirtyLinesToReport = 4; // on-die caches hold dirty lines
+    miss(2);
+    miss(3);
+    // Every eviction flushed dirty on-die lines, so every evicted page
+    // had to be written back.
+    EXPECT_EQ(cache->pageWritebacks(), cache->evictions());
+    EXPECT_GE(cache->pageWritebacks(), 1u);
+}
+
+TEST_F(TaglessTest, TlbResidentFramesAreNotEvicted)
+{
+    build(4);
+    const auto f1 = miss(1);
+    // Page 1 is TLB-resident on core 0.
+    cache->onTlbResidence(f1.entry, 0, true);
+    miss(2);
+    miss(3);
+    miss(4);
+    miss(5);
+    miss(6);
+    // Page 1 must still be cached; others were recycled around it.
+    EXPECT_TRUE(m.pt.find(1)->vc);
+    EXPECT_GT(cache->gipt().at(f1.entry.frame).residence[0], 0u);
+    EXPECT_GT(cache->statGroup().name().size(), 0u); // sanity
+}
+
+TEST_F(TaglessTest, ShootdownWhenEverythingResident)
+{
+    build(2);
+    const auto f1 = miss(1);
+    cache->onTlbResidence(f1.entry, 0, true);
+    const auto f2 = miss(2);
+    cache->onTlbResidence(f2.entry, 1, true);
+    // Both frames resident; the next fill must force a shootdown.
+    miss(3);
+    // Each replenish eviction found only resident frames.
+    EXPECT_GE(cache->shootdowns(), 1u);
+    ASSERT_GE(shotDown.size(), 1u);
+    EXPECT_EQ(vpnOf(shotDown[0]), 1u); // oldest first
+}
+
+TEST_F(TaglessTest, LruEvictsLeastRecentlyTouched)
+{
+    build(3, ReplPolicy::LRU);
+    const auto f1 = miss(1);
+    const auto f2 = miss(2);
+    (void)f2;
+    // Touch page 1 again (victim hit path refreshes recency).
+    miss(1, f1.readyTick + 10);
+    miss(3); // fills the last free frame and evicts page 2 (LRU)
+    EXPECT_TRUE(m.pt.find(1)->vc);
+    EXPECT_FALSE(m.pt.find(2)->vc);
+    EXPECT_TRUE(m.pt.find(3)->vc);
+}
+
+TEST_F(TaglessTest, FreeStallWhenEvictionTrafficPending)
+{
+    build(2);
+    miss(1);
+    miss(2);
+    // The eviction of page 1 was triggered at the same tick as this
+    // fill; its background traffic finishes later, so the next fill
+    // must wait for the free block.
+    const auto res = miss(3);
+    (void)res;
+    EXPECT_GE(cache->freeStalls(), 1u);
+}
+
+TEST_F(TaglessTest, StatsAndStorageAccounting)
+{
+    build(16);
+    EXPECT_EQ(cache->totalFrames(), 16u);
+    EXPECT_EQ(cache->onDieTagBits(), 0u) << "tagless must need no SRAM";
+    EXPECT_EQ(cache->tagProbeCount(), 0u);
+    EXPECT_EQ(cache->gipt().storageBits(), 16u * 82);
+    EXPECT_EQ(cache->kind(), "cTLB");
+    EXPECT_TRUE(cache->usesCacheAddressSpace());
+}
+
+TEST_F(TaglessTest, GiptChargedTwoOffPackageWrites)
+{
+    build();
+    const auto reads_before = m.offPkg.reads();
+    const auto writes_before = m.offPkg.writes();
+    miss(1);
+    // 2 GIPT writes + 1 page read off-package.
+    EXPECT_EQ(m.offPkg.writes() - writes_before, 2u);
+    EXPECT_EQ(m.offPkg.reads() - reads_before, 1u);
+}
+
+TEST_F(TaglessTest, FillCopiesPageIntoPackage)
+{
+    build();
+    const auto bytes_before = m.inPkg.bytesTransferred();
+    miss(1);
+    EXPECT_EQ(m.inPkg.bytesTransferred() - bytes_before, pageBytes);
+}
+
+// Property test: run a random workload over a small cache and check
+// global invariants for both replacement policies.
+class TaglessInvariants
+    : public ::testing::TestWithParam<std::tuple<ReplPolicy, unsigned>>
+{};
+
+TEST_P(TaglessInvariants, HoldAfterRandomWorkload)
+{
+    const auto [policy, frames] = GetParam();
+    Machine m;
+    TaglessCacheParams params;
+    params.cacheBytes = frames * pageBytes;
+    params.policy = policy;
+    TaglessCache cache("ctlb", m.eq, m.inPkg, m.offPkg, m.phys, m.cpuClk,
+                       params);
+    cache.setPageInvalidator([](Addr) { return 0u; });
+
+    Pcg32 rng(1234);
+    Tick t = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const PageNum vpn = rng.below(3 * frames);
+        const auto res = cache.handleTlbMiss(m.pt, vpn, 0, t);
+        t = res.readyTick + rng.below(100'000);
+        if (!res.entry.nc) {
+            cache.access(caAddr(res.entry.frame,
+                                rng.below(64) * cacheLineBytes),
+                         rng.chance(0.3) ? AccessType::Store
+                                         : AccessType::Load,
+                         0, t);
+        }
+    }
+
+    // Invariant 1: every VC page's PTE agrees with the GIPT.
+    std::set<std::uint64_t> occupied;
+    unsigned cached_pages = 0;
+    for (PageNum vpn = 0; vpn < 3 * frames; ++vpn) {
+        const Pte *pte = m.pt.find(vpn);
+        if (pte == nullptr || !pte->vc)
+            continue;
+        ++cached_pages;
+        const auto &g = cache.gipt().at(pte->frame);
+        EXPECT_TRUE(g.valid);
+        EXPECT_EQ(g.ptep, pte);
+        EXPECT_TRUE(occupied.insert(pte->frame).second)
+            << "two pages share frame " << pte->frame;
+    }
+
+    // Invariant 2: every valid GIPT entry is owned by a VC page.
+    unsigned valid_gipt = 0;
+    for (std::uint64_t f = 0; f < frames; ++f) {
+        const auto &g = cache.gipt().at(f);
+        if (!g.valid)
+            continue;
+        ++valid_gipt;
+        EXPECT_TRUE(g.ptep->vc);
+        EXPECT_EQ(g.ptep->frame, f);
+    }
+    EXPECT_EQ(valid_gipt, cached_pages);
+
+    // Invariant 3: free + occupied == total frames.
+    EXPECT_EQ(cache.freeBlocks() + valid_gipt, frames);
+
+    // Invariant 4: alpha free blocks available at quiescence.
+    EXPECT_GE(cache.freeBlocks(), params.alphaFreeBlocks);
+
+    // Invariant 5: no PU bit left set at quiescence.
+    for (PageNum vpn = 0; vpn < 3 * frames; ++vpn) {
+        if (const Pte *pte = m.pt.find(vpn)) {
+            EXPECT_FALSE(pte->pu) << "vpn " << vpn;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyAndSize, TaglessInvariants,
+    ::testing::Combine(::testing::Values(ReplPolicy::FIFO,
+                                         ReplPolicy::LRU),
+                       ::testing::Values(4u, 16u, 64u, 256u)));
+
+// ----------------------------------------------- online page filter
+
+TEST_F(TaglessTest, FilterDefersFillUntilThreshold)
+{
+    params.filterEnabled = true;
+    params.filterThreshold = 3;
+    build(16);
+    // Misses 1 and 2: page under probation, served off-package.
+    const auto m1 = miss(7);
+    EXPECT_TRUE(m1.entry.nc);
+    EXPECT_FALSE(m1.coldFill);
+    const auto m2 = miss(7, 1'000'000);
+    EXPECT_TRUE(m2.entry.nc);
+    EXPECT_EQ(cache->filterRejects(), 2u);
+    EXPECT_EQ(cache->coldFills(), 0u);
+    // Third miss crosses the threshold: the page is cached.
+    const auto m3 = miss(7, 2'000'000);
+    EXPECT_FALSE(m3.entry.nc);
+    EXPECT_TRUE(m3.coldFill);
+    EXPECT_TRUE(m.pt.find(7)->vc);
+}
+
+TEST_F(TaglessTest, FilterDoesNotMarkPtePermanentlyNc)
+{
+    params.filterEnabled = true;
+    params.filterThreshold = 2;
+    build(16);
+    miss(7);
+    EXPECT_FALSE(m.pt.find(7)->nc)
+        << "probation must not set the NC bit";
+}
+
+TEST_F(TaglessTest, FilterSingletonsNeverFill)
+{
+    params.filterEnabled = true;
+    params.filterThreshold = 2;
+    build(16);
+    // 100 distinct pages, one miss each: none should be cached.
+    Tick t = 0;
+    for (PageNum v = 100; v < 200; ++v) {
+        const auto r = miss(v, t);
+        EXPECT_TRUE(r.entry.nc);
+        t += 1'000'000;
+    }
+    EXPECT_EQ(cache->coldFills(), 0u);
+    EXPECT_EQ(cache->filterRejects(), 100u);
+}
+
+TEST_F(TaglessTest, FilterTableDecays)
+{
+    params.filterEnabled = true;
+    params.filterThreshold = 4;
+    params.filterTableSize = 64;
+    build(16);
+    // Overflow the table many times; must stay bounded and functional.
+    Tick t = 0;
+    for (PageNum v = 0; v < 1000; ++v) {
+        miss(v, t);
+        t += 1'000;
+    }
+    // A genuinely hot page still gets promoted.
+    for (int i = 0; i < 4; ++i) {
+        miss(5000, t);
+        t += 1'000'000;
+    }
+    EXPECT_TRUE(m.pt.find(5000)->vc);
+}
+
+TEST_F(TaglessTest, FilterDisabledFillsImmediately)
+{
+    build(16);
+    const auto r = miss(7);
+    EXPECT_TRUE(r.coldFill);
+    EXPECT_EQ(cache->filterRejects(), 0u);
+}

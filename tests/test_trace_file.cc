@@ -1,0 +1,143 @@
+/** @file Tests for trace file writing and replay. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <filesystem>
+
+#include "trace/synthetic.hh"
+#include "trace/trace_file.hh"
+
+using namespace tdc;
+
+namespace {
+
+struct TraceFileTest : public ::testing::Test
+{
+    std::string path;
+
+    void
+    SetUp() override
+    {
+        path = std::filesystem::temp_directory_path()
+               / ("tdc_trace_test_"
+                  + std::to_string(::getpid()) + ".trc");
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+};
+
+TraceRecord
+rec(Addr va, std::uint32_t gap, AccessType t, bool dep)
+{
+    TraceRecord r;
+    r.vaddr = va;
+    r.nonMemInsts = gap;
+    r.type = t;
+    r.dependent = dep;
+    return r;
+}
+
+} // namespace
+
+TEST_F(TraceFileTest, RoundTrip)
+{
+    {
+        TraceWriter w(path);
+        w.write(rec(0x1000, 5, AccessType::Load, false));
+        w.write(rec(0x2040, 0, AccessType::Store, true));
+        w.write(rec(0xffff'ffff'f000ULL, 100, AccessType::InstFetch,
+                    false));
+        EXPECT_EQ(w.recordsWritten(), 3u);
+    }
+    FileTraceSource src(path);
+    EXPECT_EQ(src.records(), 3u);
+
+    const TraceRecord a = src.next();
+    EXPECT_EQ(a.vaddr, 0x1000u);
+    EXPECT_EQ(a.nonMemInsts, 5u);
+    EXPECT_EQ(a.type, AccessType::Load);
+    EXPECT_FALSE(a.dependent);
+
+    const TraceRecord b = src.next();
+    EXPECT_EQ(b.vaddr, 0x2040u);
+    EXPECT_EQ(b.type, AccessType::Store);
+    EXPECT_TRUE(b.dependent);
+
+    const TraceRecord c = src.next();
+    EXPECT_EQ(c.vaddr, 0xffff'ffff'f000ULL);
+    EXPECT_EQ(c.type, AccessType::InstFetch);
+}
+
+TEST_F(TraceFileTest, ReplayLoops)
+{
+    {
+        TraceWriter w(path);
+        w.write(rec(1, 0, AccessType::Load, false));
+        w.write(rec(2, 0, AccessType::Load, false));
+    }
+    FileTraceSource src(path);
+    EXPECT_EQ(src.next().vaddr, 1u);
+    EXPECT_EQ(src.next().vaddr, 2u);
+    EXPECT_EQ(src.next().vaddr, 1u) << "source must loop";
+}
+
+TEST_F(TraceFileTest, ResetRestarts)
+{
+    {
+        TraceWriter w(path);
+        w.write(rec(1, 0, AccessType::Load, false));
+        w.write(rec(2, 0, AccessType::Load, false));
+    }
+    FileTraceSource src(path);
+    src.next();
+    src.reset();
+    EXPECT_EQ(src.next().vaddr, 1u);
+}
+
+TEST_F(TraceFileTest, CaptureFromSyntheticMatchesGenerator)
+{
+    SyntheticParams p;
+    p.footprintPages = 64;
+    p.seed = 99;
+    SyntheticTraceGen gen(p);
+    captureTrace(gen, path, 500);
+
+    SyntheticTraceGen fresh(p);
+    FileTraceSource src(path);
+    ASSERT_EQ(src.records(), 500u);
+    for (int i = 0; i < 500; ++i) {
+        const TraceRecord a = fresh.next();
+        const TraceRecord b = src.next();
+        ASSERT_EQ(a.vaddr, b.vaddr) << i;
+        ASSERT_EQ(a.nonMemInsts, b.nonMemInsts) << i;
+        ASSERT_EQ(a.type, b.type) << i;
+        ASSERT_EQ(a.dependent, b.dependent) << i;
+    }
+}
+
+TEST_F(TraceFileTest, RejectsGarbage)
+{
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace";
+    }
+    EXPECT_EXIT(FileTraceSource src(path),
+                ::testing::ExitedWithCode(1), "not a TDC trace");
+}
+
+TEST_F(TraceFileTest, RejectsMissingFile)
+{
+    EXPECT_EXIT(FileTraceSource src("/nonexistent/path.trc"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(TraceFileTest, RejectsEmptyTrace)
+{
+    {
+        TraceWriter w(path); // header only
+    }
+    EXPECT_EXIT(FileTraceSource src(path),
+                ::testing::ExitedWithCode(1), "no records");
+}

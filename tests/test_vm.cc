@@ -1,0 +1,294 @@
+/** @file Tests for physical memory, page tables and TLBs. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/event_queue.hh"
+#include "vm/page_table.hh"
+#include "vm/phys_mem.hh"
+#include "vm/pte.hh"
+#include "vm/tlb.hh"
+
+using namespace tdc;
+
+// ------------------------------------------------------------- AsidVpn
+
+TEST(AsidVpn, RoundTrip)
+{
+    const AsidVpn k = makeAsidVpn(3, 0x12345);
+    EXPECT_EQ(procOf(k), 3u);
+    EXPECT_EQ(vpnOf(k), 0x12345u);
+}
+
+TEST(AsidVpn, ProcessesDoNotAlias)
+{
+    EXPECT_NE(makeAsidVpn(0, 100), makeAsidVpn(1, 100));
+    EXPECT_NE(makeAsidVpn(2, 100), makeAsidVpn(2, 101));
+}
+
+// ------------------------------------------------------------- PhysMem
+
+TEST(PhysMem, BumpAllocation)
+{
+    EventQueue eq;
+    PhysMem pm("pm", eq, 100);
+    EXPECT_EQ(pm.allocPage(), 0u);
+    EXPECT_EQ(pm.allocPage(), 1u);
+    EXPECT_EQ(pm.allocatedPages(), 2u);
+}
+
+TEST(PhysMem, AllOffPackageWithoutInterleave)
+{
+    EventQueue eq;
+    PhysMem pm("pm", eq, 100);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(pm.regionOf(pm.allocPage()), MemRegion::OffPackage);
+}
+
+TEST(PhysMem, CapacityProportionalInterleave)
+{
+    EventQueue eq;
+    // 1:8 in:off ratio, like 1GB in-package / 8GB off-package.
+    PhysMem pm("pm", eq, 800, 100);
+    unsigned in_pkg = 0;
+    for (int i = 0; i < 450; ++i)
+        in_pkg += pm.regionOf(pm.allocPage()) == MemRegion::InPackage;
+    // Expect roughly 1/9 of pages in-package.
+    EXPECT_NEAR(in_pkg, 50, 10);
+}
+
+TEST(PhysMem, DeviceAddrPerRegion)
+{
+    EventQueue eq;
+    PhysMem pm("pm", eq, 100, 10);
+    // Off-package pages use their own page number; in-package pages are
+    // rebased to the in-package device.
+    EXPECT_EQ(pm.deviceAddr(5), pageBase(5));
+    EXPECT_EQ(pm.regionOf(100), MemRegion::InPackage);
+    EXPECT_EQ(pm.deviceAddr(100), pageBase(0));
+    EXPECT_EQ(pm.deviceAddr(103), pageBase(3));
+}
+
+TEST(PhysMemDeath, OutOfMemory)
+{
+    EventQueue eq;
+    PhysMem pm("pm", eq, 3);
+    pm.allocPage();
+    pm.allocPage();
+    pm.allocPage();
+    EXPECT_EXIT(pm.allocPage(), ::testing::ExitedWithCode(1),
+                "out of physical memory");
+}
+
+// ----------------------------------------------------------- PageTable
+
+TEST(PageTable, DemandAllocation)
+{
+    EventQueue eq;
+    PhysMem pm("pm", eq, 100);
+    PageTable pt("pt", eq, 0, pm);
+    EXPECT_EQ(pt.find(10), nullptr);
+    Pte &pte = pt.walk(10);
+    EXPECT_TRUE(pte.valid);
+    EXPECT_FALSE(pte.vc);
+    EXPECT_FALSE(pte.nc);
+    EXPECT_FALSE(pte.pu);
+    EXPECT_EQ(pte.vpn, 10u);
+    EXPECT_EQ(pt.find(10), &pte);
+    EXPECT_EQ(pt.demandAllocs(), 1u);
+}
+
+TEST(PageTable, WalkIsIdempotent)
+{
+    EventQueue eq;
+    PhysMem pm("pm", eq, 100);
+    PageTable pt("pt", eq, 0, pm);
+    Pte &a = pt.walk(5);
+    Pte &b = pt.walk(5);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(pt.demandAllocs(), 1u);
+}
+
+TEST(PageTable, PointerStability)
+{
+    EventQueue eq;
+    PhysMem pm("pm", eq, 100'000);
+    PageTable pt("pt", eq, 0, pm);
+    Pte *first = &pt.walk(0);
+    for (PageNum v = 1; v < 10'000; ++v)
+        pt.walk(v);
+    // The GIPT stores Pte*; growing the table must not move entries.
+    EXPECT_EQ(pt.find(0), first);
+}
+
+TEST(PageTable, DistinctFrames)
+{
+    EventQueue eq;
+    PhysMem pm("pm", eq, 1000);
+    PageTable pt("pt", eq, 0, pm);
+    std::set<Addr> frames;
+    for (PageNum v = 0; v < 100; ++v)
+        frames.insert(pt.walk(v).frame);
+    EXPECT_EQ(frames.size(), 100u);
+}
+
+TEST(PageTable, NonCacheableHintBeforeTouch)
+{
+    EventQueue eq;
+    PhysMem pm("pm", eq, 100);
+    PageTable pt("pt", eq, 0, pm);
+    pt.setNonCacheableHint(42);
+    EXPECT_TRUE(pt.walk(42).nc);
+    EXPECT_FALSE(pt.walk(43).nc);
+}
+
+TEST(PageTable, NonCacheableHintAfterTouch)
+{
+    EventQueue eq;
+    PhysMem pm("pm", eq, 100);
+    PageTable pt("pt", eq, 0, pm);
+    pt.walk(42);
+    pt.setNonCacheableHint(42);
+    EXPECT_TRUE(pt.walk(42).nc);
+}
+
+TEST(PageTable, FirstTouchHook)
+{
+    EventQueue eq;
+    PhysMem pm("pm", eq, 100);
+    PageTable pt("pt", eq, 0, pm);
+    int calls = 0;
+    pt.setFirstTouchHook([&](Pte &pte) {
+        ++calls;
+        EXPECT_TRUE(pte.valid);
+    });
+    pt.walk(1);
+    pt.walk(1);
+    pt.walk(2);
+    EXPECT_EQ(calls, 2);
+}
+
+// ----------------------------------------------------------------- TLB
+
+namespace {
+
+TlbEntry
+entry(PageNum vpn, Addr frame, bool nc = false)
+{
+    return TlbEntry{makeAsidVpn(0, vpn), frame, nc};
+}
+
+} // namespace
+
+TEST(Tlb, MissThenHit)
+{
+    EventQueue eq;
+    Tlb tlb("tlb", eq, 4);
+    EXPECT_FALSE(tlb.lookup(makeAsidVpn(0, 1)).has_value());
+    tlb.insert(entry(1, 100));
+    const auto hit = tlb.lookup(makeAsidVpn(0, 1));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->frame, 100u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, LruEviction)
+{
+    EventQueue eq;
+    Tlb tlb("tlb", eq, 2);
+    tlb.insert(entry(1, 1));
+    tlb.insert(entry(2, 2));
+    tlb.lookup(makeAsidVpn(0, 1)); // 1 becomes MRU
+    const auto victim = tlb.insert(entry(3, 3));
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(vpnOf(victim->key), 2u);
+    EXPECT_TRUE(tlb.contains(makeAsidVpn(0, 1)));
+    EXPECT_FALSE(tlb.contains(makeAsidVpn(0, 2)));
+}
+
+TEST(Tlb, RefreshUpdatesInPlace)
+{
+    EventQueue eq;
+    Tlb tlb("tlb", eq, 2);
+    tlb.insert(entry(1, 100));
+    const auto victim = tlb.insert(entry(1, 100));
+    EXPECT_FALSE(victim.has_value());
+    EXPECT_EQ(tlb.size(), 1u);
+}
+
+TEST(Tlb, Invalidate)
+{
+    EventQueue eq;
+    Tlb tlb("tlb", eq, 4);
+    tlb.insert(entry(1, 1));
+    EXPECT_TRUE(tlb.invalidate(makeAsidVpn(0, 1)));
+    EXPECT_FALSE(tlb.contains(makeAsidVpn(0, 1)));
+    EXPECT_FALSE(tlb.invalidate(makeAsidVpn(0, 1)));
+}
+
+TEST(Tlb, ResidenceHookTracksInsertAndEvict)
+{
+    EventQueue eq;
+    Tlb tlb("tlb", eq, 2);
+    int resident = 0;
+    tlb.setResidenceHook([&](const TlbEntry &, bool r) {
+        resident += r ? 1 : -1;
+    });
+    tlb.insert(entry(1, 1));
+    tlb.insert(entry(2, 2));
+    EXPECT_EQ(resident, 2);
+    tlb.insert(entry(3, 3)); // evicts one
+    EXPECT_EQ(resident, 2);
+    tlb.invalidate(makeAsidVpn(0, 3));
+    EXPECT_EQ(resident, 1);
+    tlb.flushAll();
+    EXPECT_EQ(resident, 0);
+}
+
+TEST(Tlb, HookReceivesEvictedEntry)
+{
+    EventQueue eq;
+    Tlb tlb("tlb", eq, 1);
+    std::vector<Addr> evicted;
+    tlb.setResidenceHook([&](const TlbEntry &e, bool r) {
+        if (!r)
+            evicted.push_back(e.frame);
+    });
+    tlb.insert(entry(1, 111));
+    tlb.insert(entry(2, 222));
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0], 111u);
+}
+
+TEST(Tlb, DistinguishesProcesses)
+{
+    EventQueue eq;
+    Tlb tlb("tlb", eq, 4);
+    tlb.insert(TlbEntry{makeAsidVpn(0, 9), 100, false});
+    EXPECT_FALSE(tlb.lookup(makeAsidVpn(1, 9)).has_value());
+    EXPECT_TRUE(tlb.lookup(makeAsidVpn(0, 9)).has_value());
+}
+
+TEST(Tlb, CapacityHonored)
+{
+    EventQueue eq;
+    Tlb tlb("tlb", eq, 32);
+    for (PageNum v = 0; v < 100; ++v)
+        tlb.insert(entry(v, v));
+    EXPECT_EQ(tlb.size(), 32u);
+    // The 32 most recent survive.
+    for (PageNum v = 68; v < 100; ++v)
+        EXPECT_TRUE(tlb.contains(makeAsidVpn(0, v)));
+}
+
+TEST(Tlb, NcEntryPreserved)
+{
+    EventQueue eq;
+    Tlb tlb("tlb", eq, 4);
+    tlb.insert(entry(1, 100, true));
+    const auto hit = tlb.lookup(makeAsidVpn(0, 1));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->nc);
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * tdc_sim: the command-line simulator driver.
+ *
+ *   tdc_sim org=<nol3|bi|sram|ctlb|ideal|alloy>
+ *           workload=<name> | mix=<N> (Table 5 mix number 1-8)
+ *           [insts=<per-core>] [warmup=<per-core>]
+ *           [l3.size_bytes=...] [l3.policy=fifo|lru] [l3.alpha=N]
+ *           [l3.filter=true] [l3.filter_threshold=N]
+ *           [stats=1]         (dump the full statistics tree)
+ *
+ * Examples:
+ *   tdc_sim org=ctlb workload=mcf
+ *   tdc_sim org=sram mix=5 l3.size_bytes=268435456
+ *   tdc_sim org=ctlb workload=GemsFDTD l3.filter=true stats=1
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/config.hh"
+#include "common/format.hh"
+#include "sys/system.hh"
+#include "trace/workloads.hh"
+
+using namespace tdc;
+
+namespace {
+
+void
+printResult(const System &sys, const RunResult &r)
+{
+    std::cout << format("cores                 : {}\n",
+                        r.coreIpc.size());
+    for (std::size_t i = 0; i < r.coreIpc.size(); ++i)
+        std::cout << format("  core{} IPC           : {:.4f}\n", i,
+                            r.coreIpc[i]);
+    std::cout << format("sum IPC               : {:.4f}\n", r.sumIpc);
+    std::cout << format("instructions          : {}\n", r.totalInsts);
+    std::cout << format("cycles (max core)     : {}\n", r.cycles);
+    std::cout << format("runtime               : {:.3f} ms\n",
+                        r.seconds * 1e3);
+    std::cout << format("L3 accesses           : {}\n", r.l3Accesses);
+    std::cout << format("L3 in-package hits    : {:.2f}%\n",
+                        r.l3HitRate * 100);
+    std::cout << format("avg L3 latency        : {:.1f} cycles\n",
+                        r.avgL3LatencyCycles);
+    std::cout << format("TLB full-miss rate    : {:.5f}\n",
+                        r.tlbMissRate);
+    std::cout << format("victim hits           : {}\n", r.victimHits);
+    std::cout << format("page fills            : {}\n", r.pageFills);
+    std::cout << format("page writebacks       : {}\n",
+                        r.pageWritebacks);
+    std::cout << format("in-package traffic    : {:.2f} MB\n",
+                        static_cast<double>(r.inPkgBytes) / 1e6);
+    std::cout << format("off-package traffic   : {:.2f} MB\n",
+                        static_cast<double>(r.offPkgBytes) / 1e6);
+    std::cout << format(
+        "energy                : {:.3f} mJ (core {:.2f} / on-die {:.2f} "
+        "/ tags {:.2f} / in-pkg {:.2f} / off-pkg {:.2f})\n",
+        r.energy.totalPj() * 1e-9, r.energy.corePj * 1e-9,
+        r.energy.onDiePj * 1e-9, r.energy.tagPj * 1e-9,
+        r.energy.inPkgPj * 1e-9, r.energy.offPkgPj * 1e-9);
+    std::cout << format("EDP                   : {:.4f} uJ*s\n",
+                        r.edp * 1e6);
+    std::cout << format("on-die tag SRAM       : {} KB\n",
+                        const_cast<System &>(sys).org().onDieTagBits()
+                            / 8 / 1024);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config args;
+    args.parseArgs(argc, argv);
+
+    SystemConfig cfg;
+    cfg.org = orgKindFromString(args.getString("org", "ctlb"));
+
+    if (args.has("mix")) {
+        const auto n = args.getU64("mix", 1);
+        const auto &mixes = table5Mixes();
+        if (n < 1 || n > mixes.size())
+            fatal("mix must be 1..{}", mixes.size());
+        cfg.workloads.assign(mixes[n - 1].begin(), mixes[n - 1].end());
+    } else {
+        cfg.workloads = {args.getString("workload", "libquantum")};
+    }
+
+    cfg.applyEnvironment();
+    cfg.instsPerCore = args.getU64("insts", cfg.instsPerCore);
+    cfg.warmupInsts = args.getU64("warmup", cfg.warmupInsts);
+    cfg.l3SizeBytes = args.getU64("l3.size_bytes", cfg.l3SizeBytes);
+    cfg.raw = args;
+
+    std::cout << format("org={} l3={}MB insts/core={} warmup={}\n",
+                        toString(cfg.org), cfg.l3SizeBytes >> 20,
+                        cfg.instsPerCore, cfg.warmupInsts);
+    std::cout << "workloads:";
+    for (const auto &w : cfg.workloads)
+        std::cout << " " << w;
+    std::cout << "\n\n";
+
+    System sys(cfg);
+    const RunResult r = sys.run();
+    printResult(sys, r);
+
+    if (args.getBool("stats", false)) {
+        std::cout << "\n---- full statistics ----\n";
+        sys.dumpStats(std::cout);
+    }
+    return 0;
+}
