@@ -59,8 +59,9 @@ run(const char *workload, bool superpages, const Budget &b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Ablation: 2MB superpages over the streamed footprint",
            "superpages amplify TLB reach when locality is high "
            "(Section 6)");

@@ -99,8 +99,9 @@ filterStudy(const Budget &b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Ablations: alpha, GIPT update cost, online page filter",
            "design-choice sensitivity studies (DESIGN.md section 5)");
     const Budget b = budget(2'000'000, 2'000'000);

@@ -16,8 +16,9 @@ using namespace tdc;
 using namespace tdc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Ablation: TLB reach (L2 TLB entries) vs victim hits",
            "TLB reach moves hits between cTLB-guaranteed and "
            "victim-cache paths");

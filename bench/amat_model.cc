@@ -17,8 +17,9 @@ using namespace tdc;
 using namespace tdc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("AMAT model (Equations 1-5) vs simulation",
            "AMAT_Tagless consistently below AMAT_SRAM-tag");
 

@@ -19,10 +19,103 @@
 
 #include "common/format.hh"
 #include "common/units.hh"
+#include "sys/report.hh"
 #include "sys/system.hh"
 
 namespace tdc {
 namespace bench {
+
+/**
+ * Collects one machine-readable row per simulated design point and
+ * writes them out as a JSON document when the bench exits.
+ *
+ * Every call to runConfig() records a row automatically, so each
+ * figure bench emits diffable data alongside its text for free. The
+ * output path comes from a "--json=<path>" argument (see initReport)
+ * or the TDC_JSON environment variable; with neither set, collection
+ * is a no-op.
+ */
+class JsonReport
+{
+  public:
+    static JsonReport &
+    instance()
+    {
+        static JsonReport r;
+        return r;
+    }
+
+    void setBench(const std::string &name) { bench_ = name; }
+    void setPath(const std::string &path) { path_ = path; }
+    bool enabled() const { return !path_.empty(); }
+
+    /** Adds one run row (meta + headline metrics). */
+    void
+    addRun(const SystemConfig &cfg, const RunResult &r)
+    {
+        if (!enabled())
+            return;
+        auto row = json::Value::object();
+        row.set("meta", toJson(cfg));
+        row.set("result", toJson(r));
+        rows_.push(std::move(row));
+    }
+
+    /** Adds a bench-specific derived row (geomeans, normalized IPC). */
+    void
+    addRow(json::Value row)
+    {
+        if (enabled())
+            derived_.push(std::move(row));
+    }
+
+    ~JsonReport()
+    {
+        // Writes even when empty: a requested report should always
+        // exist, so downstream tooling can tell "no runs" from "bench
+        // crashed before the report".
+        if (!enabled())
+            return;
+        auto doc = json::Value::object();
+        doc.set("schema", "tdc-bench-report-v1");
+        doc.set("bench", bench_);
+        doc.set("runs", std::move(rows_));
+        if (derived_.size() != 0)
+            doc.set("derived", std::move(derived_));
+        json::writeFile(doc, path_);
+        std::cerr << format("[bench] json report written to {}\n",
+                            path_);
+    }
+
+  private:
+    JsonReport()
+        : rows_(json::Value::array()), derived_(json::Value::array())
+    {
+        if (const char *env = std::getenv("TDC_JSON"))
+            path_ = env;
+    }
+
+    std::string bench_;
+    std::string path_;
+    json::Value rows_;
+    json::Value derived_;
+};
+
+/**
+ * Scans argv for --json=<path> (or json=<path>) and enables the JSON
+ * report. Benches call this first thing in main().
+ */
+inline void
+initReport(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string_view tok(argv[i]);
+        while (!tok.empty() && tok.front() == '-')
+            tok.remove_prefix(1);
+        if (tok.rfind("json=", 0) == 0)
+            JsonReport::instance().setPath(std::string(tok.substr(5)));
+    }
+}
 
 struct Budget
 {
@@ -58,7 +151,9 @@ runConfig(OrgKind org, const std::vector<std::string> &workloads,
     cfg.warmupInsts = b.warmup;
     cfg.raw = raw;
     System sys(cfg);
-    return sys.run();
+    RunResult r = sys.run();
+    JsonReport::instance().addRun(cfg, r);
+    return r;
 }
 
 inline double
@@ -75,6 +170,7 @@ geomean(const std::vector<double> &xs)
 inline void
 header(const std::string &title, const std::string &paper_note)
 {
+    JsonReport::instance().setBench(title);
     std::cout << "\n==== " << title << " ====\n";
     std::cout << "paper: " << paper_note << "\n\n";
 }

@@ -15,8 +15,9 @@ using namespace tdc;
 using namespace tdc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Figure 7: single-programmed IPC and EDP (normalized to NoL3)",
            "BI +4.0% / SRAM +16.4% / cTLB +24.9% IPC; "
            "cTLB EDP -26.5% vs SRAM");

@@ -15,8 +15,9 @@ using namespace tdc;
 using namespace tdc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Figure 8: average L3 access latency (cycles)",
            "tagless lower everywhere; max -16.7% (libquantum), "
            "geomean -9.9%");

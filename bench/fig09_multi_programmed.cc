@@ -14,8 +14,9 @@ using namespace tdc;
 using namespace tdc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Figure 9: multi-programmed IPC and EDP (normalized to NoL3)",
            "BI +11.2% / SRAM +34.9% / cTLB +38.4% IPC; EDP -31.5% / "
            "-43.5%");

@@ -21,8 +21,9 @@ using namespace tdc;
 using namespace tdc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Figure 10: IPC vs DRAM cache size (normalized to BI)",
            "256MB ~30% below BI (thrash); >=512MB cTLB wins "
            "[sweep scaled: our footprints are ~8x smaller]");

@@ -14,8 +14,9 @@ using namespace tdc;
 using namespace tdc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Figure 11: tagless cache, FIFO vs LRU replacement",
            "LRU only +1.6% IPC on average over FIFO");
 

@@ -16,8 +16,9 @@ using namespace tdc;
 using namespace tdc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Figure 12: multi-threaded (PARSEC) IPC and EDP "
            "(normalized to NoL3)",
            "streamcluster +24% IPC; facesim EDP win; "

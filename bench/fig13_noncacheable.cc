@@ -44,8 +44,9 @@ runGems(bool use_nc, const Budget &b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Figure 13: GemsFDTD with vs without non-cacheable pages",
            "+7.1% IPC with NC pages over plain tagless");
 

@@ -23,8 +23,9 @@ using namespace tdc;
 using namespace tdc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Table 1: latency of the four (TLB, cache) cases",
            "Hit/Hit zero penalty; Miss/Hit walk only; Miss/Miss pays "
            "fill + GIPT");

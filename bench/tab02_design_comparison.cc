@@ -20,8 +20,9 @@ using namespace tdc;
 using namespace tdc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Table 2: block-based vs page-based vs tagless",
            "tagless: best tag storage / hit ratio / hit latency; "
            "page-granularity over-fetch remains");

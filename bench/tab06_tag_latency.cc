@@ -12,8 +12,9 @@ using namespace tdc;
 using namespace tdc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initReport(argc, argv);
     header("Table 6: SRAM tag size/latency vs cache size",
            "0.5/1/2/4 MB and 5/6/9/11 cycles for 128MB..1GB");
 

@@ -33,6 +33,9 @@ Config::set(const std::string &key, bool value)
 bool
 Config::parseAssignment(std::string_view token)
 {
+    // Accept GNU-style spellings: "--json=x" stores under key "json".
+    while (!token.empty() && token.front() == '-')
+        token.remove_prefix(1);
     auto eq = token.find('=');
     if (eq == std::string_view::npos || eq == 0)
         return false;

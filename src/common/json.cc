@@ -1,0 +1,553 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace tdc {
+namespace json {
+
+const Value *
+Value::findPath(std::string_view path) const
+{
+    const Value *cur = this;
+    while (!path.empty()) {
+        const auto dot = path.find('.');
+        const std::string_view head = path.substr(0, dot);
+        cur = cur->find(head);
+        if (cur == nullptr)
+            return nullptr;
+        if (dot == std::string_view::npos)
+            break;
+        path.remove_prefix(dot + 1);
+    }
+    return cur;
+}
+
+void
+writeEscaped(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << static_cast<char>(c);
+            }
+        }
+    }
+    os << '"';
+}
+
+namespace {
+
+void
+writeDouble(std::ostream &os, double v)
+{
+    // JSON has no NaN/Inf; map them to null rather than emit garbage.
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+    // Keep numbers recognizably floating-point for readers that care.
+    std::string_view sv(buf);
+    if (sv.find('.') == std::string_view::npos
+        && sv.find('e') == std::string_view::npos
+        && sv.find("inf") == std::string_view::npos) {
+        os << ".0";
+    }
+}
+
+void
+newlineIndent(std::ostream &os, int indent, int depth)
+{
+    os << '\n';
+    for (int i = 0; i < indent * depth; ++i)
+        os << ' ';
+}
+
+} // namespace
+
+void
+Value::writeIndented(std::ostream &os, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::Uint:
+        os << uint_;
+        break;
+      case Kind::Double:
+        writeDouble(os, double_);
+        break;
+      case Kind::String:
+        writeEscaped(os, string_);
+        break;
+      case Kind::Array:
+        if (items_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                os << ',';
+            if (indent >= 0)
+                newlineIndent(os, indent, depth + 1);
+            items_[i].writeIndented(os, indent, depth + 1);
+        }
+        if (indent >= 0)
+            newlineIndent(os, indent, depth);
+        os << ']';
+        break;
+      case Kind::Object:
+        if (members_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                os << ',';
+            if (indent >= 0)
+                newlineIndent(os, indent, depth + 1);
+            writeEscaped(os, members_[i].first);
+            os << (indent >= 0 ? ": " : ":");
+            members_[i].second.writeIndented(os, indent, depth + 1);
+        }
+        if (indent >= 0)
+            newlineIndent(os, indent, depth);
+        os << '}';
+        break;
+    }
+}
+
+void
+Value::write(std::ostream &os, int indent) const
+{
+    writeIndented(os, indent, 0);
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::ostringstream oss;
+    write(oss, indent);
+    return oss.str();
+}
+
+// ---------------------------------------------------------------------
+// Parser: recursive descent over the input text.
+// ---------------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *err)
+        : text_(text), err_(err)
+    {}
+
+    std::optional<Value>
+    run()
+    {
+        skipWs();
+        Value v;
+        if (!parseValue(v, 0))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    static constexpr int maxDepth = 64;
+
+    void
+    fail(const std::string &what)
+    {
+        if (err_ != nullptr && err_->empty())
+            *err_ = format("json parse error at offset {}: {}", pos_,
+                           what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\t'
+                   || text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, int depth)
+    {
+        if (depth > maxDepth) {
+            fail("nesting too deep");
+            return false;
+        }
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        const char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value(std::move(s));
+            return true;
+          }
+          case 't':
+            if (literal("true")) {
+                out = Value(true);
+                return true;
+            }
+            fail("bad literal");
+            return false;
+          case 'f':
+            if (literal("false")) {
+                out = Value(false);
+                return true;
+            }
+            fail("bad literal");
+            return false;
+          case 'n':
+            if (literal("null")) {
+                out = Value(nullptr);
+                return true;
+            }
+            fail("bad literal");
+            return false;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value &out, int depth)
+    {
+        consume('{');
+        out = Value::object();
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key)) {
+                fail("expected object key");
+                return false;
+            }
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after key");
+                return false;
+            }
+            skipWs();
+            Value v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.set(key, std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            fail("expected ',' or '}' in object");
+            return false;
+        }
+    }
+
+    bool
+    parseArray(Value &out, int depth)
+    {
+        consume('[');
+        out = Value::array();
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            skipWs();
+            Value v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.push(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            fail("expected ',' or ']' in array");
+            return false;
+        }
+    }
+
+    static void
+    appendUtf8(std::string &s, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xc0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xe0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            s += static_cast<char>(0xf0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parseHex4(std::uint32_t &out)
+    {
+        if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+        }
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else {
+                fail("bad hex digit in \\u escape");
+                return false;
+            }
+        }
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"')) {
+            fail("expected string");
+            return false;
+        }
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+                return false;
+            }
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("truncated escape");
+                return false;
+            }
+            c = text_[pos_++];
+            switch (c) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                std::uint32_t cp = 0;
+                if (!parseHex4(cp))
+                    return false;
+                // Combine a UTF-16 surrogate pair when present.
+                if (cp >= 0xd800 && cp <= 0xdbff
+                    && text_.substr(pos_, 2) == "\\u") {
+                    pos_ += 2;
+                    std::uint32_t lo = 0;
+                    if (!parseHex4(lo))
+                        return false;
+                    if (lo >= 0xdc00 && lo <= 0xdfff) {
+                        cp = 0x10000 + ((cp - 0xd800) << 10)
+                             + (lo - 0xdc00);
+                    } else {
+                        fail("unpaired surrogate");
+                        return false;
+                    }
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail("bad escape character");
+                return false;
+            }
+        }
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = pos_;
+        bool negative = false;
+        bool integral = true;
+        if (consume('-'))
+            negative = true;
+        if (pos_ >= text_.size() || !std::isdigit(
+                static_cast<unsigned char>(text_[pos_]))) {
+            fail("expected a value");
+            return false;
+        }
+        while (pos_ < text_.size()
+               && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            integral = false;
+            ++pos_;
+            while (pos_ < text_.size()
+                   && std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size()
+            && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size()
+                && (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < text_.size()
+                   && std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        const std::string tok(text_.substr(start, pos_ - start));
+        if (integral && !negative) {
+            // Counters round-trip exactly through uint64.
+            errno = 0;
+            char *end = nullptr;
+            const auto u = std::strtoull(tok.c_str(), &end, 10);
+            if (errno == 0 && end != nullptr && *end == '\0') {
+                out = Value(static_cast<std::uint64_t>(u));
+                return true;
+            }
+        }
+        char *end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            fail("malformed number");
+            return false;
+        }
+        out = Value(d);
+        return true;
+    }
+
+    std::string_view text_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<Value>
+Value::parse(std::string_view text, std::string *err)
+{
+    return Parser(text, err).run();
+}
+
+void
+writeFile(const Value &v, const std::string &path, int indent)
+{
+    std::ofstream ofs(path, std::ios::trunc);
+    if (!ofs)
+        fatal("cannot open '{}' for writing", path);
+    v.write(ofs, indent);
+    ofs << '\n';
+    if (!ofs)
+        fatal("failed writing json to '{}'", path);
+}
+
+std::optional<Value>
+tryReadFile(const std::string &path, std::string *err)
+{
+    std::ifstream ifs(path);
+    if (!ifs) {
+        if (err != nullptr)
+            *err = format("cannot open '{}'", path);
+        return std::nullopt;
+    }
+    std::ostringstream oss;
+    oss << ifs.rdbuf();
+    return Value::parse(oss.str(), err);
+}
+
+Value
+readFile(const std::string &path)
+{
+    std::string err;
+    auto v = tryReadFile(path, &err);
+    if (!v)
+        fatal("reading json file '{}': {}", path, err);
+    return std::move(*v);
+}
+
+} // namespace json
+} // namespace tdc

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Minimal JSON value, writer and parser.
+ *
+ * The simulator emits machine-readable run reports (stats trees,
+ * RunResult metrics, golden regression files) without external
+ * dependencies. The model is deliberately small: a Value is null, a
+ * bool, an unsigned 64-bit counter, a double, a string, an array or an
+ * object. Counters round-trip exactly; doubles are printed with
+ * max_digits10 so parse(dump(v)) is lossless. Object members preserve
+ * insertion order, which keeps serialized reports diffable.
+ */
+
+#ifndef TDC_COMMON_JSON_HH
+#define TDC_COMMON_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tdc {
+namespace json {
+
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Uint, Double, String, Array, Object };
+
+    Value() = default;
+    Value(std::nullptr_t) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(std::uint64_t v) : kind_(Kind::Uint), uint_(v) {}
+    Value(std::uint32_t v) : Value(std::uint64_t{v}) {}
+    Value(int v) : kind_(Kind::Uint), uint_(static_cast<std::uint64_t>(v))
+    {
+        tdc_assert(v >= 0, "negative int stored in json::Value");
+    }
+    Value(double v) : kind_(Kind::Double), double_(v) {}
+    Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+    Value(std::string_view s) : Value(std::string(s)) {}
+    Value(const char *s) : Value(std::string(s)) {}
+
+    static Value array() { return Value(Kind::Array); }
+    static Value object() { return Value(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isUint() const { return kind_ == Kind::Uint; }
+    bool isDouble() const { return kind_ == Kind::Double; }
+    bool isNumber() const { return isUint() || isDouble(); }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { expect(Kind::Bool); return bool_; }
+    std::uint64_t asUint() const { expect(Kind::Uint); return uint_; }
+
+    /** Any number as a double (Uint converts). */
+    double
+    asDouble() const
+    {
+        if (kind_ == Kind::Uint)
+            return static_cast<double>(uint_);
+        expect(Kind::Double);
+        return double_;
+    }
+
+    const std::string &asString() const
+    {
+        expect(Kind::String);
+        return string_;
+    }
+
+    // ---- array interface ----
+
+    void
+    push(Value v)
+    {
+        expect(Kind::Array);
+        items_.push_back(std::move(v));
+    }
+
+    // ---- object interface ----
+
+    /** Sets (or overwrites) a member, preserving first-set order. */
+    void
+    set(std::string_view key, Value v)
+    {
+        expect(Kind::Object);
+        for (auto &kv : members_) {
+            if (kv.first == key) {
+                kv.second = std::move(v);
+                return;
+            }
+        }
+        members_.emplace_back(std::string(key), std::move(v));
+    }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const Value *
+    find(std::string_view key) const
+    {
+        if (kind_ != Kind::Object)
+            return nullptr;
+        for (const auto &kv : members_)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+
+    /** Dotted-path lookup ("result.energy.total_pj"). */
+    const Value *findPath(std::string_view path) const;
+
+    // ---- shared container interface ----
+
+    std::size_t
+    size() const
+    {
+        return kind_ == Kind::Array ? items_.size() : members_.size();
+    }
+
+    const Value &at(std::size_t i) const { return items_.at(i); }
+
+    const std::vector<std::pair<std::string, Value>> &
+    members() const
+    {
+        return members_;
+    }
+
+    const std::vector<Value> &items() const { return items_; }
+
+    // ---- serialization ----
+
+    /**
+     * Writes JSON text. indent < 0 produces a compact single line;
+     * indent >= 0 pretty-prints with that many spaces per level.
+     */
+    void write(std::ostream &os, int indent = 2) const;
+
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Parses a complete JSON document. Returns std::nullopt on any
+     * syntax error and, when err is non-null, stores a description
+     * with the byte offset of the failure.
+     */
+    static std::optional<Value> parse(std::string_view text,
+                                      std::string *err = nullptr);
+
+  private:
+    explicit Value(Kind k) : kind_(k) {}
+
+    void
+    expect(Kind k) const
+    {
+        tdc_assert(kind_ == k, "json::Value kind mismatch ({} vs {})",
+                   static_cast<int>(kind_), static_cast<int>(k));
+    }
+
+    void writeIndented(std::ostream &os, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Value> items_;
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+/** Escapes and quotes a string per RFC 8259. */
+void writeEscaped(std::ostream &os, std::string_view s);
+
+/** Writes the file atomically enough for reports (truncate + write). */
+void writeFile(const Value &v, const std::string &path, int indent = 2);
+
+/** Reads and parses a JSON file; fatal() on I/O or syntax errors. */
+Value readFile(const std::string &path);
+
+/** Reads and parses; std::nullopt when missing or malformed. */
+std::optional<Value> tryReadFile(const std::string &path,
+                                 std::string *err = nullptr);
+
+} // namespace json
+} // namespace tdc
+
+#endif // TDC_COMMON_JSON_HH

@@ -33,5 +33,20 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
         child->dump(os, path);
 }
 
+json::Value
+StatGroup::toJson() const
+{
+    auto v = json::Value::object();
+    for (const auto &e : scalars_)
+        v.set(e.name, e.stat->toJson());
+    for (const auto &e : averages_)
+        v.set(e.name, e.stat->toJson());
+    for (const auto &e : histograms_)
+        v.set(e.name, e.stat->toJson());
+    for (const auto *child : children_)
+        v.set(child->name(), child->toJson());
+    return v;
+}
+
 } // namespace stats
 } // namespace tdc

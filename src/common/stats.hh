@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace tdc {
@@ -33,6 +34,8 @@ class Scalar
     void reset() { value_ = 0; }
 
     std::uint64_t value() const { return value_; }
+
+    json::Value toJson() const { return json::Value(value_); }
 
   private:
     std::uint64_t value_ = 0;
@@ -55,6 +58,16 @@ class Average
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
 
+    json::Value
+    toJson() const
+    {
+        auto v = json::Value::object();
+        v.set("sum", sum_);
+        v.set("count", count_);
+        v.set("mean", mean());
+        return v;
+    }
+
   private:
     double sum_ = 0.0;
     std::uint64_t count_ = 0;
@@ -75,9 +88,17 @@ class Histogram
     sample(double v)
     {
         stat_.sample(v);
-        auto idx = static_cast<std::size_t>(v / width_);
-        if (idx >= counts_.size() - 1)
-            idx = counts_.size() - 1; // overflow bucket
+        // Clamp negatives (and NaN) into bucket 0: the unchecked cast
+        // of a negative quotient to size_t would index far out of
+        // range.
+        std::size_t idx = 0;
+        if (v > 0.0) {
+            const double q = v / width_;
+            const auto last =
+                static_cast<double>(counts_.size() - 1);
+            idx = q >= last ? counts_.size() - 1 // overflow bucket
+                            : static_cast<std::size_t>(q);
+        }
         ++counts_[idx];
     }
 
@@ -95,6 +116,21 @@ class Histogram
     std::size_t buckets() const { return counts_.size() - 1; }
     double bucketWidth() const { return width_; }
     std::uint64_t overflow() const { return counts_.back(); }
+
+    json::Value
+    toJson() const
+    {
+        auto v = json::Value::object();
+        v.set("mean", mean());
+        v.set("count", stat_.count());
+        v.set("bucket_width", width_);
+        auto buckets = json::Value::array();
+        for (std::size_t i = 0; i + 1 < counts_.size(); ++i)
+            buckets.push(counts_[i]);
+        v.set("buckets", std::move(buckets));
+        v.set("overflow", counts_.back());
+        return v;
+    }
 
   private:
     Average stat_;
@@ -143,6 +179,13 @@ class StatGroup
 
     /** Dumps every statistic, one per line, prefixed with the path. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Serializes the subtree as one JSON object: statistics keyed by
+     * name, child groups nested under their names. Registration order
+     * is preserved so successive dumps diff cleanly.
+     */
+    json::Value toJson() const;
 
   private:
     template <typename T>

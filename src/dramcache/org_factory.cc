@@ -42,6 +42,30 @@ toString(OrgKind k)
     return "?";
 }
 
+std::string_view
+cliName(OrgKind k)
+{
+    switch (k) {
+      case OrgKind::NoL3: return "nol3";
+      case OrgKind::BankInterleave: return "bi";
+      case OrgKind::SramTag: return "sram";
+      case OrgKind::Tagless: return "ctlb";
+      case OrgKind::Ideal: return "ideal";
+      case OrgKind::Alloy: return "alloy";
+    }
+    return "?";
+}
+
+const std::vector<OrgKind> &
+allOrgKinds()
+{
+    static const std::vector<OrgKind> kinds = {
+        OrgKind::NoL3,  OrgKind::BankInterleave, OrgKind::SramTag,
+        OrgKind::Tagless, OrgKind::Ideal,        OrgKind::Alloy,
+    };
+    return kinds;
+}
+
 std::unique_ptr<DramCacheOrg>
 makeDramCacheOrg(OrgKind kind, const Config &cfg, EventQueue &eq,
                  DramDevice &in_pkg, DramDevice &off_pkg, PhysMem &phys,

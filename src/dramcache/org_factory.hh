@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/config.hh"
 #include "dramcache/dram_cache_org.hh"
@@ -28,6 +29,15 @@ enum class OrgKind {
 
 OrgKind orgKindFromString(std::string_view s);
 std::string_view toString(OrgKind k);
+
+/**
+ * Canonical lower-case CLI token ("ctlb", "sram", ...): the stable
+ * spelling used in run reports and golden-stats file names.
+ */
+std::string_view cliName(OrgKind k);
+
+/** Every organization, in a fixed order (golden matrix, sweeps). */
+const std::vector<OrgKind> &allOrgKinds();
 
 /**
  * Instantiates an organization.

@@ -1,0 +1,83 @@
+#include "sys/report.hh"
+
+namespace tdc {
+
+json::Value
+toJson(const RunResult &r)
+{
+    auto v = json::Value::object();
+
+    auto per_core = json::Value::array();
+    for (double ipc : r.coreIpc)
+        per_core.push(ipc);
+    v.set("core_ipc", std::move(per_core));
+    v.set("sum_ipc", r.sumIpc);
+    v.set("total_insts", r.totalInsts);
+    v.set("cycles", static_cast<std::uint64_t>(r.cycles));
+    v.set("seconds", r.seconds);
+
+    v.set("l3_accesses", r.l3Accesses);
+    v.set("l3_hit_rate", r.l3HitRate);
+    v.set("avg_l3_latency_cycles", r.avgL3LatencyCycles);
+    v.set("tlb_miss_rate", r.tlbMissRate);
+    v.set("victim_hits", r.victimHits);
+    v.set("cold_fills", r.coldFills);
+    v.set("page_fills", r.pageFills);
+    v.set("page_writebacks", r.pageWritebacks);
+    v.set("in_pkg_bytes", r.inPkgBytes);
+    v.set("off_pkg_bytes", r.offPkgBytes);
+
+    auto energy = json::Value::object();
+    energy.set("core_pj", r.energy.corePj);
+    energy.set("on_die_pj", r.energy.onDiePj);
+    energy.set("tag_pj", r.energy.tagPj);
+    energy.set("in_pkg_pj", r.energy.inPkgPj);
+    energy.set("off_pkg_pj", r.energy.offPkgPj);
+    energy.set("total_pj", r.energy.totalPj());
+    v.set("energy", std::move(energy));
+    v.set("edp_js", r.edp);
+    return v;
+}
+
+json::Value
+toJson(const SystemConfig &cfg)
+{
+    auto v = json::Value::object();
+    v.set("org", cliName(cfg.org));
+    auto wl = json::Value::array();
+    for (const auto &w : cfg.workloads)
+        wl.push(w);
+    v.set("workloads", std::move(wl));
+    v.set("l3_size_bytes", cfg.l3SizeBytes);
+    v.set("off_pkg_bytes", cfg.offPkgBytes);
+    v.set("insts_per_core", cfg.instsPerCore);
+    v.set("warmup_insts", cfg.warmupInsts);
+    if (!cfg.raw.entries().empty()) {
+        auto raw = json::Value::object();
+        for (const auto &kv : cfg.raw.entries())
+            raw.set(kv.first, kv.second);
+        v.set("raw", std::move(raw));
+    }
+    return v;
+}
+
+json::Value
+makeRunReport(const SystemConfig &cfg, const RunResult &r,
+              const System *sys)
+{
+    auto report = json::Value::object();
+    report.set("schema", runReportSchema);
+    report.set("meta", toJson(cfg));
+    report.set("result", toJson(r));
+    if (sys != nullptr)
+        report.set("stats", sys->statsJson());
+    return report;
+}
+
+void
+writeReportFile(const json::Value &report, const std::string &path)
+{
+    json::writeFile(report, path);
+}
+
+} // namespace tdc

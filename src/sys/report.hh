@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * Converts a RunResult (and optionally the full statistics tree of the
+ * System that produced it) into a JSON document with a stable schema,
+ * so benches, the CLI driver and the golden-stats regression harness
+ * all speak the same format:
+ *
+ *   {
+ *     "schema": "tdc-run-report-v1",
+ *     "meta":   { org, workloads, l3_size_bytes, insts_per_core, ... },
+ *     "result": { sum_ipc, l3_hit_rate, victim_hits, energy: {...} },
+ *     "stats":  { in_pkg: {...}, org: {...}, core0: {...}, ... }
+ *   }
+ *
+ * Counters are emitted as exact integers; rates, latencies and energy
+ * as doubles with full round-trip precision.
+ */
+
+#ifndef TDC_SYS_REPORT_HH
+#define TDC_SYS_REPORT_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "sys/system.hh"
+
+namespace tdc {
+
+/** Schema tag stamped into every report. */
+inline constexpr const char *runReportSchema = "tdc-run-report-v1";
+
+/** Serializes just the headline metrics of one run. */
+json::Value toJson(const RunResult &r);
+
+/** Serializes the configuration a run was performed with. */
+json::Value toJson(const SystemConfig &cfg);
+
+/**
+ * The full report: schema + meta + result, and, when sys is non-null,
+ * the complete hierarchical statistics tree under "stats".
+ */
+json::Value makeRunReport(const SystemConfig &cfg, const RunResult &r,
+                          const System *sys = nullptr);
+
+/** Writes a report (or any JSON value) to a file; fatal() on error. */
+void writeReportFile(const json::Value &report, const std::string &path);
+
+} // namespace tdc
+
+#endif // TDC_SYS_REPORT_HH

@@ -285,4 +285,17 @@ System::dumpStats(std::ostream &os) const
         c->statGroup().dump(os, "sys");
 }
 
+json::Value
+System::statsJson() const
+{
+    auto v = json::Value::object();
+    v.set(inPkg_->name(), inPkg_->statGroup().toJson());
+    v.set(offPkg_->name(), offPkg_->statGroup().toJson());
+    v.set(phys_->name(), phys_->statGroup().toJson());
+    v.set(org_->name(), org_->statGroup().toJson());
+    for (const auto &c : cores_)
+        v.set(c->name(), c->statGroup().toJson());
+    return v;
+}
+
 } // namespace tdc

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/json.hh"
 #include "core/core_params.hh"
 #include "core/ooo_core.hh"
 #include "dram/dram_device.hh"
@@ -104,6 +105,9 @@ class System
 
     /** Dumps the full hierarchical statistics tree. */
     void dumpStats(std::ostream &os) const;
+
+    /** The same tree as one JSON object keyed by component name. */
+    json::Value statsJson() const;
 
     // Component access for tests and examples.
     DramCacheOrg &org() { return *org_; }

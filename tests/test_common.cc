@@ -177,6 +177,27 @@ TEST(Stats, Histogram)
     EXPECT_EQ(h.count(), 4u);
 }
 
+TEST(Stats, HistogramNegativeSamplesClampToBucketZero)
+{
+    // A negative sample used to underflow the size_t bucket index and
+    // stomp memory far outside the counts array.
+    stats::Histogram h(10.0, 4);
+    h.sample(-1.0);
+    h.sample(-1e12);
+    h.sample(0.0);
+    EXPECT_EQ(h.bucket(0), 3u);
+    EXPECT_EQ(h.bucket(1), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.count(), 3u);
+    // The mean still reflects the raw samples.
+    EXPECT_LT(h.mean(), 0.0);
+
+    // Huge positive samples land in the overflow bucket even when
+    // the quotient exceeds the range of size_t.
+    h.sample(1e300);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
 TEST(Stats, GroupDump)
 {
     stats::StatGroup g("grp");

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the JSON writer/parser and the stats-to-JSON dump: value
+ * construction, escaping, round-trips, histogram buckets, nesting and
+ * empty groups — the machinery the run reports and golden-stats
+ * harness depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+
+using namespace tdc;
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+TEST(Json, Primitives)
+{
+    EXPECT_EQ(json::Value().dump(-1), "null");
+    EXPECT_EQ(json::Value(nullptr).dump(-1), "null");
+    EXPECT_EQ(json::Value(true).dump(-1), "true");
+    EXPECT_EQ(json::Value(false).dump(-1), "false");
+    EXPECT_EQ(json::Value(std::uint64_t{42}).dump(-1), "42");
+    EXPECT_EQ(json::Value(UINT64_MAX).dump(-1),
+              "18446744073709551615");
+    EXPECT_EQ(json::Value("hi").dump(-1), "\"hi\"");
+}
+
+TEST(Json, DoublesKeepFloatShape)
+{
+    // Integral-valued doubles still read back as floating point.
+    EXPECT_EQ(json::Value(2.0).dump(-1), "2.0");
+    EXPECT_EQ(json::Value(0.5).dump(-1), "0.5");
+    // Non-finite values have no JSON spelling; they become null.
+    EXPECT_EQ(json::Value(std::nan("")).dump(-1), "null");
+}
+
+TEST(Json, StringEscaping)
+{
+    const std::string nasty = "a\"b\\c\nd\te\x01" "f";
+    EXPECT_EQ(json::Value(nasty).dump(-1),
+              "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+}
+
+TEST(Json, NestedStructureCompactAndPretty)
+{
+    auto obj = json::Value::object();
+    obj.set("a", 1);
+    auto arr = json::Value::array();
+    arr.push(true);
+    arr.push("x");
+    obj.set("b", std::move(arr));
+    obj.set("c", json::Value::object());
+
+    EXPECT_EQ(obj.dump(-1), "{\"a\":1,\"b\":[true,\"x\"],\"c\":{}}");
+    EXPECT_EQ(obj.dump(2),
+              "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    \"x\"\n  ],"
+              "\n  \"c\": {}\n}");
+}
+
+TEST(Json, ObjectSetOverwritesInPlace)
+{
+    auto obj = json::Value::object();
+    obj.set("k", 1);
+    obj.set("m", 2);
+    obj.set("k", 3);
+    EXPECT_EQ(obj.size(), 2u);
+    EXPECT_EQ(obj.find("k")->asUint(), 3u);
+    // Order is preserved: "k" stays first.
+    EXPECT_EQ(obj.members()[0].first, "k");
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+TEST(Json, ParseRoundTrip)
+{
+    auto obj = json::Value::object();
+    obj.set("counter", UINT64_MAX);
+    obj.set("rate", 0.12345678901234567);
+    obj.set("label", "quote\" slash\\ nl\n");
+    auto arr = json::Value::array();
+    arr.push(json::Value(nullptr));
+    arr.push(false);
+    obj.set("list", std::move(arr));
+
+    const auto parsed = json::Value::parse(obj.dump(2));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("counter")->asUint(), UINT64_MAX);
+    EXPECT_DOUBLE_EQ(parsed->find("rate")->asDouble(),
+                     0.12345678901234567);
+    EXPECT_EQ(parsed->find("label")->asString(), "quote\" slash\\ nl\n");
+    EXPECT_TRUE(parsed->find("list")->at(0).isNull());
+    EXPECT_FALSE(parsed->find("list")->at(1).asBool());
+}
+
+TEST(Json, ParseNumbers)
+{
+    auto v = json::Value::parse("[0, 123, -4, 2.5, -1e-3, 1E+2]");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->at(0).isUint());
+    EXPECT_EQ(v->at(1).asUint(), 123u);
+    EXPECT_TRUE(v->at(2).isDouble());
+    EXPECT_DOUBLE_EQ(v->at(2).asDouble(), -4.0);
+    EXPECT_DOUBLE_EQ(v->at(3).asDouble(), 2.5);
+    EXPECT_DOUBLE_EQ(v->at(4).asDouble(), -1e-3);
+    EXPECT_DOUBLE_EQ(v->at(5).asDouble(), 100.0);
+}
+
+TEST(Json, ParseUnicodeEscapes)
+{
+    auto v = json::Value::parse("\"\\u0041\\u00e9\\ud83d\\ude00\"");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->asString(), "A\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParseErrors)
+{
+    std::string err;
+    EXPECT_FALSE(json::Value::parse("{", &err).has_value());
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(json::Value::parse("[1,]").has_value());
+    EXPECT_FALSE(json::Value::parse("{\"a\":1} x").has_value());
+    EXPECT_FALSE(json::Value::parse("tru").has_value());
+    EXPECT_FALSE(json::Value::parse("\"unterminated").has_value());
+    EXPECT_FALSE(json::Value::parse("01x").has_value());
+}
+
+TEST(Json, FindPath)
+{
+    auto v = json::Value::parse(
+        "{\"result\":{\"energy\":{\"total_pj\":7.5}}}");
+    ASSERT_TRUE(v.has_value());
+    const json::Value *p = v->findPath("result.energy.total_pj");
+    ASSERT_NE(p, nullptr);
+    EXPECT_DOUBLE_EQ(p->asDouble(), 7.5);
+    EXPECT_EQ(v->findPath("result.missing.total_pj"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Stats serialization
+// ---------------------------------------------------------------------
+
+TEST(StatsJson, ScalarAndAverage)
+{
+    stats::Scalar s;
+    s += 7;
+    EXPECT_EQ(s.toJson().dump(-1), "7");
+
+    stats::Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    const auto v = a.toJson();
+    EXPECT_DOUBLE_EQ(v.find("sum")->asDouble(), 6.0);
+    EXPECT_EQ(v.find("count")->asUint(), 2u);
+    EXPECT_DOUBLE_EQ(v.find("mean")->asDouble(), 3.0);
+}
+
+TEST(StatsJson, HistogramBuckets)
+{
+    stats::Histogram h(10.0, 4);
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(1000.0);
+    const auto v = h.toJson();
+    EXPECT_DOUBLE_EQ(v.find("bucket_width")->asDouble(), 10.0);
+    ASSERT_EQ(v.find("buckets")->size(), 4u);
+    EXPECT_EQ(v.find("buckets")->at(0).asUint(), 1u);
+    EXPECT_EQ(v.find("buckets")->at(1).asUint(), 1u);
+    EXPECT_EQ(v.find("buckets")->at(2).asUint(), 0u);
+    EXPECT_EQ(v.find("overflow")->asUint(), 1u);
+    EXPECT_EQ(v.find("count")->asUint(), 3u);
+}
+
+TEST(StatsJson, GroupNestingAndEmptyGroups)
+{
+    stats::StatGroup root("root");
+    stats::StatGroup child("child");
+    stats::StatGroup empty("empty");
+    stats::Scalar s;
+    s += 3;
+    stats::Histogram h(1.0, 2);
+    h.sample(0.5);
+
+    root.addScalar("hits", &s, "hit count");
+    child.addHistogram("lat", &h);
+    root.addChild(&child);
+    root.addChild(&empty);
+
+    const auto v = root.toJson();
+    EXPECT_EQ(v.find("hits")->asUint(), 3u);
+    const json::Value *lat = v.findPath("child.lat");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->find("count")->asUint(), 1u);
+    // Empty groups serialize as {} rather than disappearing.
+    ASSERT_NE(v.find("empty"), nullptr);
+    EXPECT_TRUE(v.find("empty")->isObject());
+    EXPECT_EQ(v.find("empty")->size(), 0u);
+
+    // The whole tree survives a print/parse round trip.
+    const auto reparsed = json::Value::parse(v.dump(2));
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(reparsed->findPath("child.lat.count")->asUint(), 1u);
+}

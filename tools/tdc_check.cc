@@ -1,0 +1,269 @@
+/**
+ * @file
+ * tdc_check: the golden-stats regression gate.
+ *
+ * Runs a fixed, deterministic matrix of small configurations (every
+ * L3 organization x a few synthetic workloads at a tiny instruction
+ * budget) and compares the key metrics of each run against checked-in
+ * golden JSON files. Counters must match exactly; floating-point
+ * metrics are compared with a relative tolerance. Any drift makes the
+ * binary exit non-zero with a metric-level diff, which is what the CI
+ * golden-stats job gates on.
+ *
+ *   tdc_check [--golden-dir=<dir>]   default: tests/golden next to cwd
+ *             [--update-golden]      rewrite goldens from this build
+ *             [--tolerance=<rel>]    float tolerance (default 1e-6)
+ *             [org=<cli-name>]       restrict to one organization
+ *             [workload=<name>]      restrict to one workload
+ *             [--list]               print the matrix and exit
+ *
+ * The budgets are hard-coded (never taken from TDC_INSTS/TDC_WARMUP):
+ * golden results must not depend on the caller's environment.
+ */
+
+#include <cmath>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/format.hh"
+#include "common/json.hh"
+#include "sys/report.hh"
+#include "sys/system.hh"
+#include "trace/workloads.hh"
+
+using namespace tdc;
+
+namespace {
+
+/** Per-core budget for every golden run: small but warm. */
+constexpr std::uint64_t goldenInsts = 1'000'000;
+constexpr std::uint64_t goldenWarmup = 500'000;
+
+/** Single-programmed workloads exercising distinct reuse regimes. */
+const std::vector<std::string> goldenWorkloads = {
+    "libquantum", // streaming, TLB-friendly
+    "mcf",        // pointer-chasing, large footprint
+    "milc",       // low-reuse pages, victim-cache sensitive
+};
+
+/** Counters: any deviation is a real behavioural change. */
+const std::vector<std::string> exactMetrics = {
+    "total_insts",    "cycles",         "l3_accesses",
+    "victim_hits",    "page_fills",     "page_writebacks",
+    "in_pkg_bytes",   "off_pkg_bytes",
+};
+
+/** Derived floating-point metrics: compared with relative tolerance. */
+const std::vector<std::string> floatMetrics = {
+    "sum_ipc",
+    "l3_hit_rate",
+    "avg_l3_latency_cycles",
+    "tlb_miss_rate",
+    "energy.total_pj",
+    "edp_js",
+};
+
+struct Options
+{
+    std::string goldenDir = "tests/golden";
+    bool update = false;
+    bool list = false;
+    double tolerance = 1e-6;
+    std::string orgFilter;
+    std::string workloadFilter;
+};
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view tok(argv[i]);
+        if (tok == "--update-golden") {
+            opt.update = true;
+        } else if (tok == "--list") {
+            opt.list = true;
+        } else if (tok.find('=') != std::string_view::npos) {
+            if (!cfg.parseAssignment(tok))
+                fatal("malformed argument '{}'", tok);
+        } else {
+            fatal("unknown argument '{}' (see tools/tdc_check.cc)",
+                  tok);
+        }
+    }
+    opt.goldenDir = cfg.getString("golden-dir", opt.goldenDir);
+    opt.tolerance = cfg.getDouble("tolerance", opt.tolerance);
+    opt.orgFilter = cfg.getString("org", "");
+    opt.workloadFilter = cfg.getString("workload", "");
+    return opt;
+}
+
+std::string
+goldenPath(const Options &opt, OrgKind org, const std::string &workload)
+{
+    return format("{}/{}_{}.json", opt.goldenDir, cliName(org),
+                  workload);
+}
+
+SystemConfig
+goldenConfig(OrgKind org, const std::string &workload)
+{
+    SystemConfig cfg;
+    cfg.org = org;
+    cfg.workloads = {workload};
+    cfg.instsPerCore = goldenInsts;
+    cfg.warmupInsts = goldenWarmup;
+    return cfg;
+}
+
+/** One metric mismatch, already formatted for the report. */
+struct Diff
+{
+    std::string metric;
+    std::string detail;
+};
+
+void
+compareMetrics(const json::Value &golden, const json::Value &current,
+               double tolerance, std::vector<Diff> &diffs)
+{
+    const json::Value *gr = golden.find("result");
+    const json::Value *cr = current.find("result");
+    if (gr == nullptr) {
+        diffs.push_back({"result", "golden file has no result object"});
+        return;
+    }
+    tdc_assert(cr != nullptr, "current report has no result object");
+
+    for (const auto &m : exactMetrics) {
+        const json::Value *g = gr->findPath(m);
+        const json::Value *c = cr->findPath(m);
+        if (g == nullptr || !g->isUint()) {
+            diffs.push_back({m, "missing from golden file"});
+            continue;
+        }
+        if (c == nullptr) {
+            diffs.push_back({m, "missing from current run"});
+            continue;
+        }
+        if (g->asUint() != c->asUint()) {
+            const auto gv = g->asUint();
+            const auto cv = c->asUint();
+            const auto delta =
+                cv >= gv ? format("+{}", cv - gv)
+                         : format("-{}", gv - cv);
+            diffs.push_back(
+                {m, format("golden={} current={} ({})", gv, cv,
+                           delta)});
+        }
+    }
+    for (const auto &m : floatMetrics) {
+        const json::Value *g = gr->findPath(m);
+        const json::Value *c = cr->findPath(m);
+        if (g == nullptr || !g->isNumber()) {
+            diffs.push_back({m, "missing from golden file"});
+            continue;
+        }
+        if (c == nullptr) {
+            diffs.push_back({m, "missing from current run"});
+            continue;
+        }
+        const double gv = g->asDouble();
+        const double cv = c->asDouble();
+        const double scale = std::max(std::abs(gv), std::abs(cv));
+        const double rel =
+            scale > 0.0 ? std::abs(gv - cv) / scale : 0.0;
+        if (rel > tolerance) {
+            diffs.push_back(
+                {m, format("golden={} current={} (rel diff {} > "
+                           "tol {})",
+                           gv, cv, rel, tolerance)});
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseOptions(argc, argv);
+
+    unsigned ran = 0, failed = 0, updated = 0;
+    for (OrgKind org : allOrgKinds()) {
+        if (!opt.orgFilter.empty() && cliName(org) != opt.orgFilter)
+            continue;
+        for (const auto &workload : goldenWorkloads) {
+            if (!opt.workloadFilter.empty()
+                && workload != opt.workloadFilter)
+                continue;
+
+            const std::string path = goldenPath(opt, org, workload);
+            const std::string label =
+                format("{}/{}", cliName(org), workload);
+            if (opt.list) {
+                std::cout << format("{:<20} {}\n", label, path);
+                continue;
+            }
+
+            const SystemConfig cfg = goldenConfig(org, workload);
+            System sys(cfg);
+            const RunResult r = sys.run();
+            const json::Value current = makeRunReport(cfg, r);
+            ++ran;
+
+            if (opt.update) {
+                std::filesystem::create_directories(opt.goldenDir);
+                json::writeFile(current, path);
+                std::cout << format("[UPDATE] {:<20} -> {}\n", label,
+                                    path);
+                ++updated;
+                continue;
+            }
+
+            std::string err;
+            const auto golden = json::tryReadFile(path, &err);
+            if (!golden) {
+                std::cout << format(
+                    "[FAIL] {:<20} no golden file ({}); run "
+                    "tdc_check --update-golden\n",
+                    label, err);
+                ++failed;
+                continue;
+            }
+
+            std::vector<Diff> diffs;
+            compareMetrics(*golden, current, opt.tolerance, diffs);
+            if (diffs.empty()) {
+                std::cout << format("[ OK ] {:<20}\n", label);
+            } else {
+                ++failed;
+                std::cout << format("[FAIL] {:<20} {} metric(s) "
+                                    "drifted:\n",
+                                    label, diffs.size());
+                for (const auto &d : diffs)
+                    std::cout << format("         {:<24} {}\n",
+                                        d.metric, d.detail);
+            }
+        }
+    }
+
+    if (opt.list)
+        return 0;
+    if (opt.update) {
+        std::cout << format("updated {} golden file(s) in {}\n",
+                            updated, opt.goldenDir);
+        return 0;
+    }
+    std::cout << format("\ngolden-stats: {} run(s), {} failure(s)\n",
+                        ran, failed);
+    if (ran == 0) {
+        std::cout << "no configurations matched the filters\n";
+        return 2;
+    }
+    return failed == 0 ? 0 : 1;
+}

@@ -8,9 +8,13 @@
  *           [l3.size_bytes=...] [l3.policy=fifo|lru] [l3.alpha=N]
  *           [l3.filter=true] [l3.filter_threshold=N]
  *           [stats=1]         (dump the full statistics tree)
+ *           [--json=<path>]   (write the full machine-readable run
+ *                              report: meta + result + stats tree)
+ *           [stats-json=<path>] (write only the stats tree as JSON)
  *
  * Examples:
  *   tdc_sim org=ctlb workload=mcf
+ *   tdc_sim org=ctlb workload=mcf --json=out.json
  *   tdc_sim org=sram mix=5 l3.size_bytes=268435456
  *   tdc_sim org=ctlb workload=GemsFDTD l3.filter=true stats=1
  */
@@ -20,6 +24,7 @@
 
 #include "common/config.hh"
 #include "common/format.hh"
+#include "sys/report.hh"
 #include "sys/system.hh"
 #include "trace/workloads.hh"
 
@@ -110,6 +115,17 @@ main(int argc, char **argv)
     if (args.getBool("stats", false)) {
         std::cout << "\n---- full statistics ----\n";
         sys.dumpStats(std::cout);
+    }
+
+    if (args.has("json")) {
+        const std::string path = args.getString("json", "");
+        writeReportFile(makeRunReport(cfg, r, &sys), path);
+        std::cout << format("\nrun report written to {}\n", path);
+    }
+    if (args.has("stats-json")) {
+        const std::string path = args.getString("stats-json", "");
+        writeReportFile(sys.statsJson(), path);
+        std::cout << format("stats tree written to {}\n", path);
     }
     return 0;
 }
