@@ -19,6 +19,8 @@
 
 #include "common/format.hh"
 #include "common/units.hh"
+#include "runner/sweep.hh"
+#include "runner/sweep_runner.hh"
 #include "sys/report.hh"
 #include "sys/system.hh"
 
@@ -154,6 +156,65 @@ runConfig(OrgKind org, const std::vector<std::string> &workloads,
     RunResult r = sys.run();
     JsonReport::instance().addRun(cfg, r);
     return r;
+}
+
+/**
+ * One design point of a figure's sweep. Declared up front so a bench
+ * can hand the whole figure to runSweep() and print from the results.
+ */
+struct SweepPoint
+{
+    OrgKind org;
+    std::vector<std::string> workloads;
+    std::uint64_t l3Bytes = 1ULL << 30;
+    Config raw{};
+};
+
+/**
+ * Simulates every point on the parallel SweepRunner and returns the
+ * results in declaration order (so figure tables are byte-identical
+ * at any worker count). Worker count comes from TDC_JOBS, defaulting
+ * to the machine's cores. Each point is recorded in the JsonReport,
+ * in order, exactly as per-point runConfig() calls would have. A
+ * failed point is fatal: a figure with holes is not a figure.
+ */
+inline std::vector<RunResult>
+runSweep(const std::vector<SweepPoint> &points, const Budget &b)
+{
+    runner::SweepManifest m;
+    m.name = "bench";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        runner::JobSpec job;
+        job.label = format("{:03}:{}/{}", i, cliName(p.org),
+                           p.workloads.empty() ? "?"
+                                               : p.workloads.front());
+        job.org = p.org;
+        job.workloads = p.workloads;
+        job.l3SizeBytes = p.l3Bytes;
+        job.instsPerCore = b.insts;
+        job.warmupInsts = b.warmup;
+        job.raw = p.raw;
+        m.jobs.push_back(std::move(job));
+    }
+
+    runner::SweepOptions opt;
+    opt.jobs = runner::SweepRunner::envJobs(0);
+    opt.progress = false;
+    const auto results = runner::SweepRunner(opt).run(m);
+
+    std::vector<RunResult> out;
+    out.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        if (!r.ok())
+            fatal("sweep point '{}' {}: {}", r.label,
+                  runner::statusName(r.status), r.error);
+        JsonReport::instance().addRun(m.jobs[i].toSystemConfig(),
+                                      r.result);
+        out.push_back(r.result);
+    }
+    return out;
 }
 
 inline double

@@ -36,11 +36,23 @@ main(int argc, char **argv)
     std::vector<std::vector<double>> ipc_norm(orgs.size());
     std::vector<std::vector<double>> edp_norm(orgs.size());
 
-    for (const auto &prog : spec11Names()) {
-        const RunResult base = runConfig(OrgKind::NoL3, {prog}, b);
-        std::cout << format("{:<12}", prog);
+    // Declare the whole figure -- (NoL3 baseline + each org) per
+    // program -- and simulate it as one parallel sweep.
+    const auto &progs = spec11Names();
+    std::vector<SweepPoint> points;
+    for (const auto &prog : progs) {
+        points.push_back({OrgKind::NoL3, {prog}});
+        for (OrgKind k : orgs)
+            points.push_back({k, {prog}});
+    }
+    const auto results = runSweep(points, b);
+
+    const std::size_t stride = 1 + orgs.size();
+    for (std::size_t pi = 0; pi < progs.size(); ++pi) {
+        const RunResult &base = results[pi * stride];
+        std::cout << format("{:<12}", progs[pi]);
         for (std::size_t i = 0; i < orgs.size(); ++i) {
-            const RunResult r = runConfig(orgs[i], {prog}, b);
+            const RunResult &r = results[pi * stride + 1 + i];
             const double ni = r.sumIpc / base.sumIpc;
             const double ne = r.edp / base.edp;
             ipc_norm[i].push_back(ni);

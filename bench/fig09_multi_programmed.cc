@@ -35,14 +35,24 @@ main(int argc, char **argv)
     std::vector<std::vector<double>> ipc_norm(orgs.size());
     std::vector<std::vector<double>> edp_norm(orgs.size());
 
+    // Declare the whole figure -- (NoL3 baseline + each org) per mix
+    // -- and simulate it as one parallel sweep.
     const auto &mixes = table5Mixes();
+    std::vector<SweepPoint> points;
+    for (const auto &mix : mixes) {
+        const std::vector<std::string> w(mix.begin(), mix.end());
+        points.push_back({OrgKind::NoL3, w});
+        for (OrgKind k : orgs)
+            points.push_back({k, w});
+    }
+    const auto results = runSweep(points, b);
+
+    const std::size_t stride = 1 + orgs.size();
     for (std::size_t mi = 0; mi < mixes.size(); ++mi) {
-        const std::vector<std::string> w(mixes[mi].begin(),
-                                         mixes[mi].end());
-        const RunResult base = runConfig(OrgKind::NoL3, w, b);
+        const RunResult &base = results[mi * stride];
         std::cout << format("MIX{:<3}", mi + 1);
         for (std::size_t i = 0; i < orgs.size(); ++i) {
-            const RunResult r = runConfig(orgs[i], w, b);
+            const RunResult &r = results[mi * stride + 1 + i];
             const double ni = r.sumIpc / base.sumIpc;
             const double ne = r.edp / base.edp;
             ipc_norm[i].push_back(ni);

@@ -41,18 +41,28 @@ main(int argc, char **argv)
     std::vector<std::vector<double>> sram_norm(sizes_mb.size());
     std::vector<std::vector<double>> ctlb_norm(sizes_mb.size());
 
+    // 8 mixes x 5 sizes x 3 organizations = 120 independent design
+    // points: the heaviest figure, declared and swept in parallel.
+    std::vector<SweepPoint> points;
+    for (const auto &mix : mixes) {
+        const std::vector<std::string> w(mix.begin(), mix.end());
+        for (std::uint64_t mb : sizes_mb) {
+            const std::uint64_t bytes = mb << 20;
+            points.push_back({OrgKind::BankInterleave, w, bytes});
+            points.push_back({OrgKind::SramTag, w, bytes});
+            points.push_back({OrgKind::Tagless, w, bytes});
+        }
+    }
+    const auto results = runSweep(points, b);
+
+    const std::size_t stride = 3 * sizes_mb.size();
     for (std::size_t mi = 0; mi < mixes.size(); ++mi) {
-        const std::vector<std::string> w(mixes[mi].begin(),
-                                         mixes[mi].end());
         std::cout << format("MIX{:<5}", mi + 1);
         for (std::size_t si = 0; si < sizes_mb.size(); ++si) {
-            const std::uint64_t bytes = sizes_mb[si] << 20;
-            const double bi =
-                runConfig(OrgKind::BankInterleave, w, b, bytes).sumIpc;
-            const double sram =
-                runConfig(OrgKind::SramTag, w, b, bytes).sumIpc;
-            const double ctlb =
-                runConfig(OrgKind::Tagless, w, b, bytes).sumIpc;
+            const std::size_t base = mi * stride + 3 * si;
+            const double bi = results[base].sumIpc;
+            const double sram = results[base + 1].sumIpc;
+            const double ctlb = results[base + 2].sumIpc;
             sram_norm[si].push_back(sram / bi);
             ctlb_norm[si].push_back(ctlb / bi);
             std::cout << format(" {:>10.3f} {:>10.3f}", sram / bi,

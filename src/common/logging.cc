@@ -2,30 +2,94 @@
 
 #include <cstdlib>
 #include <exception>
+#include <mutex>
+#include <utility>
 
 namespace tdc {
+
+namespace {
+
+/**
+ * Serializes every sink write so concurrent sweep workers never
+ * interleave partial lines. A function-local static avoids any
+ * init-order dependency for messages emitted during startup.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Per-thread job label; empty outside a labelled scope. */
+thread_local std::string t_logLabel;
+
+/** When true, fatal() on this thread throws instead of exiting. */
+thread_local bool t_captureFatal = false;
+
+/** "[label] " prefix for the calling thread, or "". */
+std::string
+labelPrefix()
+{
+    if (t_logLabel.empty())
+        return {};
+    return "[" + t_logLabel + "] ";
+}
+
+} // namespace
+
+ScopedLogLabel::ScopedLogLabel(std::string label)
+    : prev_(std::exchange(t_logLabel, std::move(label)))
+{
+}
+
+ScopedLogLabel::~ScopedLogLabel()
+{
+    t_logLabel = std::move(prev_);
+}
+
+ScopedFatalCapture::ScopedFatalCapture()
+    : prev_(std::exchange(t_captureFatal, true))
+{
+}
+
+ScopedFatalCapture::~ScopedFatalCapture()
+{
+    t_captureFatal = prev_;
+}
+
 namespace detail {
 
 void
 terminatePanic(std::string_view msg, const char *file, int line)
 {
-    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
-    std::cerr.flush();
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::cerr << labelPrefix() << "panic: " << msg << " (" << file
+                  << ":" << line << ")\n";
+        std::cerr.flush();
+    }
     std::abort();
 }
 
 void
 terminateFatal(std::string_view msg)
 {
-    std::cerr << "fatal: " << msg << "\n";
-    std::cerr.flush();
+    if (t_captureFatal)
+        throw FatalError(std::string(msg));
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::cerr << labelPrefix() << "fatal: " << msg << "\n";
+        std::cerr.flush();
+    }
     std::exit(1);
 }
 
 void
 emit(std::string_view level, std::string_view msg)
 {
-    std::cerr << level << ": " << msg << "\n";
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::cerr << labelPrefix() << level << ": " << msg << "\n";
 }
 
 } // namespace detail

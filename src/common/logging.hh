@@ -6,6 +6,13 @@
  * fatal()  -- user error: bad configuration or arguments; clean exit(1).
  * warn()   -- suspicious but survivable condition.
  * inform() -- plain status output.
+ *
+ * All sinks are safe to use from concurrent sweep workers: emission is
+ * serialized by a process-wide mutex, and a worker can install a
+ * per-thread job label (ScopedLogLabel) so interleaved messages remain
+ * attributable. A worker can also convert fatal() into a catchable
+ * FatalError (ScopedFatalCapture) so a misconfigured design point
+ * fails its own job instead of exiting the whole sweep.
  */
 
 #ifndef TDC_COMMON_LOGGING_HH
@@ -14,6 +21,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "common/format.hh"
@@ -28,6 +37,54 @@ namespace detail {
 void emit(std::string_view level, std::string_view msg);
 
 } // namespace detail
+
+/**
+ * Thrown by fatal() instead of exiting when a ScopedFatalCapture is
+ * active on the calling thread.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII: while alive, every log message emitted from the constructing
+ * thread is prefixed with "[label]". Sweep workers install one per job
+ * so concurrent output stays attributable. Nesting restores the
+ * previous label on destruction.
+ */
+class ScopedLogLabel
+{
+  public:
+    explicit ScopedLogLabel(std::string label);
+    ~ScopedLogLabel();
+
+    ScopedLogLabel(const ScopedLogLabel &) = delete;
+    ScopedLogLabel &operator=(const ScopedLogLabel &) = delete;
+
+  private:
+    std::string prev_;
+};
+
+/**
+ * RAII: while alive, fatal() called from the constructing thread
+ * throws FatalError instead of exiting the process. panic() still
+ * aborts -- an internal invariant violation is never a per-job
+ * condition. Nesting restores the previous mode on destruction.
+ */
+class ScopedFatalCapture
+{
+  public:
+    ScopedFatalCapture();
+    ~ScopedFatalCapture();
+
+    ScopedFatalCapture(const ScopedFatalCapture &) = delete;
+    ScopedFatalCapture &operator=(const ScopedFatalCapture &) = delete;
+
+  private:
+    bool prev_;
+};
 
 /** Aborts with a message; use for internal invariant violations. */
 template <typename... Args>

@@ -1,0 +1,359 @@
+#include "runner/sweep.hh"
+
+#include <set>
+#include <utility>
+
+#include "common/format.hh"
+#include "common/logging.hh"
+#include "trace/workloads.hh"
+
+namespace tdc {
+namespace runner {
+
+namespace {
+
+/** orgKindFromString with fatal() converted into ManifestError. */
+OrgKind
+parseOrg(const std::string &name)
+{
+    ScopedFatalCapture capture;
+    try {
+        return orgKindFromString(name);
+    } catch (const FatalError &e) {
+        throw ManifestError(e.what());
+    }
+}
+
+/** Rejects unknown workload names before any job runs. */
+void
+checkWorkload(const std::string &name)
+{
+    ScopedFatalCapture capture;
+    try {
+        (void)getWorkload(name);
+    } catch (const FatalError &e) {
+        throw ManifestError(e.what());
+    }
+}
+
+const json::Value &
+requireObject(const json::Value &doc, std::string_view what)
+{
+    if (!doc.isObject())
+        throw ManifestError(format("{} must be a JSON object", what));
+    return doc;
+}
+
+std::uint64_t
+getUint(const json::Value &obj, std::string_view key,
+        std::uint64_t def)
+{
+    const json::Value *v = obj.find(key);
+    if (v == nullptr)
+        return def;
+    if (!v->isUint())
+        throw ManifestError(
+            format("'{}' must be an unsigned integer", key));
+    return v->asUint();
+}
+
+std::string
+getString(const json::Value &obj, std::string_view key,
+          const std::string &def)
+{
+    const json::Value *v = obj.find(key);
+    if (v == nullptr)
+        return def;
+    if (!v->isString())
+        throw ManifestError(format("'{}' must be a string", key));
+    return v->asString();
+}
+
+std::vector<std::string>
+stringArray(const json::Value &arr, std::string_view what)
+{
+    if (!arr.isArray())
+        throw ManifestError(
+            format("'{}' must be an array of strings", what));
+    std::vector<std::string> out;
+    for (const auto &item : arr.items()) {
+        if (!item.isString())
+            throw ManifestError(
+                format("'{}' must be an array of strings", what));
+        out.push_back(item.asString());
+    }
+    return out;
+}
+
+/** Raw overrides are stored as strings; accept any scalar kind. */
+Config
+parseRaw(const json::Value *obj, const Config &base)
+{
+    Config raw = base;
+    if (obj == nullptr)
+        return raw;
+    requireObject(*obj, "'raw'");
+    for (const auto &[key, v] : obj->members()) {
+        switch (v.kind()) {
+          case json::Value::Kind::String:
+            raw.set(key, v.asString());
+            break;
+          case json::Value::Kind::Uint:
+            raw.set(key, v.asUint());
+            break;
+          case json::Value::Kind::Double:
+            raw.set(key, v.asDouble());
+            break;
+          case json::Value::Kind::Bool:
+            raw.set(key, v.asBool());
+            break;
+          default:
+            throw ManifestError(format(
+                "raw override '{}' must be a scalar value", key));
+        }
+    }
+    return raw;
+}
+
+/** Defaults inherited by axes expansion and explicit jobs. */
+struct BaseSpec
+{
+    std::uint64_t l3SizeBytes = 1ULL << 30;
+    std::uint64_t instsPerCore = 1'000'000;
+    std::uint64_t warmupInsts = 500'000;
+    Config raw;
+};
+
+BaseSpec
+parseBase(const json::Value *obj)
+{
+    BaseSpec base;
+    if (obj == nullptr)
+        return base;
+    requireObject(*obj, "'base'");
+    base.l3SizeBytes =
+        getUint(*obj, "l3_size_bytes", base.l3SizeBytes);
+    base.instsPerCore =
+        getUint(*obj, "insts_per_core", base.instsPerCore);
+    base.warmupInsts = getUint(*obj, "warmup_insts", base.warmupInsts);
+    base.raw = parseRaw(obj->find("raw"), {});
+    return base;
+}
+
+JobSpec
+parseJob(const json::Value &obj, const BaseSpec &base)
+{
+    requireObject(obj, "each 'jobs' entry");
+    if (obj.find("org") == nullptr)
+        throw ManifestError("job entry is missing 'org'");
+
+    JobSpec job;
+    job.org = parseOrg(getString(obj, "org", ""));
+    if (const json::Value *ws = obj.find("workloads")) {
+        job.workloads = stringArray(*ws, "workloads");
+    } else if (obj.find("workload") != nullptr) {
+        job.workloads = {getString(obj, "workload", "")};
+    }
+    if (job.workloads.empty())
+        throw ManifestError("job entry has no workloads");
+    for (const auto &w : job.workloads)
+        checkWorkload(w);
+
+    job.l3SizeBytes = getUint(obj, "l3_size_bytes", base.l3SizeBytes);
+    job.instsPerCore =
+        getUint(obj, "insts_per_core", base.instsPerCore);
+    job.warmupInsts = getUint(obj, "warmup_insts", base.warmupInsts);
+    job.raw = parseRaw(obj.find("raw"), base.raw);
+
+    std::string def_label = std::string(cliName(job.org));
+    for (const auto &w : job.workloads)
+        def_label += "/" + w;
+    job.label = getString(obj, "label", def_label);
+    return job;
+}
+
+} // namespace
+
+SystemConfig
+JobSpec::toSystemConfig() const
+{
+    SystemConfig cfg;
+    cfg.org = org;
+    cfg.workloads = workloads;
+    cfg.l3SizeBytes = l3SizeBytes;
+    cfg.instsPerCore = instsPerCore;
+    cfg.warmupInsts = warmupInsts;
+    cfg.raw = raw;
+    return cfg;
+}
+
+json::Value
+JobSpec::toJson() const
+{
+    auto v = json::Value::object();
+    v.set("label", label);
+    v.set("org", cliName(org));
+    auto ws = json::Value::array();
+    for (const auto &w : workloads)
+        ws.push(w);
+    v.set("workloads", std::move(ws));
+    v.set("l3_size_bytes", l3SizeBytes);
+    v.set("insts_per_core", instsPerCore);
+    v.set("warmup_insts", warmupInsts);
+    if (!raw.entries().empty()) {
+        auto r = json::Value::object();
+        for (const auto &[key, value] : raw.entries())
+            r.set(key, value);
+        v.set("raw", std::move(r));
+    }
+    return v;
+}
+
+SweepManifest
+SweepManifest::fromJson(const json::Value &doc)
+{
+    requireObject(doc, "manifest");
+    const std::string schema = getString(doc, "schema", "");
+    if (!schema.empty() && schema != sweepManifestSchema)
+        throw ManifestError(
+            format("unsupported manifest schema '{}' (expected {})",
+                   schema, sweepManifestSchema));
+
+    SweepManifest m;
+    m.name = getString(doc, "name", m.name);
+    if (const json::Value *t = doc.find("timeout_seconds")) {
+        if (!t->isNumber())
+            throw ManifestError("'timeout_seconds' must be a number");
+        m.timeoutSeconds = t->asDouble();
+    }
+
+    const BaseSpec base = parseBase(doc.find("base"));
+
+    if (const json::Value *axes = doc.find("axes")) {
+        requireObject(*axes, "'axes'");
+        const json::Value *orgs_v = axes->find("org");
+        const json::Value *wl_v = axes->find("workload");
+        if (orgs_v == nullptr || wl_v == nullptr)
+            throw ManifestError(
+                "'axes' needs both 'org' and 'workload' arrays");
+        std::vector<OrgKind> orgs;
+        for (const auto &name : stringArray(*orgs_v, "axes.org"))
+            orgs.push_back(parseOrg(name));
+        const auto workloads = stringArray(*wl_v, "axes.workload");
+        for (const auto &w : workloads)
+            checkWorkload(w);
+        std::vector<std::uint64_t> sizes;
+        if (const json::Value *sz = axes->find("l3_size_mb")) {
+            if (!sz->isArray())
+                throw ManifestError(
+                    "'axes.l3_size_mb' must be an array");
+            for (const auto &item : sz->items()) {
+                if (!item.isUint())
+                    throw ManifestError(
+                        "'axes.l3_size_mb' entries must be unsigned");
+                sizes.push_back(item.asUint() << 20);
+            }
+        }
+        if (sizes.empty())
+            sizes = {base.l3SizeBytes};
+        SweepManifest expanded = crossProduct(
+            m.name, orgs, workloads, sizes, base.instsPerCore,
+            base.warmupInsts, base.raw);
+        m.jobs = std::move(expanded.jobs);
+    }
+
+    if (const json::Value *jobs = doc.find("jobs")) {
+        if (!jobs->isArray())
+            throw ManifestError("'jobs' must be an array");
+        for (const auto &entry : jobs->items())
+            m.jobs.push_back(parseJob(entry, base));
+    }
+
+    m.validate();
+    return m;
+}
+
+SweepManifest
+SweepManifest::load(const std::string &path)
+{
+    std::string err;
+    const auto doc = json::tryReadFile(path, &err);
+    if (!doc)
+        throw ManifestError(
+            format("cannot load manifest {}: {}", path, err));
+    return fromJson(*doc);
+}
+
+json::Value
+SweepManifest::toJson() const
+{
+    auto doc = json::Value::object();
+    doc.set("schema", sweepManifestSchema);
+    doc.set("name", name);
+    doc.set("timeout_seconds", timeoutSeconds);
+    auto arr = json::Value::array();
+    for (const auto &job : jobs)
+        arr.push(job.toJson());
+    doc.set("jobs", std::move(arr));
+    return doc;
+}
+
+SweepManifest
+SweepManifest::crossProduct(
+    const std::string &name, const std::vector<OrgKind> &orgs,
+    const std::vector<std::string> &workloads,
+    const std::vector<std::uint64_t> &l3_sizes_bytes,
+    std::uint64_t insts, std::uint64_t warmup, const Config &raw)
+{
+    if (orgs.empty() || workloads.empty() || l3_sizes_bytes.empty())
+        throw ManifestError("cross product over an empty axis");
+
+    SweepManifest m;
+    m.name = name;
+    for (OrgKind org : orgs) {
+        for (const auto &w : workloads) {
+            for (std::uint64_t bytes : l3_sizes_bytes) {
+                JobSpec job;
+                job.org = org;
+                job.workloads = {w};
+                job.l3SizeBytes = bytes;
+                job.instsPerCore = insts;
+                job.warmupInsts = warmup;
+                job.raw = raw;
+                job.label = format("{}/{}", cliName(org), w);
+                if (l3_sizes_bytes.size() > 1)
+                    job.label +=
+                        format("@{}MB", bytes >> 20);
+                m.jobs.push_back(std::move(job));
+            }
+        }
+    }
+    m.validate();
+    return m;
+}
+
+void
+SweepManifest::validate() const
+{
+    if (jobs.empty())
+        throw ManifestError(
+            format("manifest '{}' has no jobs", name));
+    std::set<std::string> labels;
+    for (const auto &job : jobs) {
+        if (job.label.empty())
+            throw ManifestError("job with an empty label");
+        if (!labels.insert(job.label).second)
+            throw ManifestError(
+                format("duplicate job label '{}'", job.label));
+        if (job.workloads.empty())
+            throw ManifestError(
+                format("job '{}' has no workloads", job.label));
+        if (job.instsPerCore == 0)
+            throw ManifestError(
+                format("job '{}' has a zero instruction budget",
+                       job.label));
+    }
+}
+
+} // namespace runner
+} // namespace tdc

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Sweep descriptions: one JobSpec per simulation design point, and a
+ * SweepManifest that names an ordered list of them.
+ *
+ * A manifest can be composed programmatically (benches, tdc_check),
+ * built as a cross product of axes, or loaded from a JSON document:
+ *
+ *   {
+ *     "schema": "tdc-sweep-manifest-v1",
+ *     "name": "smoke",
+ *     "timeout_seconds": 0,
+ *     "base": { "insts_per_core": 100000, "warmup_insts": 50000,
+ *               "l3_size_bytes": 1073741824,
+ *               "raw": { "l3.policy": "fifo" } },
+ *     "axes": { "org": ["ctlb", "sram"],
+ *               "workload": ["libquantum", "mcf"],
+ *               "l3_size_mb": [1024] },
+ *     "jobs": [ { "label": "...", "org": "ctlb",
+ *                 "workloads": ["mcf", "milc", "mcf", "milc"] } ]
+ *   }
+ *
+ * "axes" expands to its cross product (org outermost, then workload,
+ * then size) with labels "<org>/<workload>[@<mb>MB]"; explicit "jobs"
+ * entries follow, inheriting unset fields from "base". Manifest order
+ * is the contract: runners report results in exactly this order, so
+ * aggregated output is byte-deterministic at any worker count.
+ */
+
+#ifndef TDC_RUNNER_SWEEP_HH
+#define TDC_RUNNER_SWEEP_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/json.hh"
+#include "dramcache/org_factory.hh"
+#include "sys/system.hh"
+
+namespace tdc {
+namespace runner {
+
+/** Thrown on malformed or semantically invalid manifest input. */
+class ManifestError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Schema tag stamped into every serialized manifest. */
+inline constexpr const char *sweepManifestSchema =
+    "tdc-sweep-manifest-v1";
+
+/** One independent design point. */
+struct JobSpec
+{
+    std::string label;
+    OrgKind org = OrgKind::Tagless;
+    std::vector<std::string> workloads;
+    std::uint64_t l3SizeBytes = 1ULL << 30;
+    std::uint64_t instsPerCore = 1'000'000;
+    std::uint64_t warmupInsts = 500'000;
+    Config raw;
+
+    SystemConfig toSystemConfig() const;
+    json::Value toJson() const;
+};
+
+struct SweepManifest
+{
+    std::string name = "sweep";
+
+    /** Per-job wall-clock budget in seconds; 0 disables the check. */
+    double timeoutSeconds = 0.0;
+
+    std::vector<JobSpec> jobs;
+
+    /**
+     * Parses a manifest document, expanding "axes" and validating
+     * every organization and workload name up front (so a typo fails
+     * the sweep before any simulation starts). Throws ManifestError.
+     */
+    static SweepManifest fromJson(const json::Value &doc);
+
+    /** fromJson(readFile(path)); throws ManifestError on I/O too. */
+    static SweepManifest load(const std::string &path);
+
+    /**
+     * Serializes with every job explicit (axes already expanded);
+     * fromJson(toJson()) reproduces the same job list.
+     */
+    json::Value toJson() const;
+
+    /**
+     * Builds the cross product orgs x workloads x sizes with the
+     * canonical labels; every job uses the given budgets and raw
+     * overrides.
+     */
+    static SweepManifest
+    crossProduct(const std::string &name,
+                 const std::vector<OrgKind> &orgs,
+                 const std::vector<std::string> &workloads,
+                 const std::vector<std::uint64_t> &l3_sizes_bytes,
+                 std::uint64_t insts, std::uint64_t warmup,
+                 const Config &raw = {});
+
+    /** Fails (ManifestError) on empty job lists or duplicate labels. */
+    void validate() const;
+};
+
+} // namespace runner
+} // namespace tdc
+
+#endif // TDC_RUNNER_SWEEP_HH

@@ -1,0 +1,194 @@
+#include "runner/sweep_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <iostream>
+#include <mutex>
+
+#include "common/format.hh"
+#include "common/logging.hh"
+#include "runner/thread_pool.hh"
+#include "sys/report.hh"
+
+namespace tdc {
+namespace runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Serializes progress lines (independent of the logging mutex). */
+std::mutex &
+progressMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void
+progressLine(const JobResult &r, unsigned done, unsigned total)
+{
+    std::string line =
+        format("[sweep] ({}/{}) {:<7} {:<28} {:.2f}s", done, total,
+               statusName(r.status), r.label, r.wallSeconds);
+    if (r.attempts > 1)
+        line += format(" (attempt {})", r.attempts);
+    if (!r.ok())
+        line += format("  {}", r.error);
+    std::lock_guard<std::mutex> lock(progressMutex());
+    std::cerr << line << "\n";
+}
+
+/** One design point, including the retry loop. */
+JobResult
+runOne(const JobSpec &job, double timeout_s, bool retry)
+{
+    JobResult r;
+    r.label = job.label;
+
+    ScopedLogLabel log_label(job.label);
+    const unsigned max_attempts = retry ? 2 : 1;
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        r.attempts = attempt;
+        const auto t0 = Clock::now();
+        try {
+            // fatal() inside System construction or the run (bad
+            // workload, bad override) throws FatalError here instead
+            // of exiting the process.
+            ScopedFatalCapture capture;
+            const SystemConfig cfg = job.toSystemConfig();
+            System sys(cfg);
+            RunResult rr = sys.run();
+            r.wallSeconds = secondsSince(t0);
+            if (timeout_s > 0.0 && r.wallSeconds > timeout_s) {
+                r.status = JobResult::Status::TimedOut;
+                r.error = format(
+                    "wall time {:.2f}s exceeded timeout {:.2f}s",
+                    r.wallSeconds, timeout_s);
+                return r; // retrying would blow the budget again
+            }
+            r.result = std::move(rr);
+            r.report = makeRunReport(cfg, r.result);
+            r.status = JobResult::Status::Ok;
+            r.error.clear();
+            return r;
+        } catch (const std::exception &e) {
+            r.wallSeconds = secondsSince(t0);
+            r.status = JobResult::Status::Failed;
+            r.error = e.what();
+        } catch (...) {
+            r.wallSeconds = secondsSince(t0);
+            r.status = JobResult::Status::Failed;
+            r.error = "unknown exception";
+        }
+    }
+    return r;
+}
+
+} // namespace
+
+std::string_view
+statusName(JobResult::Status s)
+{
+    switch (s) {
+      case JobResult::Status::Ok: return "ok";
+      case JobResult::Status::Failed: return "failed";
+      case JobResult::Status::TimedOut: return "timeout";
+    }
+    return "?";
+}
+
+unsigned
+SweepRunner::envJobs(unsigned def)
+{
+    const char *env = std::getenv("TDC_JOBS");
+    if (env == nullptr || *env == '\0')
+        return def;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || v == 0) {
+        warn("ignoring malformed TDC_JOBS='{}'", env);
+        return def;
+    }
+    return static_cast<unsigned>(v);
+}
+
+unsigned
+SweepRunner::effectiveWorkers(std::size_t n) const
+{
+    unsigned workers =
+        opt_.jobs != 0 ? opt_.jobs : ThreadPool::defaultConcurrency();
+    if (n > 0 && workers > n)
+        workers = static_cast<unsigned>(n);
+    return std::max(workers, 1u);
+}
+
+std::vector<JobResult>
+SweepRunner::run(const SweepManifest &manifest) const
+{
+    manifest.validate();
+    const auto n = static_cast<unsigned>(manifest.jobs.size());
+    std::vector<JobResult> results(n);
+
+    std::atomic<unsigned> done{0};
+    const bool progress = opt_.progress;
+    const bool retry = opt_.retryOnFailure;
+    const double timeout_s = manifest.timeoutSeconds;
+
+    {
+        ThreadPool pool(effectiveWorkers(n));
+        std::vector<std::future<void>> pending;
+        pending.reserve(n);
+        for (unsigned i = 0; i < n; ++i) {
+            pending.push_back(pool.submit([&, i] {
+                results[i] =
+                    runOne(manifest.jobs[i], timeout_s, retry);
+                const unsigned d = ++done;
+                if (progress)
+                    progressLine(results[i], d, n);
+            }));
+        }
+        // get() rethrows runner bugs; job failures live in results.
+        for (auto &f : pending)
+            f.get();
+    }
+    return results;
+}
+
+json::Value
+SweepRunner::aggregateReport(const SweepManifest &manifest,
+                             const std::vector<JobResult> &results)
+{
+    tdc_assert(manifest.jobs.size() == results.size(),
+               "result count does not match manifest");
+    auto doc = json::Value::object();
+    doc.set("schema", sweepReportSchema);
+    doc.set("name", manifest.name);
+    auto jobs = json::Value::array();
+    for (const auto &r : results) {
+        auto entry = json::Value::object();
+        entry.set("label", r.label);
+        entry.set("status", statusName(r.status));
+        entry.set("attempts", std::uint64_t{r.attempts});
+        if (r.ok())
+            entry.set("report", r.report);
+        else
+            entry.set("error", r.error);
+        jobs.push(std::move(entry));
+    }
+    doc.set("jobs", std::move(jobs));
+    return doc;
+}
+
+} // namespace runner
+} // namespace tdc

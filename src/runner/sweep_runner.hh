@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Executes a SweepManifest's design points on a worker thread pool.
+ *
+ * Each job builds, runs and tears down its own System, so jobs share
+ * nothing but the logging sink (which is mutex-serialized and prefixes
+ * each worker's job label). The contract the golden gate depends on:
+ * results come back indexed in manifest order, and aggregateReport()
+ * contains no wall-clock data, so aggregated output is byte-identical
+ * at any worker count.
+ *
+ * Failure handling per job:
+ *  - an exception (including fatal(), which workers capture as
+ *    FatalError) marks the job Failed and triggers one automatic
+ *    retry; the second failure is reported with its message;
+ *  - a job whose wall time exceeds the manifest's timeout_seconds is
+ *    reported TimedOut (checked after the run completes -- a System
+ *    cannot be interrupted mid-simulation) and is not retried;
+ *  - panic() / tdc_assert still abort the process: an internal
+ *    invariant violation is never a per-job condition.
+ */
+
+#ifndef TDC_RUNNER_SWEEP_RUNNER_HH
+#define TDC_RUNNER_SWEEP_RUNNER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hh"
+#include "runner/sweep.hh"
+#include "sys/system.hh"
+
+namespace tdc {
+namespace runner {
+
+struct JobResult
+{
+    enum class Status { Ok, Failed, TimedOut };
+
+    Status status = Status::Failed;
+    std::string label;
+    std::string error;      //!< last failure message (Failed/TimedOut)
+    unsigned attempts = 0;
+    double wallSeconds = 0.0; //!< last attempt's simulation wall time
+
+    RunResult result;       //!< valid when status == Ok
+    json::Value report;     //!< tdc-run-report-v1 (meta + result)
+
+    bool ok() const { return status == Status::Ok; }
+};
+
+/** Stable lower-case token for reports ("ok", "failed", "timeout"). */
+std::string_view statusName(JobResult::Status s);
+
+struct SweepOptions
+{
+    /** Worker threads; 0 means min(#jobs, hardware_concurrency). */
+    unsigned jobs = 0;
+
+    /** Per-completion progress lines on stderr. */
+    bool progress = true;
+
+    /** One automatic retry after a failed (not timed-out) attempt. */
+    bool retryOnFailure = true;
+};
+
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opt = {}) : opt_(opt) {}
+
+    /**
+     * Runs every job and returns results in manifest order. Blocks
+     * until all jobs finish; a failed point is reported in its slot
+     * rather than aborting the sweep.
+     */
+    std::vector<JobResult> run(const SweepManifest &manifest) const;
+
+    /**
+     * Aggregates into a tdc-sweep-report-v1 document: one entry per
+     * job, manifest order, no timing -- byte-deterministic at any -j.
+     */
+    static json::Value
+    aggregateReport(const SweepManifest &manifest,
+                    const std::vector<JobResult> &results);
+
+    /** TDC_JOBS from the environment, or def when unset/invalid. */
+    static unsigned envJobs(unsigned def = 0);
+
+    /** The worker count run() would use for n jobs. */
+    unsigned effectiveWorkers(std::size_t n) const;
+
+  private:
+    SweepOptions opt_;
+};
+
+/** Schema tag of aggregated sweep reports. */
+inline constexpr const char *sweepReportSchema = "tdc-sweep-report-v1";
+
+} // namespace runner
+} // namespace tdc
+
+#endif // TDC_RUNNER_SWEEP_RUNNER_HH

@@ -1,0 +1,65 @@
+#include "runner/thread_pool.hh"
+
+namespace tdc {
+namespace runner {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultConcurrency();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+unsigned
+ThreadPool::defaultConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::post(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tdc_assert(!stopping_, "submit() on a stopping ThreadPool");
+        queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // packaged_task captures exceptions into the future; anything
+        // escaping here is a runner bug.
+        task();
+    }
+}
+
+} // namespace runner
+} // namespace tdc

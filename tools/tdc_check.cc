@@ -10,9 +10,15 @@
  * binary exit non-zero with a metric-level diff, which is what the CI
  * golden-stats job gates on.
  *
+ * The matrix runs through the parallel SweepRunner; per-point results
+ * and comparisons are reported in matrix order regardless of worker
+ * count, so the gate's verdict is identical at any --jobs value.
+ *
  *   tdc_check [--golden-dir=<dir>]   default: tests/golden next to cwd
  *             [--update-golden]      rewrite goldens from this build
  *             [--tolerance=<rel>]    float tolerance (default 1e-6)
+ *             [--jobs=N]             worker threads (TDC_JOBS, cores)
+ *             [--filter=<org>[:<workload>]]  restrict the matrix
  *             [org=<cli-name>]       restrict to one organization
  *             [workload=<name>]      restrict to one workload
  *             [--list]               print the matrix and exit
@@ -30,6 +36,8 @@
 #include "common/config.hh"
 #include "common/format.hh"
 #include "common/json.hh"
+#include "runner/sweep.hh"
+#include "runner/sweep_runner.hh"
 #include "sys/report.hh"
 #include "sys/system.hh"
 #include "trace/workloads.hh"
@@ -72,6 +80,7 @@ struct Options
     bool update = false;
     bool list = false;
     double tolerance = 1e-6;
+    unsigned jobs = 0;
     std::string orgFilter;
     std::string workloadFilter;
 };
@@ -97,8 +106,19 @@ parseOptions(int argc, char **argv)
     }
     opt.goldenDir = cfg.getString("golden-dir", opt.goldenDir);
     opt.tolerance = cfg.getDouble("tolerance", opt.tolerance);
+    opt.jobs = static_cast<unsigned>(
+        cfg.getU64("jobs", runner::SweepRunner::envJobs(0)));
     opt.orgFilter = cfg.getString("org", "");
     opt.workloadFilter = cfg.getString("workload", "");
+
+    // --filter=<org>[:<workload>] is shorthand for org=/workload=.
+    const std::string filter = cfg.getString("filter", "");
+    if (!filter.empty()) {
+        const auto colon = filter.find(':');
+        opt.orgFilter = filter.substr(0, colon);
+        if (colon != std::string::npos)
+            opt.workloadFilter = filter.substr(colon + 1);
+    }
     return opt;
 }
 
@@ -109,15 +129,29 @@ goldenPath(const Options &opt, OrgKind org, const std::string &workload)
                   workload);
 }
 
-SystemConfig
-goldenConfig(OrgKind org, const std::string &workload)
+/** The filtered golden matrix as a sweep manifest, in matrix order. */
+runner::SweepManifest
+goldenManifest(const Options &opt)
 {
-    SystemConfig cfg;
-    cfg.org = org;
-    cfg.workloads = {workload};
-    cfg.instsPerCore = goldenInsts;
-    cfg.warmupInsts = goldenWarmup;
-    return cfg;
+    runner::SweepManifest m;
+    m.name = "golden-stats";
+    for (OrgKind org : allOrgKinds()) {
+        if (!opt.orgFilter.empty() && cliName(org) != opt.orgFilter)
+            continue;
+        for (const auto &workload : goldenWorkloads) {
+            if (!opt.workloadFilter.empty()
+                && workload != opt.workloadFilter)
+                continue;
+            runner::JobSpec job;
+            job.label = format("{}/{}", cliName(org), workload);
+            job.org = org;
+            job.workloads = {workload};
+            job.instsPerCore = goldenInsts;
+            job.warmupInsts = goldenWarmup;
+            m.jobs.push_back(std::move(job));
+        }
+    }
+    return m;
 }
 
 /** One metric mismatch, already formatted for the report. */
@@ -192,78 +226,87 @@ int
 main(int argc, char **argv)
 {
     const Options opt = parseOptions(argc, argv);
+    const runner::SweepManifest manifest = goldenManifest(opt);
 
-    unsigned ran = 0, failed = 0, updated = 0;
-    for (OrgKind org : allOrgKinds()) {
-        if (!opt.orgFilter.empty() && cliName(org) != opt.orgFilter)
-            continue;
-        for (const auto &workload : goldenWorkloads) {
-            if (!opt.workloadFilter.empty()
-                && workload != opt.workloadFilter)
-                continue;
-
-            const std::string path = goldenPath(opt, org, workload);
-            const std::string label =
-                format("{}/{}", cliName(org), workload);
-            if (opt.list) {
-                std::cout << format("{:<20} {}\n", label, path);
-                continue;
-            }
-
-            const SystemConfig cfg = goldenConfig(org, workload);
-            System sys(cfg);
-            const RunResult r = sys.run();
-            const json::Value current = makeRunReport(cfg, r);
-            ++ran;
-
-            if (opt.update) {
-                std::filesystem::create_directories(opt.goldenDir);
-                json::writeFile(current, path);
-                std::cout << format("[UPDATE] {:<20} -> {}\n", label,
-                                    path);
-                ++updated;
-                continue;
-            }
-
-            std::string err;
-            const auto golden = json::tryReadFile(path, &err);
-            if (!golden) {
-                std::cout << format(
-                    "[FAIL] {:<20} no golden file ({}); run "
-                    "tdc_check --update-golden\n",
-                    label, err);
-                ++failed;
-                continue;
-            }
-
-            std::vector<Diff> diffs;
-            compareMetrics(*golden, current, opt.tolerance, diffs);
-            if (diffs.empty()) {
-                std::cout << format("[ OK ] {:<20}\n", label);
-            } else {
-                ++failed;
-                std::cout << format("[FAIL] {:<20} {} metric(s) "
-                                    "drifted:\n",
-                                    label, diffs.size());
-                for (const auto &d : diffs)
-                    std::cout << format("         {:<24} {}\n",
-                                        d.metric, d.detail);
-            }
-        }
-    }
-
-    if (opt.list)
-        return 0;
-    if (opt.update) {
-        std::cout << format("updated {} golden file(s) in {}\n",
-                            updated, opt.goldenDir);
+    if (opt.list) {
+        for (const auto &job : manifest.jobs)
+            std::cout << format(
+                "{:<20} {}\n", job.label,
+                goldenPath(opt, job.org, job.workloads.front()));
         return 0;
     }
-    std::cout << format("\ngolden-stats: {} run(s), {} failure(s)\n",
-                        ran, failed);
-    if (ran == 0) {
+    if (manifest.jobs.empty()) {
         std::cout << "no configurations matched the filters\n";
         return 2;
     }
+
+    // Simulate every matrix point in parallel; comparison below is
+    // sequential in matrix order, so the verdict and its output are
+    // independent of the worker count.
+    runner::SweepOptions sweep_opt;
+    sweep_opt.jobs = opt.jobs;
+    sweep_opt.progress = false;
+    const auto results =
+        runner::SweepRunner(sweep_opt).run(manifest);
+
+    unsigned ran = 0, failed = 0, updated = 0;
+    for (std::size_t i = 0; i < manifest.jobs.size(); ++i) {
+        const auto &job = manifest.jobs[i];
+        const auto &r = results[i];
+        const std::string path =
+            goldenPath(opt, job.org, job.workloads.front());
+        ++ran;
+
+        if (!r.ok()) {
+            std::cout << format("[FAIL] {:<20} {} ({:.1f}s): {}\n",
+                                r.label, statusName(r.status),
+                                r.wallSeconds, r.error);
+            ++failed;
+            continue;
+        }
+
+        if (opt.update) {
+            std::filesystem::create_directories(opt.goldenDir);
+            json::writeFile(r.report, path);
+            std::cout << format("[UPDATE] {:<20} -> {}\n", r.label,
+                                path);
+            ++updated;
+            continue;
+        }
+
+        std::string err;
+        const auto golden = json::tryReadFile(path, &err);
+        if (!golden) {
+            std::cout << format(
+                "[FAIL] {:<20} no golden file ({}); run "
+                "tdc_check --update-golden\n",
+                r.label, err);
+            ++failed;
+            continue;
+        }
+
+        std::vector<Diff> diffs;
+        compareMetrics(*golden, r.report, opt.tolerance, diffs);
+        if (diffs.empty()) {
+            std::cout << format("[ OK ] {:<20} ({:.1f}s)\n", r.label,
+                                r.wallSeconds);
+        } else {
+            ++failed;
+            std::cout << format("[FAIL] {:<20} ({:.1f}s) {} metric(s) "
+                                "drifted:\n",
+                                r.label, r.wallSeconds, diffs.size());
+            for (const auto &d : diffs)
+                std::cout << format("         {:<24} {}\n", d.metric,
+                                    d.detail);
+        }
+    }
+
+    if (opt.update) {
+        std::cout << format("updated {} golden file(s) in {}\n",
+                            updated, opt.goldenDir);
+        return failed == 0 ? 0 : 1;
+    }
+    std::cout << format("\ngolden-stats: {} run(s), {} failure(s)\n",
+                        ran, failed);
     return failed == 0 ? 0 : 1;
 }

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * tdc_sweep: runs a sweep of independent design points in parallel.
+ *
+ *   tdc_sweep --manifest=<path>            load a sweep manifest
+ *   tdc_sweep --org=ctlb,sram --workload=mcf,milc
+ *             [--l3-size-mb=256,1024]      compose a cross product
+ *             [insts=<per-core>] [warmup=<per-core>]
+ *             [l3.<key>=<value> ...]       raw overrides (all jobs)
+ *
+ *   Common options:
+ *     --jobs=N          worker threads (default: TDC_JOBS or cores)
+ *     --out=<path>      aggregated tdc-sweep-report-v1 JSON
+ *     --timeout=<sec>   per-job wall-clock budget (0 = none)
+ *     --no-progress     suppress per-completion stderr lines
+ *     --list            print the expanded job list and exit
+ *     --dump-manifest=<path>  write the expanded manifest and exit
+ *
+ * The aggregated report lists jobs in manifest order with no timing
+ * data, so its bytes are identical at any --jobs value. Exit status is
+ * non-zero if any job failed or timed out.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/format.hh"
+#include "common/json.hh"
+#include "runner/sweep.hh"
+#include "runner/sweep_runner.hh"
+#include "sys/report.hh"
+
+using namespace tdc;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : csv) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+runner::SweepManifest
+composeFromArgs(const Config &args)
+{
+    const auto org_names = splitList(args.getString("org", ""));
+    const auto workloads = splitList(args.getString("workload", ""));
+    if (org_names.empty() || workloads.empty())
+        fatal("need --manifest=<path>, or both --org=... and "
+              "--workload=... (see tools/tdc_sweep.cc)");
+
+    std::vector<OrgKind> orgs;
+    for (const auto &name : org_names)
+        orgs.push_back(orgKindFromString(name));
+
+    std::vector<std::uint64_t> sizes;
+    for (const auto &mb : splitList(args.getString("l3-size-mb", "")))
+        sizes.push_back(std::stoull(mb) << 20);
+    if (sizes.empty())
+        sizes = {1ULL << 30};
+
+    // Forward l3.* (and any other dotted keys) to every job.
+    Config raw;
+    for (const auto &[key, value] : args.entries())
+        if (key.find('.') != std::string::npos)
+            raw.set(key, value);
+
+    runner::SweepManifest m = runner::SweepManifest::crossProduct(
+        args.getString("name", "cli-sweep"), orgs, workloads, sizes,
+        args.getU64("insts", 1'000'000), args.getU64("warmup", 500'000),
+        raw);
+    m.timeoutSeconds = args.getDouble("timeout", 0.0);
+    return m;
+}
+
+void
+printSummary(const runner::SweepManifest &m,
+             const std::vector<runner::JobResult> &results)
+{
+    std::cout << format("\n{:<28} {:>8} {:>9} {:>11} {:>9}\n", "job",
+                        "status", "sum_ipc", "l3_hit%", "wall_s");
+    unsigned bad = 0;
+    for (const auto &r : results) {
+        if (r.ok()) {
+            std::cout << format(
+                "{:<28} {:>8} {:>9.4f} {:>10.2f}% {:>9.2f}\n", r.label,
+                statusName(r.status), r.result.sumIpc,
+                r.result.l3HitRate * 100, r.wallSeconds);
+        } else {
+            ++bad;
+            std::cout << format("{:<28} {:>8}  {}\n", r.label,
+                                statusName(r.status), r.error);
+        }
+    }
+    std::cout << format("\nsweep '{}': {} job(s), {} failure(s)\n",
+                        m.name, results.size(), bad);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config args;
+    bool list = false, no_progress = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view tok(argv[i]);
+        if (tok == "--list") {
+            list = true;
+        } else if (tok == "--no-progress") {
+            no_progress = true;
+        } else if (!args.parseAssignment(tok)) {
+            fatal("malformed argument '{}' (see tools/tdc_sweep.cc)",
+                  tok);
+        }
+    }
+
+    runner::SweepManifest manifest;
+    try {
+        if (args.has("manifest")) {
+            manifest = runner::SweepManifest::load(
+                args.getString("manifest", ""));
+            // Command-line budgets override the manifest's.
+            if (args.has("insts") || args.has("warmup")) {
+                for (auto &job : manifest.jobs) {
+                    job.instsPerCore =
+                        args.getU64("insts", job.instsPerCore);
+                    job.warmupInsts =
+                        args.getU64("warmup", job.warmupInsts);
+                }
+            }
+            if (args.has("timeout"))
+                manifest.timeoutSeconds =
+                    args.getDouble("timeout", 0.0);
+        } else {
+            manifest = composeFromArgs(args);
+        }
+    } catch (const runner::ManifestError &e) {
+        fatal("{}", e.what());
+    }
+
+    if (args.has("dump-manifest")) {
+        const auto path = args.getString("dump-manifest", "");
+        json::writeFile(manifest.toJson(), path);
+        std::cout << format("manifest with {} job(s) written to {}\n",
+                            manifest.jobs.size(), path);
+        return 0;
+    }
+    if (list) {
+        for (const auto &job : manifest.jobs)
+            std::cout << format(
+                "{:<28} l3={}MB insts={} warmup={}\n", job.label,
+                job.l3SizeBytes >> 20, job.instsPerCore,
+                job.warmupInsts);
+        std::cout << format("{} job(s)\n", manifest.jobs.size());
+        return 0;
+    }
+
+    runner::SweepOptions opt;
+    opt.jobs = static_cast<unsigned>(
+        args.getU64("jobs", runner::SweepRunner::envJobs(0)));
+    opt.progress = !no_progress;
+    runner::SweepRunner sweep_runner(opt);
+
+    std::cerr << format(
+        "[sweep] '{}': {} job(s) on {} worker(s)\n", manifest.name,
+        manifest.jobs.size(),
+        sweep_runner.effectiveWorkers(manifest.jobs.size()));
+
+    const auto results = sweep_runner.run(manifest);
+    printSummary(manifest, results);
+
+    if (args.has("out")) {
+        const auto path = args.getString("out", "");
+        json::writeFile(
+            runner::SweepRunner::aggregateReport(manifest, results),
+            path);
+        std::cout << format("sweep report written to {}\n", path);
+    }
+
+    for (const auto &r : results)
+        if (!r.ok())
+            return 1;
+    return 0;
+}
