@@ -56,6 +56,34 @@ Config::parseArgs(int argc, char **argv)
     }
 }
 
+void
+Config::checkKnown(std::initializer_list<std::string_view> known,
+                   std::string_view tool) const
+{
+    for (const auto &[key, value] : entries_) {
+        if (key.find('.') != std::string::npos)
+            continue;
+        bool found = false;
+        for (std::string_view k : known) {
+            if (key == k) {
+                found = true;
+                break;
+            }
+        }
+        if (found)
+            continue;
+        std::string valid;
+        for (std::string_view k : known) {
+            if (!valid.empty())
+                valid += ", ";
+            valid += k;
+        }
+        fatal("{}: unknown option '{}' (valid options: {}; "
+              "dotted keys like l3.* pass through as raw overrides)",
+              tool, key, valid);
+    }
+}
+
 bool
 Config::has(const std::string &key) const
 {

@@ -12,6 +12,7 @@
 #define TDC_COMMON_CONFIG_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
@@ -50,6 +51,17 @@ class Config
     {
         return entries_;
     }
+
+    /**
+     * fatal()s on the first key that is neither in `known` nor a
+     * dotted path. Dotted keys ("l3.alpha", "obs.trace_out") are raw
+     * component overrides whose vocabulary no driver owns, so they
+     * always pass; a typo'd flat key ("warmup" vs "wramup") would
+     * otherwise be silently ignored. The message names `tool` and
+     * lists every valid option.
+     */
+    void checkKnown(std::initializer_list<std::string_view> known,
+                    std::string_view tool) const;
 
   private:
     std::map<std::string, std::string> entries_;

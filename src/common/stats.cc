@@ -1,5 +1,7 @@
 #include "common/stats.hh"
 
+#include <algorithm>
+#include <cmath>
 
 namespace tdc {
 namespace stats {
@@ -33,19 +35,94 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
         child->dump(os, path);
 }
 
-json::Value
-StatGroup::toJson() const
+double
+Histogram::percentile(double p) const
 {
+    tdc_assert(p >= 0.0 && p <= 100.0, "percentile {} out of range", p);
+    const std::uint64_t n = stat_.count();
+    if (n == 0)
+        return 0.0;
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(std::ceil(p / 100.0
+                                             * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i + 1 < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (cum >= rank) {
+            const double edge =
+                static_cast<double>(i + 1) * width_;
+            return std::max(stat_.minimum(),
+                            std::min(edge, stat_.maximum()));
+        }
+    }
+    return stat_.maximum(); // rank falls into the overflow bucket
+}
+
+json::Value
+StatGroup::toJson(const JsonOptions &opt) const
+{
+    // When desc output is requested, a described stat is wrapped as an
+    // object so the value keeps its exact shape under "value".
+    auto describe = [&opt](json::Value inner,
+                           const std::string &desc) -> json::Value {
+        if (!opt.desc || desc.empty())
+            return inner;
+        if (inner.isObject()) {
+            inner.set("desc", desc);
+            return inner;
+        }
+        auto wrapped = json::Value::object();
+        wrapped.set("value", std::move(inner));
+        wrapped.set("desc", desc);
+        return wrapped;
+    };
+
     auto v = json::Value::object();
     for (const auto &e : scalars_)
-        v.set(e.name, e.stat->toJson());
+        v.set(e.name, describe(e.stat->toJson(), e.desc));
     for (const auto &e : averages_)
-        v.set(e.name, e.stat->toJson());
+        v.set(e.name, describe(e.stat->toJson(opt), e.desc));
     for (const auto &e : histograms_)
-        v.set(e.name, e.stat->toJson());
+        v.set(e.name, describe(e.stat->toJson(opt), e.desc));
     for (const auto *child : children_)
-        v.set(child->name(), child->toJson());
+        v.set(child->name(), child->toJson(opt));
     return v;
+}
+
+void
+StatGroup::scalarPaths(std::vector<std::string> &out,
+                       const std::string &prefix) const
+{
+    for (const auto &e : scalars_)
+        out.push_back(prefix + e.name);
+    for (const auto *child : children_)
+        child->scalarPaths(out, prefix + child->name() + ".");
+}
+
+void
+StatGroup::snapshot(StatSnapshot &out) const
+{
+    for (const auto &e : scalars_)
+        out.values.push_back(e.stat->value());
+    for (const auto *child : children_)
+        child->snapshot(out);
+}
+
+std::vector<std::uint64_t>
+StatSnapshot::delta(const StatSnapshot &now, const StatSnapshot &base)
+{
+    tdc_assert(now.values.size() == base.values.size(),
+               "snapshot shape changed between captures ({} vs {})",
+               now.values.size(), base.values.size());
+    std::vector<std::uint64_t> d(now.values.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        tdc_assert(now.values[i] >= base.values[i],
+                   "counter {} went backwards", i);
+        d[i] = now.values[i] - base.values[i];
+    }
+    return d;
 }
 
 } // namespace stats

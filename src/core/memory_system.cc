@@ -82,6 +82,16 @@ MemorySystem::translate(AsidVpn key, bool ifetch, Tick when)
         ++coldFills_;
     tlbMissPenaltyCycles_.sample(static_cast<double>(
         clk_.ticksToCycles(res.readyTick - when)));
+    if (tlbMissProbe.attached())
+        tlbMissProbe.fire(obs::TlbMissEvent{
+            .core = core_,
+            .vpn = vpnOf(key),
+            .start = when,
+            .walkDone = t,
+            .end = res.readyTick,
+            .victimHit = res.victimHit,
+            .coldFill = res.coldFill,
+            .bypass = res.entry.nc});
     l2tlb_->insert(res.entry);
     l1tlb.insert(res.entry);
     return {res.entry, res.readyTick};

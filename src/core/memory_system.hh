@@ -87,6 +87,9 @@ class MemorySystem : public SimObject
     std::uint64_t tlbFullMisses() const { return tlbFullMisses_.value(); }
     std::uint64_t walks() const { return tlbFullMisses_.value(); }
 
+    /** Fired once per full TLB miss, after the handler returns. */
+    obs::ProbePoint<obs::TlbMissEvent> tlbMissProbe{"tlb_miss"};
+
     /** Mean post-L2-miss latency in cycles (Fig. 8 metric). */
     double avgL3LatencyCycles() const { return l3LatencyCycles_.mean(); }
     double l3LatencySumCycles() const { return l3LatencyCycles_.sum(); }

@@ -43,6 +43,19 @@ OooCore::runUntil(Tick horizon, std::uint64_t inst_limit)
         insts_ += rec.nonMemInsts + 1; // +1 for the memory op itself
         ++memRefs_;
 
+        if (milestone_ != 0 && insts_.value() >= nextMilestone_) {
+            // One trace record can retire many instructions; report
+            // each crossed boundary so downstream interval math holds.
+            do {
+                if (retireProbe.attached())
+                    retireProbe.fire(obs::RetireEvent{
+                        .core = core_,
+                        .insts = nextMilestone_,
+                        .tick = now_});
+                nextMilestone_ += milestone_;
+            } while (insts_.value() >= nextMilestone_);
+        }
+
         retireCompleted();
 
         // Structural limits on memory-level parallelism.

@@ -80,6 +80,20 @@ class OooCore : public SimObject
 
     CoreId coreId() const { return core_; }
 
+    /**
+     * Arms the retire-milestone probe: retireProbe fires whenever the
+     * retired-instruction count crosses a multiple of `interval`.
+     * 0 (the default) disables the check entirely.
+     */
+    void
+    setRetireMilestone(std::uint64_t interval)
+    {
+        milestone_ = interval;
+        nextMilestone_ = interval;
+    }
+
+    obs::ProbePoint<obs::RetireEvent> retireProbe{"retire"};
+
   private:
     struct Outstanding
     {
@@ -97,6 +111,8 @@ class OooCore : public SimObject
 
     Tick now_ = 0;
     std::uint64_t carryInsts_ = 0; //!< sub-cycle issue remainder
+    std::uint64_t milestone_ = 0;     //!< retire-probe interval (0: off)
+    std::uint64_t nextMilestone_ = 0; //!< next boundary to cross
     std::deque<Outstanding> outstanding_;
 
     stats::Scalar insts_;

@@ -94,6 +94,7 @@ DramDevice::access(Addr addr, std::uint64_t bytes, bool is_write, Tick when)
 
     DramAccessResult res;
     Tick cas_tick; // when the RD/WR command issues
+    auto outcome = obs::DramAccessEvent::Outcome::RowHit;
 
     if (bank.openRow == d.row) {
         // Row hit: issue CAS as soon as the bank allows.
@@ -107,10 +108,12 @@ DramDevice::access(Addr addr, std::uint64_t bytes, bool is_write, Tick when)
         if (bank.openRow != invalidAddr) {
             // Row conflict: precharge the open row (respecting tRAS and
             // the drain of earlier bursts), then activate the new row.
+            outcome = obs::DramAccessEvent::Outcome::RowConflict;
             const Tick pre_tick = std::max(when, bank.earliestPre);
             act_tick = pre_tick + timing_.tRP;
         } else {
             // Row closed: activate immediately.
+            outcome = obs::DramAccessEvent::Outcome::RowMiss;
             act_tick = std::max(when, bank.nextActivate);
         }
         energy_.addActivate(energyParams_);
@@ -143,6 +146,18 @@ DramDevice::access(Addr addr, std::uint64_t bytes, bool is_write, Tick when)
     else
         ++reads_;
     latency_.sample(static_cast<double>(res.completionTick - when));
+
+    if (accessProbe.attached())
+        accessProbe.fire(obs::DramAccessEvent{
+            .device = name(),
+            .channel = d.channel,
+            .bank = d.bankIndex,
+            .row = d.row,
+            .bytes = bytes,
+            .write = is_write,
+            .start = when,
+            .completion = res.completionTick,
+            .outcome = outcome});
 
     return res;
 }

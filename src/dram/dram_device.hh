@@ -22,6 +22,8 @@
 #include "common/types.hh"
 #include "dram/dram_energy.hh"
 #include "dram/dram_params.hh"
+#include "obs/events.hh"
+#include "obs/probe.hh"
 #include "sim/sim_object.hh"
 
 namespace tdc {
@@ -89,6 +91,9 @@ class DramDevice : public SimObject
 
     /** Mean queueing + service latency of accesses (ticks). */
     double avgAccessLatency() const { return latency_.mean(); }
+
+    /** Fired per timed access() with the row-buffer outcome resolved. */
+    obs::ProbePoint<obs::DramAccessEvent> accessProbe{"dram_access"};
 
   private:
     struct Bank

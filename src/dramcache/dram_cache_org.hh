@@ -24,6 +24,8 @@
 #include "common/types.hh"
 #include "dram/dram_device.hh"
 #include "dramcache/frame_space.hh"
+#include "obs/events.hh"
+#include "obs/probe.hh"
 #include "sim/clock.hh"
 #include "sim/sim_object.hh"
 #include "vm/page_table.hh"
@@ -117,6 +119,16 @@ class DramCacheOrg : public SimObject
         return total ? static_cast<double>(hitsInPkg_.value()) / total
                      : 0.0;
     }
+
+    // Probe points (src/obs/): declared on the base so wiring is
+    // organization-agnostic; only organizations that implement the
+    // corresponding mechanism ever fire them, and an unattached probe
+    // costs one empty-vector test at the site.
+    obs::ProbePoint<obs::PageFillEvent> fillProbe{"page_fill"};
+    obs::ProbePoint<obs::EvictionEvent> evictProbe{"eviction"};
+    obs::ProbePoint<obs::VictimHitEvent> victimHitProbe{"victim_hit"};
+    obs::ProbePoint<obs::FreeQueueEvent> freeQueueProbe{"free_queue"};
+    obs::ProbePoint<obs::GiptEvent> giptProbe{"gipt"};
 
   protected:
     /** Times a 64-byte access on the off-package device. */

@@ -56,7 +56,6 @@ TlbMissResult
 TaglessCache::handleTlbMiss(PageTable &pt, PageNum vpn, CoreId core,
                             Tick when)
 {
-    (void)core;
     Pte &pte = pt.walk(vpn);
     const AsidVpn key = makeAsidVpn(pt.proc(), vpn);
 
@@ -98,6 +97,7 @@ TaglessCache::handleTlbMiss(PageTable &pt, PageNum vpn, CoreId core,
                     .completionTick;
             ++giptWrites_;
         }
+        const Tick pte_done = t;
         const PageNum old_base_ppn = pte.frame;
         for (unsigned i = 0; i < pagesPerSuperpage; ++i) {
             gipt_.install(base + i, old_base_ppn + i, &pte);
@@ -118,6 +118,16 @@ TaglessCache::handleTlbMiss(PageTable &pt, PageNum vpn, CoreId core,
         res.entry.nc = false;
         res.readyTick = t;
         res.coldFill = true;
+        if (fillProbe.attached())
+            fillProbe.fire(obs::PageFillEvent{
+                .core = core,
+                .vpn = vpn,
+                .frame = base,
+                .start = when,
+                .pteDone = pte_done,
+                .copyDone = t,
+                .freeStall = false,
+                .superpage = true});
         return res;
     }
 
@@ -148,6 +158,10 @@ TaglessCache::handleTlbMiss(PageTable &pt, PageNum vpn, CoreId core,
         res.victimHit = true;
         ++victimHits_;
         touch(pte.frame);
+        if (victimHitProbe.attached())
+            victimHitProbe.fire(obs::VictimHitEvent{
+                .core = core, .vpn = vpn, .frame = pte.frame,
+                .tick = when});
         return res;
     }
 
@@ -171,11 +185,19 @@ TaglessCache::handleTlbMiss(PageTable &pt, PageNum vpn, CoreId core,
     }
     FreeQueue::FreeBlock fb = freeQueue_.pop();
     frameIsFree_[fb.frame] = false;
-    if (fb.readyTick > t) {
+    const bool free_stalled = fb.readyTick > t;
+    if (free_stalled) {
         ++freeStalls_;
         t = fb.readyTick;
     }
     const std::uint64_t frame = fb.frame;
+    const Tick fill_start = t;
+    if (freeQueueProbe.attached())
+        freeQueueProbe.fire(obs::FreeQueueEvent{
+            .tick = t,
+            .depth = freeQueue_.size(),
+            .push = false,
+            .belowAlpha = freeQueue_.size() < params_.alphaFreeBlocks});
 
     // GIPT update, charged conservatively as two full off-package
     // writes (Section 3.4). HP increments by one per fill, so these
@@ -188,6 +210,13 @@ TaglessCache::handleTlbMiss(PageTable &pt, PageNum vpn, CoreId core,
         ++giptWrites_;
     }
     gipt_.install(frame, old_ppn, &pte);
+    const Tick pte_done = t;
+    if (giptProbe.attached())
+        giptProbe.fire(obs::GiptEvent{
+            .kind = obs::GiptEvent::Kind::Install,
+            .frame = frame,
+            .ppn = old_ppn,
+            .tick = t});
 
     // Cache fill: stream the page from off-package DRAM (critical path)
     // into the frame (the in-package write overlaps subsequent work).
@@ -217,6 +246,16 @@ TaglessCache::handleTlbMiss(PageTable &pt, PageNum vpn, CoreId core,
     res.entry.nc = false;
     res.readyTick = t;
     res.coldFill = true;
+    if (fillProbe.attached())
+        fillProbe.fire(obs::PageFillEvent{
+            .core = core,
+            .vpn = vpn,
+            .frame = frame,
+            .start = fill_start,
+            .pteDone = pte_done,
+            .copyDone = page_read_done,
+            .freeStall = free_stalled,
+            .superpage = false});
     return res;
 }
 
@@ -303,6 +342,13 @@ TaglessCache::releaseSuperpage(PageTable &pt, PageNum base_vpn,
         freeQueue_.push(f, bt);
         frameIsFree_[f] = true;
         ++evictions_;
+        if (freeQueueProbe.attached())
+            freeQueueProbe.fire(obs::FreeQueueEvent{
+                .tick = bt,
+                .depth = freeQueue_.size(),
+                .push = true,
+                .belowAlpha =
+                    freeQueue_.size() < params_.alphaFreeBlocks});
     }
     tdc_assert(pinnedCount_ >= pagesPerSuperpage,
                "pinned-frame underflow");
@@ -382,6 +428,7 @@ TaglessCache::forceShootdown(std::uint64_t frame)
     tdc_assert(g.ptep != nullptr, "shootdown of unmapped frame");
     tdc_assert(!g.ptep->pu, "shootdown of frame mid-fill");
     ++shootdowns_;
+    lastVictimForced_ = true;
     if (shootdown_)
         shootdown_(makeAsidVpn(g.ptep->proc, g.ptep->vpn));
     tdc_assert(!g.residentAnywhere(),
@@ -391,6 +438,7 @@ TaglessCache::forceShootdown(std::uint64_t frame)
 void
 TaglessCache::evictOne(Tick when)
 {
+    lastVictimForced_ = false;
     const std::uint64_t frame = params_.policy == ReplPolicy::LRU
                                     ? pickVictimLru()
                                     : pickVictimFifo();
@@ -437,11 +485,35 @@ TaglessCache::evictOne(Tick when)
     pte.frame = g.ppn;
     pendingFills_.erase(&pte);
 
+    const PageNum old_ppn = g.ppn;
+    const bool was_dirty = frames_[frame].dirty;
     gipt_.invalidate(frame);
     frames_[frame] = FrameMeta{};
     freeQueue_.push(frame, bt);
     frameIsFree_[frame] = true;
     ++evictions_;
+    if (giptProbe.attached())
+        giptProbe.fire(obs::GiptEvent{
+            .kind = obs::GiptEvent::Kind::Invalidate,
+            .frame = frame,
+            .ppn = old_ppn,
+            .tick = bt});
+    if (freeQueueProbe.attached())
+        freeQueueProbe.fire(obs::FreeQueueEvent{
+            .tick = bt,
+            .depth = freeQueue_.size(),
+            .push = true,
+            .belowAlpha =
+                freeQueue_.size() < params_.alphaFreeBlocks});
+    if (evictProbe.attached())
+        evictProbe.fire(obs::EvictionEvent{
+            .frame = frame,
+            .ppn = old_ppn,
+            .start = when,
+            .end = bt,
+            .dirty = was_dirty,
+            .shootdown = lastVictimForced_,
+            .freeDepth = freeQueue_.size()});
 }
 
 L3Result

@@ -199,6 +199,9 @@ class TaglessCache : public DramCacheOrg
 
     std::uint64_t touchClock_ = 0;
 
+    /** Set while the current eviction's victim needed a shootdown. */
+    bool lastVictimForced_ = false;
+
     stats::Scalar ncBypasses_;
     stats::Scalar puWaits_;
     stats::Scalar freeStalls_;

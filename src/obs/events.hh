@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Payload types for the probe points declared across the simulator.
+ *
+ * Each struct is a plain value carrying the ticks an observer needs to
+ * reconstruct the event's timeline. The simulator computes an access's
+ * complete timing before moving on (analytic timing model), so probes
+ * fire once per finished occurrence with every phase boundary included
+ * -- the tracer turns one event into a nest of duration slices instead
+ * of pairing separate begin/end callbacks.
+ *
+ * The probe catalog (who fires what) is documented in DESIGN.md 7.
+ */
+
+#ifndef TDC_OBS_EVENTS_HH
+#define TDC_OBS_EVENTS_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace tdc {
+namespace obs {
+
+/**
+ * A full TLB miss, fired by the per-core MemorySystem once the miss
+ * handler returns. Phases: [start, walkDone) page walk, [walkDone, end)
+ * the organization's miss handler (zero-length for conventional orgs
+ * whose handler does no cache management).
+ */
+struct TlbMissEvent
+{
+    CoreId core = 0;
+    PageNum vpn = 0;
+    Tick start = 0;    //!< miss detected; walk begins
+    Tick walkDone = 0; //!< PTE located
+    Tick end = 0;      //!< handler returned; translation installable
+    bool victimHit = false; //!< in-package hit outside the TLB reach
+    bool coldFill = false;  //!< handler fetched the page off-package
+    bool bypass = false;    //!< NC page: physical mapping returned
+};
+
+/**
+ * A cold page fill performed by the tagless cache's miss handler
+ * (shaded path of Figure 4). Phases: [start, pteDone) GIPT/PTE update
+ * writes, [pteDone, copyDone) the off-package page copy.
+ */
+struct PageFillEvent
+{
+    CoreId core = 0;
+    PageNum vpn = 0;
+    std::uint64_t frame = 0;
+    Tick start = 0;    //!< free frame popped; metadata update begins
+    Tick pteDone = 0;  //!< GIPT/PTE update writes retired
+    Tick copyDone = 0; //!< page data resident in-package
+    bool freeStall = false; //!< popped frame's eviction was still draining
+    bool superpage = false; //!< 2 MiB fill (512 frames)
+};
+
+/** One frame reclaimed by the asynchronous free-queue drain. */
+struct EvictionEvent
+{
+    std::uint64_t frame = 0;
+    PageNum ppn = 0;   //!< physical page restored into the PTE
+    Tick start = 0;
+    Tick end = 0;      //!< background eviction traffic completes
+    bool dirty = false;
+    bool shootdown = false; //!< translation had to be shot down first
+    std::uint64_t freeDepth = 0; //!< free-queue depth after the push
+};
+
+/** In-package victim hit: TLB miss on a page still cached (Table 1). */
+struct VictimHitEvent
+{
+    CoreId core = 0;
+    PageNum vpn = 0;
+    std::uint64_t frame = 0;
+    Tick tick = 0;
+};
+
+/** Free-queue depth change (header-pointer pop or drain push). */
+struct FreeQueueEvent
+{
+    Tick tick = 0;
+    std::uint64_t depth = 0;    //!< depth after the operation
+    bool push = false;          //!< false: a fill consumed a frame
+    bool belowAlpha = false;    //!< depth under the configured low-water mark
+};
+
+/** GIPT entry update. */
+struct GiptEvent
+{
+    enum class Kind : std::uint8_t { Install, Invalidate };
+
+    Kind kind = Kind::Install;
+    std::uint64_t frame = 0;
+    PageNum ppn = 0;
+    Tick tick = 0;
+};
+
+/** One timed DRAM access (row-buffer outcome resolved). */
+struct DramAccessEvent
+{
+    enum class Outcome : std::uint8_t { RowHit, RowMiss, RowConflict };
+
+    std::string_view device; //!< owning DramDevice's name ("in_pkg", ...)
+    unsigned channel = 0;
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+    std::uint64_t bytes = 0;
+    bool write = false;
+    Tick start = 0;      //!< request presented to the controller
+    Tick completion = 0; //!< last beat on the data bus
+    Outcome outcome = Outcome::RowHit;
+};
+
+/** Retire milestone: a core crossed a configured instruction boundary. */
+struct RetireEvent
+{
+    CoreId core = 0;
+    std::uint64_t insts = 0; //!< instructions retired by this core so far
+    Tick tick = 0;
+};
+
+} // namespace obs
+} // namespace tdc
+
+#endif // TDC_OBS_EVENTS_HH

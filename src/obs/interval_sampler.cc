@@ -1,0 +1,225 @@
+#include "obs/interval_sampler.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace tdc {
+namespace obs {
+
+IntervalSampler::IntervalSampler(IntervalSamplerConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    tdc_assert(cfg_.intervalInsts > 0, "zero sampling interval");
+    tdc_assert(cfg_.summaryMax >= 2, "summary bound too small to decimate");
+    nextSampleInsts_ = cfg_.intervalInsts;
+}
+
+IntervalSampler::~IntervalSampler()
+{
+    // finish() is normally driven by the owning System; a destructor
+    // call covers early teardown (e.g. a fatal() mid-run under test).
+    if (started_ && !finished_)
+        finish();
+}
+
+void
+IntervalSampler::addGroup(const std::string &prefix,
+                          const stats::StatGroup *group)
+{
+    tdc_assert(!started_, "sampler group set frozen at start()");
+    tdc_assert(group, "null stats group");
+    groups_.push_back(group);
+    group->scalarPaths(deltaFields_, prefix);
+}
+
+void
+IntervalSampler::addGauge(const std::string &name,
+                          std::function<std::uint64_t()> fn)
+{
+    tdc_assert(!started_, "sampler gauge set frozen at start()");
+    tdc_assert(fn, "null gauge function");
+    gaugeFields_.push_back(name);
+    gauges_.push_back(std::move(fn));
+}
+
+void
+IntervalSampler::start()
+{
+    tdc_assert(!started_, "sampler started twice");
+    started_ = true;
+
+    base_.values.clear();
+    for (const auto *g : groups_)
+        g->snapshot(base_);
+    tdc_assert(base_.values.size() == deltaFields_.size(),
+               "scalar paths ({}) disagree with snapshot width ({})",
+               deltaFields_.size(), base_.values.size());
+
+    if (cfg_.path.empty())
+        return;
+    out_.open(cfg_.path, std::ios::trunc);
+    if (!out_)
+        fatal("cannot open timeseries output file '{}'", cfg_.path);
+
+    out_ << "{\"schema\":\"" << timeseriesSchema
+         << "\",\"interval_insts\":" << cfg_.intervalInsts
+         << ",\"delta_fields\":[";
+    for (std::size_t i = 0; i < deltaFields_.size(); ++i) {
+        if (i)
+            out_ << ",";
+        json::writeEscaped(out_, deltaFields_[i]);
+    }
+    out_ << "],\"gauge_fields\":[";
+    for (std::size_t i = 0; i < gaugeFields_.size(); ++i) {
+        if (i)
+            out_ << ",";
+        json::writeEscaped(out_, gaugeFields_[i]);
+    }
+    out_ << "]}\n";
+}
+
+std::uint64_t
+IntervalSampler::totalInsts() const
+{
+    return std::accumulate(coreInsts_.begin(), coreInsts_.end(),
+                           std::uint64_t{0});
+}
+
+void
+IntervalSampler::notify(const RetireEvent &event)
+{
+    if (!started_ || finished_)
+        return;
+    if (event.core >= coreInsts_.size())
+        coreInsts_.resize(event.core + 1, 0);
+    coreInsts_[event.core] = event.insts;
+    // A single milestone can cross several boundaries when the probe
+    // interval is coarser than the sampling interval.
+    while (totalInsts() >= nextSampleInsts_) {
+        sample(event.tick);
+        nextSampleInsts_ += cfg_.intervalInsts;
+    }
+}
+
+void
+IntervalSampler::sample(Tick tick)
+{
+    stats::StatSnapshot now;
+    for (const auto *g : groups_)
+        g->snapshot(now);
+
+    Row row;
+    row.n = rows_;
+    row.insts = totalInsts();
+    row.tick = tick;
+    row.delta = stats::StatSnapshot::delta(now, base_);
+    row.gauge.reserve(gauges_.size());
+    for (const auto &fn : gauges_)
+        row.gauge.push_back(fn());
+
+    base_ = std::move(now);
+    ++rows_;
+    writeRow(row);
+    retain(std::move(row));
+}
+
+void
+IntervalSampler::writeRow(const Row &row)
+{
+    if (!out_.is_open())
+        return;
+    out_ << "{\"n\":" << row.n << ",\"insts\":" << row.insts
+         << ",\"tick\":" << row.tick << ",\"delta\":[";
+    for (std::size_t i = 0; i < row.delta.size(); ++i) {
+        if (i)
+            out_ << ",";
+        out_ << row.delta[i];
+    }
+    out_ << "],\"gauge\":[";
+    for (std::size_t i = 0; i < row.gauge.size(); ++i) {
+        if (i)
+            out_ << ",";
+        out_ << row.gauge[i];
+    }
+    out_ << "]}\n";
+}
+
+void
+IntervalSampler::retain(Row row)
+{
+    // Deterministic decimation: keep every summaryStride_-th row; when
+    // the retained set outgrows the bound, drop every other one and
+    // double the stride. The kept rows stay evenly spaced regardless
+    // of how long the run turns out to be.
+    if (row.n % summaryStride_ != 0)
+        return;
+    summary_.push_back(std::move(row));
+    if (summary_.size() > cfg_.summaryMax) {
+        std::vector<Row> kept;
+        kept.reserve(summary_.size() / 2 + 1);
+        for (std::size_t i = 0; i < summary_.size(); i += 2)
+            kept.push_back(std::move(summary_[i]));
+        summary_ = std::move(kept);
+        summaryStride_ *= 2;
+    }
+}
+
+void
+IntervalSampler::finish()
+{
+    if (!started_ || finished_)
+        return;
+    finished_ = true;
+    if (out_.is_open()) {
+        out_.flush();
+        if (!out_.good())
+            fatal("error writing timeseries output file '{}'", cfg_.path);
+        out_.close();
+    }
+}
+
+json::Value
+IntervalSampler::summaryJson() const
+{
+    if (!started_)
+        return json::Value();
+    auto v = json::Value::object();
+    v.set("schema", timeseriesSchema);
+    v.set("interval_insts", cfg_.intervalInsts);
+    v.set("rows", rows_);
+    if (!cfg_.path.empty())
+        v.set("path", cfg_.path);
+
+    auto fields = json::Value::array();
+    for (const auto &f : deltaFields_)
+        fields.push(f);
+    v.set("delta_fields", std::move(fields));
+
+    auto gfields = json::Value::array();
+    for (const auto &f : gaugeFields_)
+        gfields.push(f);
+    v.set("gauge_fields", std::move(gfields));
+
+    auto samples = json::Value::array();
+    for (const auto &row : summary_) {
+        auto r = json::Value::object();
+        r.set("n", row.n);
+        r.set("insts", row.insts);
+        r.set("tick", row.tick);
+        auto d = json::Value::array();
+        for (auto x : row.delta)
+            d.push(x);
+        r.set("delta", std::move(d));
+        auto g = json::Value::array();
+        for (auto x : row.gauge)
+            g.push(x);
+        r.set("gauge", std::move(g));
+        samples.push(std::move(r));
+    }
+    v.set("samples", std::move(samples));
+    return v;
+}
+
+} // namespace obs
+} // namespace tdc

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Interval time-series sampling over the stats tree.
+ *
+ * The sampler listens to core retire-milestone probes; every
+ * `intervalInsts` retired instructions (summed over cores) it captures
+ * a StatSnapshot of the registered groups, subtracts the previous
+ * capture, evaluates the registered gauges (instantaneous values such
+ * as free-queue depth) and appends one row to a JSON-lines file:
+ *
+ *   {"schema":"tdc-timeseries-v1","interval_insts":N,
+ *    "delta_fields":[...],"gauge_fields":[...]}          <- header line
+ *   {"n":0,"insts":..,"tick":..,"delta":[..],"gauge":[..]}
+ *   ...
+ *
+ * Rows carry only simulated quantities (instructions, ticks, counter
+ * deltas), so the file is byte-identical across repeated runs and
+ * across sweep worker counts -- host-side throughput (KIPS) lives in
+ * the sweep runner's wall-clock reporting instead.
+ *
+ * A bounded, deterministically decimated copy of the rows is kept for
+ * embedding in the run report (summaryJson()): when the row count
+ * exceeds the bound, every other retained row is dropped and the
+ * stride doubles, so arbitrarily long runs embed at most `summaryMax`
+ * evenly spaced samples.
+ */
+
+#ifndef TDC_OBS_INTERVAL_SAMPLER_HH
+#define TDC_OBS_INTERVAL_SAMPLER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "obs/events.hh"
+#include "obs/probe.hh"
+
+namespace tdc {
+namespace obs {
+
+/** Schema tag stamped into the header line and the report summary. */
+inline constexpr const char *timeseriesSchema = "tdc-timeseries-v1";
+
+struct IntervalSamplerConfig
+{
+    /** Sample every this many retired instructions (summed). */
+    std::uint64_t intervalInsts = 100'000;
+    /** JSON-lines output path; empty keeps rows in memory only. */
+    std::string path;
+    /** Bound on rows retained for the report summary. */
+    std::size_t summaryMax = 64;
+};
+
+class IntervalSampler : public ProbeListener<RetireEvent>
+{
+  public:
+    explicit IntervalSampler(IntervalSamplerConfig cfg);
+    ~IntervalSampler();
+
+    IntervalSampler(const IntervalSampler &) = delete;
+    IntervalSampler &operator=(const IntervalSampler &) = delete;
+
+    /**
+     * Registers a stats subtree; its scalars appear in every delta row
+     * as "<prefix><path>". Must happen before start().
+     */
+    void addGroup(const std::string &prefix,
+                  const stats::StatGroup *group);
+
+    /** Registers an instantaneous value sampled at each row. */
+    void addGauge(const std::string &name,
+                  std::function<std::uint64_t()> fn);
+
+    /** Captures the baseline and writes the header line. */
+    void start();
+
+    /** Retire-milestone probe callback: samples when due. */
+    void notify(const RetireEvent &event) override;
+
+    /**
+     * Flushes and closes the output. A trailing partial interval is
+     * intentionally not emitted: every row covers exactly
+     * `intervalInsts` instructions, so rows are comparable and the
+     * file's bytes depend only on simulated progress.
+     */
+    void finish();
+
+    /** Bounded summary for the run report; Null before start(). */
+    json::Value summaryJson() const;
+
+    std::uint64_t rowsWritten() const { return rows_; }
+    std::uint64_t intervalInsts() const { return cfg_.intervalInsts; }
+
+  private:
+    struct Row
+    {
+        std::uint64_t n;
+        std::uint64_t insts;
+        Tick tick;
+        std::vector<std::uint64_t> delta;
+        std::vector<std::uint64_t> gauge;
+    };
+
+    std::uint64_t totalInsts() const;
+    void sample(Tick tick);
+    void writeRow(const Row &row);
+    void retain(Row row);
+
+    IntervalSamplerConfig cfg_;
+    std::vector<const stats::StatGroup *> groups_;
+    std::vector<std::string> deltaFields_;
+    std::vector<std::string> gaugeFields_;
+    std::vector<std::function<std::uint64_t()>> gauges_;
+
+    std::ofstream out_;
+    bool started_ = false;
+    bool finished_ = false;
+    stats::StatSnapshot base_;
+    std::vector<std::uint64_t> coreInsts_;
+    std::uint64_t nextSampleInsts_ = 0;
+    std::uint64_t rows_ = 0;
+
+    std::vector<Row> summary_;
+    std::uint64_t summaryStride_ = 1;
+};
+
+} // namespace obs
+} // namespace tdc
+
+#endif // TDC_OBS_INTERVAL_SAMPLER_HH

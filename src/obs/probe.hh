@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Probe points: zero-overhead-when-unattached instrumentation hooks in
+ * the gem5 tradition.
+ *
+ * A component *declares* a ProbePoint<Event> for each interesting
+ * occurrence (a cTLB miss completing, a frame being evicted, a DRAM row
+ * conflict) and *fires* it with a typed payload; it never knows who, if
+ * anyone, listens. Observers (the event tracer, the interval sampler,
+ * tests) implement ProbeListener<Event> and attach themselves.
+ *
+ * Cost model: an unattached probe is one empty-vector test on the hot
+ * path. Sites that must build a non-trivial payload guard construction
+ * with attached():
+ *
+ *   if (fillProbe_.attached())
+ *       fillProbe_.fire(PageFillEvent{...});
+ *
+ * Attach/detach is not thread-safe; probes belong to one System, and a
+ * System is single-threaded (parallel sweeps run one System per worker
+ * with no shared observers -- see DESIGN.md 5b/7).
+ */
+
+#ifndef TDC_OBS_PROBE_HH
+#define TDC_OBS_PROBE_HH
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tdc {
+namespace obs {
+
+template <typename Event>
+class ProbeListener
+{
+  public:
+    virtual ~ProbeListener() = default;
+    virtual void notify(const Event &event) = 0;
+};
+
+template <typename Event>
+class ProbePoint
+{
+  public:
+    explicit ProbePoint(std::string name = "") : name_(std::move(name)) {}
+
+    ProbePoint(const ProbePoint &) = delete;
+    ProbePoint &operator=(const ProbePoint &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** True when at least one listener is attached (hot-path guard). */
+    bool attached() const { return !listeners_.empty(); }
+
+    std::size_t listenerCount() const { return listeners_.size(); }
+
+    /** Attaching the same listener twice is a wiring bug. */
+    void
+    attach(ProbeListener<Event> *l)
+    {
+        tdc_assert(l != nullptr, "null probe listener");
+        tdc_assert(std::find(listeners_.begin(), listeners_.end(), l)
+                       == listeners_.end(),
+                   "listener attached twice to probe '{}'", name_);
+        listeners_.push_back(l);
+    }
+
+    /** Detaching a listener that is not attached is a no-op. */
+    void
+    detach(ProbeListener<Event> *l)
+    {
+        listeners_.erase(
+            std::remove(listeners_.begin(), listeners_.end(), l),
+            listeners_.end());
+    }
+
+    void
+    fire(const Event &event)
+    {
+        for (auto *l : listeners_)
+            l->notify(event);
+    }
+
+  private:
+    std::string name_;
+    std::vector<ProbeListener<Event> *> listeners_;
+};
+
+/** Adapter wrapping a callable as a listener (wiring glue, tests). */
+template <typename Event, typename Fn>
+class FnListener : public ProbeListener<Event>
+{
+  public:
+    explicit FnListener(Fn fn) : fn_(std::move(fn)) {}
+    void notify(const Event &event) override { fn_(event); }
+
+  private:
+    Fn fn_;
+};
+
+} // namespace obs
+} // namespace tdc
+
+#endif // TDC_OBS_PROBE_HH

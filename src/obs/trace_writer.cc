@@ -1,0 +1,181 @@
+#include "obs/trace_writer.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace tdc {
+namespace obs {
+
+namespace {
+
+/**
+ * Ticks (ps) to the trace format's microseconds as an exact decimal
+ * string ("1234.000567" -> "1234.000567", trailing zeros stripped), so
+ * no floating-point formatting can perturb the output bytes.
+ */
+std::string
+ticksToUs(Tick t)
+{
+    std::string s = std::to_string(t / 1'000'000);
+    std::uint64_t frac = t % 1'000'000;
+    if (frac == 0)
+        return s;
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%06llu",
+                  static_cast<unsigned long long>(frac));
+    std::string f(buf);
+    while (f.back() == '0')
+        f.pop_back();
+    return s + "." + f;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(TraceWriterConfig cfg) : cfg_(std::move(cfg))
+{
+    tdc_assert(cfg_.ringCapacity > 0, "trace ring needs capacity");
+    std::string cur;
+    for (char c : cfg_.categories) {
+        if (c == ',') {
+            if (!cur.empty())
+                enabledCats_.insert(cur);
+            cur.clear();
+        } else if (c != ' ') {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        enabledCats_.insert(cur);
+}
+
+TraceWriter::~TraceWriter()
+{
+    finish();
+}
+
+bool
+TraceWriter::enabled(std::string_view cat) const
+{
+    return enabledCats_.empty() || enabledCats_.count(cat) != 0;
+}
+
+void
+TraceWriter::push(Event e)
+{
+    if (finished_)
+        return;
+    if (ring_.size() >= cfg_.ringCapacity) {
+        ring_.pop_front();
+        ++dropped_;
+    }
+    ring_.push_back(std::move(e));
+}
+
+void
+TraceWriter::complete(std::string_view cat, std::string_view name,
+                      std::uint32_t tid, Tick start, Tick end, Args args)
+{
+    if (!enabled(cat))
+        return;
+    tdc_assert(end >= start, "trace event '{}' ends before it starts",
+               name);
+    push(Event{'X', std::string(cat), std::string(name), tid, start,
+               end - start, std::move(args)});
+}
+
+void
+TraceWriter::instant(std::string_view cat, std::string_view name,
+                     std::uint32_t tid, Tick tick, Args args)
+{
+    if (!enabled(cat))
+        return;
+    push(Event{'i', std::string(cat), std::string(name), tid, tick, 0,
+               std::move(args)});
+}
+
+void
+TraceWriter::counter(std::string_view cat, std::string_view name,
+                     Tick tick, std::uint64_t value)
+{
+    if (!enabled(cat))
+        return;
+    push(Event{'C', std::string(cat), std::string(name), 0, tick, 0,
+               Args{{"value", value}}});
+}
+
+void
+TraceWriter::setTrackName(std::uint32_t tid, std::string name)
+{
+    trackNames_[tid] = std::move(name);
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_ || cfg_.path.empty())
+        return;
+    finished_ = true;
+
+    // The ring holds events in emission order; within one System that
+    // is already nearly chronological. A stable sort by start tick
+    // yields a well-formed timeline (ties keep emission order, so an
+    // enclosing duration precedes its sub-phases).
+    std::stable_sort(ring_.begin(), ring_.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.ts < b.ts;
+                     });
+
+    std::ofstream os(cfg_.path, std::ios::trunc);
+    if (!os)
+        fatal("cannot open trace output file '{}'", cfg_.path);
+
+    os << "{\n\"traceEvents\": [\n";
+    bool first = true;
+    for (const auto &[tid, name] : trackNames_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << tid
+           << R"(,"args":{"name":)";
+        json::writeEscaped(os, name);
+        os << "}}";
+    }
+    for (const Event &e : ring_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\":";
+        json::writeEscaped(os, e.name);
+        os << ",\"cat\":";
+        json::writeEscaped(os, e.cat);
+        os << ",\"ph\":\"" << e.ph << "\",\"pid\":0,\"tid\":" << e.tid
+           << ",\"ts\":" << ticksToUs(e.ts);
+        if (e.ph == 'X')
+            os << ",\"dur\":" << ticksToUs(e.dur);
+        if (e.ph == 'i')
+            os << ",\"s\":\"t\""; // instant scope: thread
+        if (!e.args.empty()) {
+            os << ",\"args\":{";
+            for (std::size_t i = 0; i < e.args.size(); ++i) {
+                if (i)
+                    os << ",";
+                os << "\"" << e.args[i].first
+                   << "\":" << e.args[i].second;
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n],\n\"displayTimeUnit\": \"ns\",\n\"otherData\": "
+       << "{\"schema\": \"" << traceSchema
+       << "\", \"dropped_events\": " << dropped_
+       << ", \"time_unit\": \"1 tick = 1 ps; ts in us\"}\n}\n";
+    if (!os.good())
+        fatal("error writing trace output file '{}'", cfg_.path);
+}
+
+} // namespace obs
+} // namespace tdc

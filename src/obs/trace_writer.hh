@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Chrome trace-event JSON writer (Perfetto / chrome://tracing loadable).
+ *
+ * Events accumulate in a bounded ring buffer (oldest dropped first, with
+ * a dropped-event count recorded in the output) so multi-billion-tick
+ * runs stay tractable; finish() sorts by timestamp and writes one JSON
+ * document:
+ *
+ *   { "traceEvents": [ {"name":..,"cat":..,"ph":"X","ts":..,"dur":..,
+ *                       "pid":0,"tid":..,"args":{..}}, ... ],
+ *     "displayTimeUnit": "ns",
+ *     "otherData": { "schema": "tdc-trace-v1", "dropped_events": N } }
+ *
+ * Timestamps convert ticks (1 ps) to the format's microseconds as exact
+ * decimal strings, so output is byte-deterministic across runs and
+ * platforms. Category filtering is decided at emission time: a site
+ * checks enabled(cat) before building its payload, and a disabled
+ * category costs one hash-set lookup and never pollutes the ring.
+ *
+ * One TraceWriter belongs to one System; nothing here is global, so
+ * parallel sweep jobs can each carry their own tracer (DESIGN.md 7).
+ */
+
+#ifndef TDC_OBS_TRACE_WRITER_HH
+#define TDC_OBS_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tdc {
+namespace obs {
+
+/** Schema tag recorded in the trace's otherData block. */
+inline constexpr const char *traceSchema = "tdc-trace-v1";
+
+struct TraceWriterConfig
+{
+    std::string path;
+    /** Comma-separated category filter; empty enables everything. */
+    std::string categories;
+    /** Ring-buffer bound on retained events. */
+    std::size_t ringCapacity = 1 << 18;
+};
+
+class TraceWriter
+{
+  public:
+    /** A numeric event argument (all tdc trace args are counters). */
+    using Arg = std::pair<const char *, std::uint64_t>;
+    using Args = std::vector<Arg>;
+
+    explicit TraceWriter(TraceWriterConfig cfg);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** True when the category passes the filter (check before fire). */
+    bool enabled(std::string_view cat) const;
+
+    /** Duration event spanning [start, end] ticks on track tid. */
+    void complete(std::string_view cat, std::string_view name,
+                  std::uint32_t tid, Tick start, Tick end,
+                  Args args = {});
+
+    /** Instant (zero-duration) event. */
+    void instant(std::string_view cat, std::string_view name,
+                 std::uint32_t tid, Tick tick, Args args = {});
+
+    /** Counter track sample ("C" event). */
+    void counter(std::string_view cat, std::string_view name, Tick tick,
+                 std::uint64_t value);
+
+    /** Names a track in the Perfetto UI (emitted as metadata events). */
+    void setTrackName(std::uint32_t tid, std::string name);
+
+    /** Sorts, writes the file and closes; idempotent. */
+    void finish();
+
+    std::size_t eventCount() const { return ring_.size(); }
+    std::uint64_t droppedEvents() const { return dropped_; }
+    const std::string &path() const { return cfg_.path; }
+
+  private:
+    struct Event
+    {
+        char ph;           //!< 'X', 'i' or 'C'
+        std::string cat;
+        std::string name;
+        std::uint32_t tid;
+        Tick ts;
+        Tick dur;          //!< 'X' only
+        Args args;
+    };
+
+    void push(Event e);
+
+    TraceWriterConfig cfg_;
+    std::set<std::string, std::less<>> enabledCats_; //!< empty = all
+    std::deque<Event> ring_;
+    std::map<std::uint32_t, std::string> trackNames_;
+    std::uint64_t dropped_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace obs
+} // namespace tdc
+
+#endif // TDC_OBS_TRACE_WRITER_HH

@@ -172,6 +172,32 @@ parseJob(const json::Value &obj, const BaseSpec &base)
     return job;
 }
 
+/** Job labels contain '/'; make them safe as a path component. */
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                        || (c >= '0' && c <= '9') || c == '.'
+                        || c == '_' || c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+/** Replaces every "{label}" occurrence in s. */
+std::string
+substituteLabel(std::string s, const std::string &label)
+{
+    const std::string token = "{label}";
+    for (std::size_t pos = s.find(token); pos != std::string::npos;
+         pos = s.find(token, pos + label.size()))
+        s.replace(pos, token.size(), label);
+    return s;
+}
+
 } // namespace
 
 SystemConfig
@@ -184,6 +210,17 @@ JobSpec::toSystemConfig() const
     cfg.instsPerCore = instsPerCore;
     cfg.warmupInsts = warmupInsts;
     cfg.raw = raw;
+
+    // Observability outputs are per-job files: a "{label}" placeholder
+    // in an obs.* path expands to this job's (sanitized) label, so one
+    // manifest-level override gives every job its own trace/time-series
+    // file and parallel workers never share a sink (DESIGN.md 7).
+    const std::string safe = sanitizeLabel(label);
+    for (const char *key : {"obs.trace_out", "obs.timeseries"}) {
+        if (cfg.raw.has(key))
+            cfg.raw.set(key,
+                        substituteLabel(cfg.raw.getString(key, ""), safe));
+    }
     return cfg;
 }
 

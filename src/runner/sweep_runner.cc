@@ -41,6 +41,8 @@ progressLine(const JobResult &r, unsigned done, unsigned total)
     std::string line =
         format("[sweep] ({}/{}) {:<7} {:<28} {:.2f}s", done, total,
                statusName(r.status), r.label, r.wallSeconds);
+    if (r.ok() && r.kips > 0.0)
+        line += format("  {:.0f} KIPS", r.kips);
     if (r.attempts > 1)
         line += format(" (attempt {})", r.attempts);
     if (!r.ok())
@@ -78,6 +80,10 @@ runOne(const JobSpec &job, double timeout_s, bool retry)
                 return r; // retrying would blow the budget again
             }
             r.result = std::move(rr);
+            r.kips = r.wallSeconds > 0.0
+                         ? static_cast<double>(r.result.totalInsts)
+                               / r.wallSeconds / 1000.0
+                         : 0.0;
             r.report = makeRunReport(cfg, r.result);
             r.status = JobResult::Status::Ok;
             r.error.clear();
@@ -167,7 +173,8 @@ SweepRunner::run(const SweepManifest &manifest) const
 
 json::Value
 SweepRunner::aggregateReport(const SweepManifest &manifest,
-                             const std::vector<JobResult> &results)
+                             const std::vector<JobResult> &results,
+                             bool include_timing)
 {
     tdc_assert(manifest.jobs.size() == results.size(),
                "result count does not match manifest");
@@ -184,6 +191,12 @@ SweepRunner::aggregateReport(const SweepManifest &manifest,
             entry.set("report", r.report);
         else
             entry.set("error", r.error);
+        if (include_timing) {
+            auto timing = json::Value::object();
+            timing.set("wall_seconds", r.wallSeconds);
+            timing.set("kips", r.kips);
+            entry.set("timing", std::move(timing));
+        }
         jobs.push(std::move(entry));
     }
     doc.set("jobs", std::move(jobs));

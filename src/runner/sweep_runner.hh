@@ -43,6 +43,7 @@ struct JobResult
     std::string error;      //!< last failure message (Failed/TimedOut)
     unsigned attempts = 0;
     double wallSeconds = 0.0; //!< last attempt's simulation wall time
+    double kips = 0.0;        //!< host throughput: insts / wall / 1000
 
     RunResult result;       //!< valid when status == Ok
     json::Value report;     //!< tdc-run-report-v1 (meta + result)
@@ -79,11 +80,15 @@ class SweepRunner
 
     /**
      * Aggregates into a tdc-sweep-report-v1 document: one entry per
-     * job, manifest order, no timing -- byte-deterministic at any -j.
+     * job, manifest order. By default no timing is included, so the
+     * document is byte-deterministic at any -j; include_timing adds a
+     * per-job "timing" block (wall seconds, KIPS) for profiling runs
+     * that accept host-dependent output.
      */
     static json::Value
     aggregateReport(const SweepManifest &manifest,
-                    const std::vector<JobResult> &results);
+                    const std::vector<JobResult> &results,
+                    bool include_timing = false);
 
     /** TDC_JOBS from the environment, or def when unset/invalid. */
     static unsigned envJobs(unsigned def = 0);

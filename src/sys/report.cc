@@ -63,14 +63,18 @@ toJson(const SystemConfig &cfg)
 
 json::Value
 makeRunReport(const SystemConfig &cfg, const RunResult &r,
-              const System *sys)
+              const System *sys, const stats::JsonOptions &opt)
 {
     auto report = json::Value::object();
     report.set("schema", runReportSchema);
     report.set("meta", toJson(cfg));
     report.set("result", toJson(r));
-    if (sys != nullptr)
-        report.set("stats", sys->statsJson());
+    if (sys != nullptr) {
+        report.set("stats", sys->statsJson(opt));
+        const auto *hub = sys->observability();
+        if (hub != nullptr && hub->sampling())
+            report.set("timeseries", hub->timeseriesSummary());
+    }
     return report;
 }
 

@@ -39,10 +39,15 @@ json::Value toJson(const SystemConfig &cfg);
 
 /**
  * The full report: schema + meta + result, and, when sys is non-null,
- * the complete hierarchical statistics tree under "stats".
+ * the complete hierarchical statistics tree under "stats". When the
+ * system ran with interval sampling enabled, a bounded time-series
+ * summary is embedded under "timeseries"; with observability off the
+ * report is byte-identical to historical output (golden files).
+ * `opt` controls stat serialization (descriptions, extremes).
  */
 json::Value makeRunReport(const SystemConfig &cfg, const RunResult &r,
-                          const System *sys = nullptr);
+                          const System *sys = nullptr,
+                          const stats::JsonOptions &opt = {});
 
 /** Writes a report (or any JSON value) to a file; fatal() on error. */
 void writeReportFile(const json::Value &report, const std::string &path);

@@ -5,6 +5,7 @@
 
 #include "common/units.hh"
 #include "dram/dram_params.hh"
+#include "dramcache/tagless_cache.hh"
 
 namespace tdc {
 
@@ -93,6 +94,51 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
         for (auto &ms : memSystems_)
             ms->shootdown(key);
     });
+
+    buildObservability();
+}
+
+void
+System::buildObservability()
+{
+    const obs::ObsConfig ocfg =
+        obs::ObsConfig::fromConfig(cfg_.raw, cfg_.obs);
+    if (!ocfg.enabled())
+        return; // probes stay unattached; firing sites cost one test
+    obs_ = std::make_unique<obs::Observability>(ocfg);
+
+    obs_->observePageFill(org_->fillProbe);
+    obs_->observeEviction(org_->evictProbe);
+    obs_->observeVictimHit(org_->victimHitProbe);
+    obs_->observeFreeQueue(org_->freeQueueProbe);
+    obs_->observeGipt(org_->giptProbe);
+    obs_->observeDram(inPkg_->accessProbe);
+    obs_->observeDram(offPkg_->accessProbe);
+    for (auto &ms : memSystems_)
+        obs_->observeTlbMiss(ms->tlbMissProbe);
+    for (auto &c : cores_) {
+        obs_->nameCoreTrack(c->coreId(), c->name());
+        if (ocfg.sampling())
+            c->setRetireMilestone(ocfg.statsInterval);
+        obs_->observeRetire(c->retireProbe);
+    }
+
+    if (auto *sampler = obs_->sampler()) {
+        sampler->addGroup(inPkg_->name() + ".", &inPkg_->statGroup());
+        sampler->addGroup(offPkg_->name() + ".", &offPkg_->statGroup());
+        sampler->addGroup(org_->name() + ".", &org_->statGroup());
+        for (const auto &c : cores_)
+            sampler->addGroup(c->name() + ".", &c->statGroup());
+        if (auto *tc = dynamic_cast<TaglessCache *>(org_.get())) {
+            sampler->addGauge("free_queue_depth", [tc] {
+                return static_cast<std::uint64_t>(tc->freeBlocks());
+            });
+            sampler->addGauge("frames_occupied", [tc] {
+                return tc->totalFrames() - tc->freeBlocks();
+            });
+        }
+    }
+    obs_->start();
 }
 
 System::~System() = default;
@@ -271,6 +317,9 @@ System::run()
     ei.offPkg = energyDelta(end.offPkgEnergy, base.offPkgEnergy);
     r.energy = energyModel_->compute(ei);
     r.edp = energyModel_->edp(r.energy, r.seconds);
+
+    if (obs_)
+        obs_->finish();
     return r;
 }
 
@@ -286,15 +335,15 @@ System::dumpStats(std::ostream &os) const
 }
 
 json::Value
-System::statsJson() const
+System::statsJson(const stats::JsonOptions &opt) const
 {
     auto v = json::Value::object();
-    v.set(inPkg_->name(), inPkg_->statGroup().toJson());
-    v.set(offPkg_->name(), offPkg_->statGroup().toJson());
-    v.set(phys_->name(), phys_->statGroup().toJson());
-    v.set(org_->name(), org_->statGroup().toJson());
+    v.set(inPkg_->name(), inPkg_->statGroup().toJson(opt));
+    v.set(offPkg_->name(), offPkg_->statGroup().toJson(opt));
+    v.set(phys_->name(), phys_->statGroup().toJson(opt));
+    v.set(org_->name(), org_->statGroup().toJson(opt));
     for (const auto &c : cores_)
-        v.set(c->name(), c->statGroup().toJson());
+        v.set(c->name(), c->statGroup().toJson(opt));
     return v;
 }
 

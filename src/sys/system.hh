@@ -25,6 +25,7 @@
 #include "dram/dram_device.hh"
 #include "dramcache/org_factory.hh"
 #include "energy/energy_model.hh"
+#include "obs/observability.hh"
 #include "sim/event_queue.hh"
 #include "trace/workloads.hh"
 #include "vm/page_table.hh"
@@ -61,6 +62,12 @@ struct SystemConfig
 
     /** Extra low-level overrides (l3.policy, l3.alpha, ...). */
     Config raw;
+
+    /**
+     * Observability defaults; "obs.*" keys in `raw` override these, so
+     * CLIs and sweep manifests share one spelling (DESIGN.md 7).
+     */
+    obs::ObsConfig obs;
 
     /** Reads TDC_INSTS / TDC_WARMUP from the environment if set. */
     void applyEnvironment();
@@ -107,7 +114,12 @@ class System
     void dumpStats(std::ostream &os) const;
 
     /** The same tree as one JSON object keyed by component name. */
-    json::Value statsJson() const;
+    json::Value statsJson(const stats::JsonOptions &opt = {}) const;
+
+    /** The observability hub; nullptr when tracing and sampling are
+     *  both off (probes then stay unattached and cost nothing). */
+    obs::Observability *observability() { return obs_.get(); }
+    const obs::Observability *observability() const { return obs_.get(); }
 
     // Component access for tests and examples.
     DramCacheOrg &org() { return *org_; }
@@ -142,6 +154,7 @@ class System
     };
 
     void buildWorkloads();
+    void buildObservability();
     void advanceAllCores(std::uint64_t inst_target);
     Snapshot capture() const;
 
@@ -158,6 +171,9 @@ class System
     std::vector<std::unique_ptr<SyntheticTraceGen>> traces_;
     std::vector<std::unique_ptr<MemorySystem>> memSystems_;
     std::vector<std::unique_ptr<OooCore>> cores_;
+
+    /** Declared last: listeners detach before any probe owner dies. */
+    std::unique_ptr<obs::Observability> obs_;
 };
 
 /** Convenience: builds a SystemConfig for one design point. */

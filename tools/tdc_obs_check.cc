@@ -1,0 +1,146 @@
+/**
+ * @file
+ * tdc_obs_check: validates observability artifacts.
+ *
+ *   tdc_obs_check [--trace=<path>] [--timeseries=<path>]
+ *                 [--min-events=<N>] [--min-rows=<N>]
+ *
+ * Checks a Chrome trace-event file (parses as JSON, carries the
+ * tdc-trace-v1 schema tag, timestamps are non-decreasing, optional
+ * minimum event count) and/or a tdc-timeseries-v1 JSONL file (header
+ * schema, every row parses, row numbers are dense from 0, delta/gauge
+ * widths match the header's field lists). Exits non-zero with a
+ * message on the first violation, so CI can gate on it.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/config.hh"
+#include "common/format.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "obs/interval_sampler.hh"
+#include "obs/trace_writer.hh"
+
+using namespace tdc;
+
+namespace {
+
+void
+checkTrace(const std::string &path, std::uint64_t min_events)
+{
+    std::string err;
+    const auto doc = json::tryReadFile(path, &err);
+    if (!doc)
+        fatal("trace {}: {}", path, err);
+
+    const json::Value *schema = doc->findPath("otherData.schema");
+    if (schema == nullptr || !schema->isString()
+        || schema->asString() != obs::traceSchema)
+        fatal("trace {}: missing or wrong otherData.schema (want {})",
+              path, obs::traceSchema);
+
+    const json::Value *events = doc->find("traceEvents");
+    if (events == nullptr || !events->isArray())
+        fatal("trace {}: no traceEvents array", path);
+
+    std::uint64_t timed = 0;
+    double prev_ts = -1.0;
+    for (const auto &e : events->items()) {
+        const json::Value *ph = e.find("ph");
+        if (ph == nullptr || !ph->isString())
+            fatal("trace {}: event without a ph", path);
+        if (ph->asString() == "M")
+            continue; // metadata carries no timestamp
+        const json::Value *ts = e.find("ts");
+        if (ts == nullptr || !ts->isNumber())
+            fatal("trace {}: event without a numeric ts", path);
+        if (ts->asDouble() < prev_ts)
+            fatal("trace {}: timestamps not sorted ({} after {})",
+                  path, ts->asDouble(), prev_ts);
+        prev_ts = ts->asDouble();
+        ++timed;
+    }
+    if (timed < min_events)
+        fatal("trace {}: only {} event(s), expected at least {}", path,
+              timed, min_events);
+    std::cout << format("trace ok: {} ({} events)\n", path, timed);
+}
+
+void
+checkTimeseries(const std::string &path, std::uint64_t min_rows)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        fatal("timeseries {}: cannot open", path);
+
+    std::string line;
+    if (!std::getline(in, line))
+        fatal("timeseries {}: empty file", path);
+    const auto header = json::Value::parse(line);
+    if (!header)
+        fatal("timeseries {}: header is not valid JSON", path);
+    const json::Value *schema = header->find("schema");
+    if (schema == nullptr || !schema->isString()
+        || schema->asString() != obs::timeseriesSchema)
+        fatal("timeseries {}: missing or wrong schema (want {})", path,
+              obs::timeseriesSchema);
+    const json::Value *dfields = header->find("delta_fields");
+    const json::Value *gfields = header->find("gauge_fields");
+    if (dfields == nullptr || !dfields->isArray() || gfields == nullptr
+        || !gfields->isArray())
+        fatal("timeseries {}: header lacks field lists", path);
+
+    std::uint64_t rows = 0;
+    while (std::getline(in, line)) {
+        const auto row = json::Value::parse(line);
+        if (!row)
+            fatal("timeseries {}: row {} is not valid JSON", path, rows);
+        const json::Value *n = row->find("n");
+        if (n == nullptr || !n->isUint() || n->asUint() != rows)
+            fatal("timeseries {}: row numbers not dense at row {}",
+                  path, rows);
+        const json::Value *delta = row->find("delta");
+        const json::Value *gauge = row->find("gauge");
+        if (delta == nullptr || !delta->isArray()
+            || delta->items().size() != dfields->items().size())
+            fatal("timeseries {}: row {} delta width mismatch", path,
+                  rows);
+        if (gauge == nullptr || !gauge->isArray()
+            || gauge->items().size() != gfields->items().size())
+            fatal("timeseries {}: row {} gauge width mismatch", path,
+                  rows);
+        ++rows;
+    }
+    if (rows < min_rows)
+        fatal("timeseries {}: only {} row(s), expected at least {}",
+              path, rows, min_rows);
+    std::cout << format("timeseries ok: {} ({} rows)\n", path, rows);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config args;
+    for (int i = 1; i < argc; ++i) {
+        if (!args.parseAssignment(argv[i]))
+            fatal("tdc_obs_check: unrecognized argument '{}'", argv[i]);
+    }
+    args.checkKnown({"trace", "timeseries", "min-events", "min-rows"},
+                    "tdc_obs_check");
+    if (!args.has("trace") && !args.has("timeseries"))
+        fatal("tdc_obs_check: nothing to check (pass --trace= and/or "
+              "--timeseries=)");
+
+    if (args.has("trace"))
+        checkTrace(args.getString("trace", ""),
+                   args.getU64("min-events", 1));
+    if (args.has("timeseries"))
+        checkTimeseries(args.getString("timeseries", ""),
+                        args.getU64("min-rows", 1));
+    return 0;
+}

@@ -12,15 +12,30 @@
  *                              report: meta + result + stats tree)
  *           [stats-json=<path>] (write only the stats tree as JSON)
  *
+ * Observability (all off by default; see DESIGN.md 7):
+ *   --trace-out=<path>        Chrome trace-event JSON (Perfetto)
+ *   --trace-categories=a,b    category filter (default: all)
+ *   --stats-interval=<N>      sample stat deltas every N retired insts
+ *   --timeseries-out=<path>   tdc-timeseries-v1 JSONL destination
+ *   --stats-desc=1            include stat descriptions in JSON output
+ *   --stats-extremes=1        include min/max/percentiles in JSON
+ *
+ * Every option is spelled key=value (leading dashes optional); an
+ * unrecognized flat key or a bare token is a fatal error. Dotted keys
+ * (l3.*, dram.*, obs.*, ...) pass through as raw component overrides.
+ *
  * Examples:
  *   tdc_sim org=ctlb workload=mcf
  *   tdc_sim org=ctlb workload=mcf --json=out.json
  *   tdc_sim org=sram mix=5 l3.size_bytes=268435456
  *   tdc_sim org=ctlb workload=GemsFDTD l3.filter=true stats=1
+ *   tdc_sim org=ctlb workload=mcf --trace-out=mcf.trace.json \
+ *           --stats-interval=100000 --timeseries-out=mcf.jsonl
  */
 
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "common/config.hh"
 #include "common/format.hh"
@@ -79,7 +94,33 @@ int
 main(int argc, char **argv)
 {
     Config args;
-    args.parseArgs(argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        if (!args.parseAssignment(argv[i]))
+            fatal("tdc_sim: unrecognized argument '{}' (every option "
+                  "is key=value; see the header of tools/tdc_sim.cc)",
+                  argv[i]);
+    }
+    args.checkKnown({"org", "workload", "mix", "insts", "warmup",
+                     "stats", "json", "stats-json", "trace-out",
+                     "trace-categories", "trace-ring", "stats-interval",
+                     "timeseries-out", "summary-max", "stats-desc",
+                     "stats-extremes"},
+                    "tdc_sim");
+
+    // The observability flags are aliases for the dotted obs.* config
+    // keys consumed by ObsConfig::fromConfig, so the CLI and sweep
+    // manifests spell the same knobs.
+    constexpr std::pair<const char *, const char *> obs_aliases[] = {
+        {"trace-out", "obs.trace_out"},
+        {"trace-categories", "obs.trace_categories"},
+        {"trace-ring", "obs.trace_ring"},
+        {"stats-interval", "obs.stats_interval"},
+        {"timeseries-out", "obs.timeseries"},
+        {"summary-max", "obs.summary_max"},
+    };
+    for (const auto &[flag, key] : obs_aliases)
+        if (args.has(flag))
+            args.set(key, args.getString(flag, ""));
 
     SystemConfig cfg;
     cfg.org = orgKindFromString(args.getString("org", "ctlb"));
@@ -112,19 +153,32 @@ main(int argc, char **argv)
     const RunResult r = sys.run();
     printResult(sys, r);
 
+    if (auto *hub = sys.observability()) {
+        if (hub->tracing())
+            std::cout << format("trace events          : {}\n",
+                                hub->traceEventCount());
+        if (hub->sampling() && hub->sampler() != nullptr)
+            std::cout << format("timeseries rows       : {}\n",
+                                hub->sampler()->rowsWritten());
+    }
+
     if (args.getBool("stats", false)) {
         std::cout << "\n---- full statistics ----\n";
         sys.dumpStats(std::cout);
     }
 
+    stats::JsonOptions jopt;
+    jopt.desc = args.getBool("stats-desc", false);
+    jopt.extremes = args.getBool("stats-extremes", false);
+
     if (args.has("json")) {
         const std::string path = args.getString("json", "");
-        writeReportFile(makeRunReport(cfg, r, &sys), path);
+        writeReportFile(makeRunReport(cfg, r, &sys, jopt), path);
         std::cout << format("\nrun report written to {}\n", path);
     }
     if (args.has("stats-json")) {
         const std::string path = args.getString("stats-json", "");
-        writeReportFile(sys.statsJson(), path);
+        writeReportFile(sys.statsJson(jopt), path);
         std::cout << format("stats tree written to {}\n", path);
     }
     return 0;

@@ -13,12 +13,20 @@
  *     --out=<path>      aggregated tdc-sweep-report-v1 JSON
  *     --timeout=<sec>   per-job wall-clock budget (0 = none)
  *     --no-progress     suppress per-completion stderr lines
+ *     --timing          add per-job wall-clock/KIPS to the report
  *     --list            print the expanded job list and exit
  *     --dump-manifest=<path>  write the expanded manifest and exit
  *
  * The aggregated report lists jobs in manifest order with no timing
- * data, so its bytes are identical at any --jobs value. Exit status is
- * non-zero if any job failed or timed out.
+ * data, so its bytes are identical at any --jobs value; --timing
+ * opts into host-dependent per-job "timing" blocks and forfeits that
+ * guarantee. Exit status is non-zero if any job failed or timed out.
+ *
+ * Observability in sweeps: put obs.* keys in a manifest's raw block
+ * (or as dotted CLI overrides) with a "{label}" placeholder in the
+ * path, e.g. obs.trace_out=/tmp/{label}.trace.json -- each job then
+ * writes its own trace/time-series file, so parallel workers never
+ * share a sink (one tracer per job; see DESIGN.md 7).
  */
 
 #include <iostream>
@@ -117,18 +125,25 @@ int
 main(int argc, char **argv)
 {
     Config args;
-    bool list = false, no_progress = false;
+    bool list = false, no_progress = false, timing = false;
     for (int i = 1; i < argc; ++i) {
         std::string_view tok(argv[i]);
         if (tok == "--list") {
             list = true;
         } else if (tok == "--no-progress") {
             no_progress = true;
+        } else if (tok == "--timing") {
+            timing = true;
         } else if (!args.parseAssignment(tok)) {
-            fatal("malformed argument '{}' (see tools/tdc_sweep.cc)",
+            fatal("tdc_sweep: unrecognized argument '{}' (every other "
+                  "option is key=value; see tools/tdc_sweep.cc)",
                   tok);
         }
     }
+    args.checkKnown({"manifest", "org", "workload", "l3-size-mb",
+                     "name", "insts", "warmup", "timeout", "jobs",
+                     "out", "dump-manifest"},
+                    "tdc_sweep");
 
     runner::SweepManifest manifest;
     try {
@@ -187,9 +202,9 @@ main(int argc, char **argv)
 
     if (args.has("out")) {
         const auto path = args.getString("out", "");
-        json::writeFile(
-            runner::SweepRunner::aggregateReport(manifest, results),
-            path);
+        json::writeFile(runner::SweepRunner::aggregateReport(
+                            manifest, results, timing),
+                        path);
         std::cout << format("sweep report written to {}\n", path);
     }
 
