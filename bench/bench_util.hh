@@ -177,9 +177,15 @@ struct SweepPoint
  * to the machine's cores. Each point is recorded in the JsonReport,
  * in order, exactly as per-point runConfig() calls would have. A
  * failed point is fatal: a figure with holes is not a figure.
+ *
+ * With share_warmups, points run through the checkpoint-restore path:
+ * each warm group (identical warm-relevant configuration) warms one
+ * System and every member measures from the restored state. Results
+ * are byte-identical either way, so figures opt in freely.
  */
 inline std::vector<RunResult>
-runSweep(const std::vector<SweepPoint> &points, const Budget &b)
+runSweep(const std::vector<SweepPoint> &points, const Budget &b,
+         bool share_warmups = false)
 {
     runner::SweepManifest m;
     m.name = "bench";
@@ -201,6 +207,7 @@ runSweep(const std::vector<SweepPoint> &points, const Budget &b)
     runner::SweepOptions opt;
     opt.jobs = runner::SweepRunner::envJobs(0);
     opt.progress = false;
+    opt.shareWarmups = share_warmups;
     const auto results = runner::SweepRunner(opt).run(m);
 
     std::vector<RunResult> out;

@@ -53,7 +53,7 @@ main(int argc, char **argv)
             points.push_back({OrgKind::Tagless, w, bytes});
         }
     }
-    const auto results = runSweep(points, b);
+    const auto results = runSweep(points, b, /*share_warmups=*/true);
 
     const std::size_t stride = 3 * sizes_mb.size();
     for (std::size_t mi = 0; mi < mixes.size(); ++mi) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/stats_io.hh"
 #include "common/bitops.hh"
 
 namespace tdc {
@@ -150,6 +151,45 @@ SramCache::flushAll()
         line.valid = false;
         line.dirty = false;
     }
+}
+
+void
+SramCache::saveState(ckpt::Serializer &out) const
+{
+    out.putU64(lines_.size());
+    for (const Line &line : lines_) {
+        out.putU64(line.tag);
+        out.putBool(line.valid);
+        out.putBool(line.dirty);
+        out.putU64(line.lastUse);
+        out.putU64(line.fillTime);
+    }
+    out.putU64(useClock_);
+    ckpt::save(out, rng_);
+    ckpt::save(out, hits_);
+    ckpt::save(out, misses_);
+    ckpt::save(out, writebacks_);
+}
+
+void
+SramCache::loadState(ckpt::Deserializer &in)
+{
+    const std::uint64_t n = in.getU64();
+    tdc_assert(n == lines_.size(),
+               "SRAM cache geometry mismatch on checkpoint restore "
+               "({} vs {} lines)", n, lines_.size());
+    for (Line &line : lines_) {
+        line.tag = in.getU64();
+        line.valid = in.getBool();
+        line.dirty = in.getBool();
+        line.lastUse = in.getU64();
+        line.fillTime = in.getU64();
+    }
+    useClock_ = in.getU64();
+    ckpt::load(in, rng_);
+    ckpt::load(in, hits_);
+    ckpt::load(in, misses_);
+    ckpt::load(in, writebacks_);
 }
 
 } // namespace tdc

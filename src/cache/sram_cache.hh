@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cache/replacement.hh"
+#include "ckpt/checkpointable.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -45,7 +46,7 @@ struct SramCacheParams
     ReplPolicy policy = ReplPolicy::LRU;
 };
 
-class SramCache : public SimObject
+class SramCache : public SimObject, public ckpt::Checkpointable
 {
   public:
     SramCache(std::string name, EventQueue &eq,
@@ -82,6 +83,10 @@ class SramCache : public SimObject
         const auto total = hits_.value() + misses_.value();
         return total ? static_cast<double>(misses_.value()) / total : 0.0;
     }
+
+    /** Checkpointing: every line, the use clock, the RNG and stats. */
+    void saveState(ckpt::Serializer &out) const override;
+    void loadState(ckpt::Deserializer &in) override;
 
   private:
     struct Line

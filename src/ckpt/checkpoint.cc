@@ -1,0 +1,150 @@
+#include "ckpt/checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace tdc {
+namespace ckpt {
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t n)
+{
+    std::uint64_t hash = 14695981039346656037ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        hash ^= data[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1a(std::string_view s)
+{
+    return fnv1a(reinterpret_cast<const std::uint8_t *>(s.data()),
+                 s.size());
+}
+
+const Section *
+Checkpoint::find(std::string_view name) const
+{
+    for (const auto &s : sections_)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+const Section &
+Checkpoint::require(std::string_view name) const
+{
+    const Section *s = find(name);
+    if (!s)
+        fatal("checkpoint: missing section '{}'", name);
+    return *s;
+}
+
+std::vector<std::uint8_t>
+Checkpoint::encode() const
+{
+    Serializer out;
+    for (char c : checkpointMagic)
+        out.putU8(static_cast<std::uint8_t>(c));
+    out.putU32(checkpointFormatVersion);
+    out.putU64(fingerprint_);
+    out.putU32(static_cast<std::uint32_t>(sections_.size()));
+    for (const auto &s : sections_) {
+        out.putString(s.name);
+        out.putU64(s.payload.size());
+        out.putU64(fnv1a(s.payload.data(), s.payload.size()));
+        for (std::uint8_t b : s.payload)
+            out.putU8(b);
+    }
+    return out.take();
+}
+
+Checkpoint
+Checkpoint::decode(const std::uint8_t *data, std::size_t size)
+{
+    Deserializer in(data, size);
+
+    if (in.remaining() < sizeof(checkpointMagic))
+        fatal("checkpoint: file truncated ({} bytes, no header)", size);
+    char magic[sizeof(checkpointMagic)];
+    for (char &c : magic)
+        c = static_cast<char>(in.getU8());
+    if (std::memcmp(magic, checkpointMagic, sizeof(magic)) != 0)
+        fatal("checkpoint: bad magic (not a TDC checkpoint file)");
+
+    const std::uint32_t version = in.getU32();
+    if (version != checkpointFormatVersion) {
+        fatal("checkpoint: format version {} unsupported (this build "
+              "reads version {}); re-run the warm phase to regenerate",
+              version, checkpointFormatVersion);
+    }
+
+    Checkpoint ck;
+    ck.fingerprint_ = in.getU64();
+    const std::uint32_t count = in.getU32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Section s;
+        s.name = in.getString();
+        const std::uint64_t payload_size = in.getU64();
+        const std::uint64_t checksum = in.getU64();
+        if (payload_size > in.remaining()) {
+            fatal("checkpoint: section '{}' truncated ({} byte payload, "
+                  "{} bytes left in file)",
+                  s.name, payload_size, in.remaining());
+        }
+        s.payload.resize(static_cast<std::size_t>(payload_size));
+        for (auto &b : s.payload)
+            b = in.getU8();
+        const std::uint64_t actual =
+            fnv1a(s.payload.data(), s.payload.size());
+        if (actual != checksum) {
+            fatal("checkpoint: section '{}' checksum mismatch "
+                  "(stored {:#x}, computed {:#x}) -- file is corrupt",
+                  s.name, checksum, actual);
+        }
+        ck.sections_.push_back(std::move(s));
+    }
+    if (!in.done())
+        fatal("checkpoint: {} trailing bytes after last section",
+              in.remaining());
+    return ck;
+}
+
+void
+Checkpoint::writeFile(const std::string &path) const
+{
+    const std::vector<std::uint8_t> bytes = encode();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("checkpoint: cannot open '{}' for writing", path);
+    const std::size_t written =
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const int rc = std::fclose(f);
+    if (written != bytes.size() || rc != 0)
+        fatal("checkpoint: short write to '{}'", path);
+}
+
+Checkpoint
+Checkpoint::loadFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("checkpoint: cannot open '{}'", path);
+    std::fseek(f, 0, SEEK_END);
+    const long len = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes(len > 0 ? static_cast<std::size_t>(len)
+                                            : 0);
+    const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size())
+        fatal("checkpoint: short read from '{}'", path);
+    return decode(bytes.data(), bytes.size());
+}
+
+} // namespace ckpt
+} // namespace tdc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Interface implemented by every simulator component whose warm state
+ * is captured in a checkpoint.
+ *
+ * Contract: loadState() must consume exactly the bytes saveState()
+ * produced and leave the component in a state that is
+ * *behaviour-identical* to the saved one — every subsequent access must
+ * take the same path, touch the same stats and produce the same timing
+ * as it would have in the original run. Restoring must not fire hooks
+ * or probes (TLB residence hooks, first-touch hooks): any side effect a
+ * hook would have applied is itself part of some component's saved
+ * state and is restored there.
+ */
+
+#ifndef TDC_CKPT_CHECKPOINTABLE_HH
+#define TDC_CKPT_CHECKPOINTABLE_HH
+
+#include "ckpt/serializer.hh"
+
+namespace tdc {
+namespace ckpt {
+
+class Checkpointable
+{
+  public:
+    virtual ~Checkpointable() = default;
+
+    /** Appends this component's state to @p out. */
+    virtual void saveState(Serializer &out) const = 0;
+
+    /** Restores state previously written by saveState(). */
+    virtual void loadState(Deserializer &in) = 0;
+};
+
+} // namespace ckpt
+} // namespace tdc
+
+#endif // TDC_CKPT_CHECKPOINTABLE_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Byte-level encoder/decoder for checkpoint sections.
+ *
+ * All multi-byte values are little-endian with fixed widths, so a
+ * checkpoint written on any supported host decodes on any other and the
+ * byte stream produced for identical simulator state is identical
+ * (required for the save-after-load byte-equality test). Doubles are
+ * stored as their IEEE-754 bit pattern; strings as a u64 length plus
+ * raw bytes.
+ *
+ * The Deserializer is bounds-checked: reading past the end of a section
+ * is a fatal() (catchable via ScopedFatalCapture), never undefined
+ * behaviour, so truncated or corrupt checkpoints fail loudly.
+ */
+
+#ifndef TDC_CKPT_SERIALIZER_HH
+#define TDC_CKPT_SERIALIZER_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tdc {
+namespace ckpt {
+
+/** Appends fixed-width little-endian values to a growable buffer. */
+class Serializer
+{
+  public:
+    void putU8(std::uint8_t v) { buf_.push_back(v); }
+
+    void
+    putU16(std::uint16_t v)
+    {
+        putU8(static_cast<std::uint8_t>(v));
+        putU8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    putU32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            putU8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    putU64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            putU8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void putBool(bool v) { putU8(v ? 1 : 0); }
+
+    void
+    putDouble(double v)
+    {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        putU64(bits);
+    }
+
+    void
+    putString(std::string_view s)
+    {
+        putU64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked reader over an encoded section payload. */
+class Deserializer
+{
+  public:
+    Deserializer(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    explicit Deserializer(const std::vector<std::uint8_t> &bytes)
+        : Deserializer(bytes.data(), bytes.size())
+    {}
+
+    std::uint8_t
+    getU8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    getU16()
+    {
+        std::uint16_t v = getU8();
+        v |= static_cast<std::uint16_t>(getU8()) << 8;
+        return v;
+    }
+
+    std::uint32_t
+    getU32()
+    {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(getU8()) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    getU64()
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(getU8()) << (8 * i);
+        return v;
+    }
+
+    bool getBool() { return getU8() != 0; }
+
+    double
+    getDouble()
+    {
+        const std::uint64_t bits = getU64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    getString()
+    {
+        const std::uint64_t len = getU64();
+        need(len);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      static_cast<std::size_t>(len));
+        pos_ += static_cast<std::size_t>(len);
+        return s;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool done() const { return pos_ == size_; }
+
+  private:
+    void
+    need(std::uint64_t n) const
+    {
+        if (n > size_ - pos_) {
+            fatal("checkpoint: truncated section (need {} bytes at "
+                  "offset {}, {} available)",
+                  n, pos_, size_ - pos_);
+        }
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace ckpt
+} // namespace tdc
+
+#endif // TDC_CKPT_SERIALIZER_HH

@@ -95,6 +95,18 @@ class Pcg32
         return uniform() < p;
     }
 
+    /** Raw engine state, exposed for checkpointing only. */
+    std::uint64_t rawState() const { return state_; }
+    std::uint64_t rawInc() const { return inc_; }
+
+    /** Checkpoint restore: resumes the exact saved sequence. */
+    void
+    restoreRaw(std::uint64_t state, std::uint64_t inc)
+    {
+        state_ = state;
+        inc_ = inc;
+    }
+
   private:
     std::uint64_t state_;
     std::uint64_t inc_;

@@ -50,6 +50,9 @@ class Scalar
     Scalar &operator+=(std::uint64_t v) { value_ += v; return *this; }
     void reset() { value_ = 0; }
 
+    /** Checkpoint restore: overwrites the accumulated count. */
+    void restore(std::uint64_t v) { value_ = v; }
+
     std::uint64_t value() const { return value_; }
 
     json::Value toJson() const { return json::Value(value_); }
@@ -80,6 +83,23 @@ class Average
         count_ = 0;
         min_ = std::numeric_limits<double>::infinity();
         max_ = -std::numeric_limits<double>::infinity();
+    }
+
+    /**
+     * Checkpoint restore. min/max are the values minimum()/maximum()
+     * reported at save time; they are ignored when count is zero so
+     * the no-sample sentinels (+/-inf) round-trip correctly.
+     */
+    void
+    restore(double sum, std::uint64_t count, double min, double max)
+    {
+        reset();
+        if (count == 0)
+            return;
+        sum_ = sum;
+        count_ = count;
+        min_ = min;
+        max_ = max;
     }
 
     double sum() const { return sum_; }
@@ -150,7 +170,24 @@ class Histogram
             c = 0;
     }
 
+    /**
+     * Checkpoint restore: accumulator plus every raw bucket count
+     * (including the trailing overflow bucket). The bucket layout is
+     * config-derived, so a shape mismatch is an internal error.
+     */
+    void
+    restore(double sum, std::uint64_t count, double min, double max,
+            const std::vector<std::uint64_t> &counts)
+    {
+        tdc_assert(counts.size() == counts_.size(),
+                   "histogram restore shape mismatch ({} vs {})",
+                   counts.size(), counts_.size());
+        stat_.restore(sum, count, min, max);
+        counts_ = counts;
+    }
+
     double mean() const { return stat_.mean(); }
+    double sum() const { return stat_.sum(); }
     std::uint64_t count() const { return stat_.count(); }
     double minimum() const { return stat_.minimum(); }
     double maximum() const { return stat_.maximum(); }

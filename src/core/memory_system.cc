@@ -1,5 +1,6 @@
 #include "core/memory_system.hh"
 
+#include "ckpt/stats_io.hh"
 #include "common/bitops.hh"
 
 namespace tdc {
@@ -174,6 +175,38 @@ MemorySystem::shootdown(AsidVpn key)
     itlb_->invalidate(key);
     dtlb_->invalidate(key);
     l2tlb_->invalidate(key);
+}
+
+void
+MemorySystem::saveState(ckpt::Serializer &out) const
+{
+    itlb_->saveState(out);
+    dtlb_->saveState(out);
+    l2tlb_->saveState(out);
+    l1i_->saveState(out);
+    l1d_->saveState(out);
+    l2_->saveState(out);
+    ckpt::save(out, tlbFullMisses_);
+    ckpt::save(out, victimHits_);
+    ckpt::save(out, coldFills_);
+    ckpt::save(out, l3LatencyCycles_);
+    ckpt::save(out, tlbMissPenaltyCycles_);
+}
+
+void
+MemorySystem::loadState(ckpt::Deserializer &in)
+{
+    itlb_->loadState(in);
+    dtlb_->loadState(in);
+    l2tlb_->loadState(in);
+    l1i_->loadState(in);
+    l1d_->loadState(in);
+    l2_->loadState(in);
+    ckpt::load(in, tlbFullMisses_);
+    ckpt::load(in, victimHits_);
+    ckpt::load(in, coldFills_);
+    ckpt::load(in, l3LatencyCycles_);
+    ckpt::load(in, tlbMissPenaltyCycles_);
 }
 
 } // namespace tdc

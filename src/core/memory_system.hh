@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "cache/sram_cache.hh"
+#include "ckpt/checkpointable.hh"
 #include "common/stats.hh"
 #include "core/core_params.hh"
 #include "dramcache/dram_cache_org.hh"
@@ -40,7 +41,7 @@ struct MemAccessResult
     bool reachedL3 = false;
 };
 
-class MemorySystem : public SimObject
+class MemorySystem : public SimObject, public ckpt::Checkpointable
 {
   public:
     MemorySystem(std::string name, EventQueue &eq, CoreId core,
@@ -98,6 +99,11 @@ class MemorySystem : public SimObject
     {
         return tlbMissPenaltyCycles_.sum();
     }
+
+    /** Delegates to the three TLBs and three SRAM caches, then adds the
+     *  per-core access-path stats. */
+    void saveState(ckpt::Serializer &out) const override;
+    void loadState(ckpt::Deserializer &in) override;
 
   private:
     /** Resolves a translation, running the miss path if needed. */

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ckpt/stats_io.hh"
+
 namespace tdc {
 
 OooCore::OooCore(std::string name, EventQueue &eq, CoreId core,
@@ -88,6 +90,44 @@ OooCore::runUntil(Tick horizon, std::uint64_t inst_limit)
         outstanding_.push_back(
             Outstanding{res.completionTick, insts_.value()});
     }
+}
+
+void
+OooCore::saveState(ckpt::Serializer &out) const
+{
+    out.putU64(now_);
+    out.putU64(carryInsts_);
+    out.putU64(outstanding_.size());
+    for (const Outstanding &o : outstanding_) {
+        out.putU64(o.completion);
+        out.putU64(o.instNo);
+    }
+    ckpt::save(out, insts_);
+    ckpt::save(out, memRefs_);
+    ckpt::save(out, mshrStalls_);
+    ckpt::save(out, robStalls_);
+}
+
+void
+OooCore::loadState(ckpt::Deserializer &in)
+{
+    now_ = in.getU64();
+    carryInsts_ = in.getU64();
+    outstanding_.clear();
+    const std::uint64_t n = in.getU64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Tick completion = in.getU64();
+        const std::uint64_t inst_no = in.getU64();
+        outstanding_.push_back(Outstanding{completion, inst_no});
+    }
+    ckpt::load(in, insts_);
+    ckpt::load(in, memRefs_);
+    ckpt::load(in, mshrStalls_);
+    ckpt::load(in, robStalls_);
+    // Re-derive the next milestone boundary: the smallest multiple of
+    // the armed interval strictly above the restored retire count.
+    nextMilestone_ =
+        milestone_ ? (insts_.value() / milestone_ + 1) * milestone_ : 0;
 }
 
 } // namespace tdc

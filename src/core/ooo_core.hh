@@ -23,6 +23,7 @@
 
 #include <deque>
 
+#include "ckpt/checkpointable.hh"
 #include "common/stats.hh"
 #include "core/core_params.hh"
 #include "core/memory_system.hh"
@@ -32,7 +33,7 @@
 
 namespace tdc {
 
-class OooCore : public SimObject
+class OooCore : public SimObject, public ckpt::Checkpointable
 {
   public:
     OooCore(std::string name, EventQueue &eq, CoreId core,
@@ -93,6 +94,15 @@ class OooCore : public SimObject
     }
 
     obs::ProbePoint<obs::RetireEvent> retireProbe{"retire"};
+
+    /**
+     * Core time cursor, issue remainder, outstanding-miss window and
+     * retire stats. The milestone cursor is not serialized: it is
+     * recomputed from the restored instruction count against whatever
+     * interval the restoring run arms.
+     */
+    void saveState(ckpt::Serializer &out) const override;
+    void loadState(ckpt::Deserializer &in) override;
 
   private:
     struct Outstanding

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/stats_io.hh"
 #include "common/bitops.hh"
 #include "sim/event_queue.hh"
 
@@ -160,6 +161,69 @@ DramDevice::access(Addr addr, std::uint64_t bytes, bool is_write, Tick when)
             .outcome = outcome});
 
     return res;
+}
+
+void
+DramDevice::saveState(ckpt::Serializer &out) const
+{
+    out.putU64(banks_.size());
+    for (const auto &channel : banks_) {
+        out.putU64(channel.size());
+        for (const Bank &b : channel) {
+            out.putU64(b.openRow);
+            out.putU64(b.nextActivate);
+            out.putU64(b.earliestPre);
+            out.putU64(b.nextCas);
+        }
+    }
+    out.putU64(busFree_.size());
+    for (Tick t : busFree_)
+        out.putU64(t);
+    out.putDouble(energy_.actPrePj());
+    out.putDouble(energy_.rdwrPj());
+    out.putDouble(energy_.ioPj());
+    out.putU64(energy_.activates());
+    ckpt::save(out, reads_);
+    ckpt::save(out, writes_);
+    ckpt::save(out, rowHits_);
+    ckpt::save(out, rowMisses_);
+    ckpt::save(out, bytes_);
+    ckpt::save(out, latency_);
+}
+
+void
+DramDevice::loadState(ckpt::Deserializer &in)
+{
+    const std::uint64_t channels = in.getU64();
+    tdc_assert(channels == banks_.size(),
+               "DRAM channel count mismatch on checkpoint restore");
+    for (auto &channel : banks_) {
+        const std::uint64_t nbanks = in.getU64();
+        tdc_assert(nbanks == channel.size(),
+                   "DRAM bank count mismatch on checkpoint restore");
+        for (Bank &b : channel) {
+            b.openRow = in.getU64();
+            b.nextActivate = in.getU64();
+            b.earliestPre = in.getU64();
+            b.nextCas = in.getU64();
+        }
+    }
+    const std::uint64_t nbus = in.getU64();
+    tdc_assert(nbus == busFree_.size(),
+               "DRAM bus count mismatch on checkpoint restore");
+    for (Tick &t : busFree_)
+        t = in.getU64();
+    const double act_pre = in.getDouble();
+    const double rdwr = in.getDouble();
+    const double io = in.getDouble();
+    const std::uint64_t activates = in.getU64();
+    energy_.restore(act_pre, rdwr, io, activates);
+    ckpt::load(in, reads_);
+    ckpt::load(in, writes_);
+    ckpt::load(in, rowHits_);
+    ckpt::load(in, rowMisses_);
+    ckpt::load(in, bytes_);
+    ckpt::load(in, latency_);
 }
 
 } // namespace tdc

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/checkpointable.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/dram_energy.hh"
@@ -39,7 +40,7 @@ struct DramAccessResult
     bool rowHit = false;
 };
 
-class DramDevice : public SimObject
+class DramDevice : public SimObject, public ckpt::Checkpointable
 {
   public:
     DramDevice(std::string name, EventQueue &eq,
@@ -94,6 +95,10 @@ class DramDevice : public SimObject
 
     /** Fired per timed access() with the row-buffer outcome resolved. */
     obs::ProbePoint<obs::DramAccessEvent> accessProbe{"dram_access"};
+
+    /** Checkpointing: bank/row state, bus availability, energy, stats. */
+    void saveState(ckpt::Serializer &out) const override;
+    void loadState(ckpt::Deserializer &in) override;
 
   private:
     struct Bank

@@ -62,6 +62,17 @@ class DramEnergyCounter
         activates_ -= base.activates_;
     }
 
+    /** Checkpoint restore of the accumulated energy classes. */
+    void
+    restore(double act_pre_pj, double rdwr_pj, double io_pj,
+            std::uint64_t activates)
+    {
+        actPrePj_ = act_pre_pj;
+        rdwrPj_ = rdwr_pj;
+        ioPj_ = io_pj;
+        activates_ = activates;
+    }
+
   private:
     double actPrePj_ = 0.0;
     double rdwrPj_ = 0.0;

@@ -1,5 +1,7 @@
 #include "dramcache/alloy_cache.hh"
 
+#include "ckpt/stats_io.hh"
+
 namespace tdc {
 
 AlloyCache::AlloyCache(std::string name, EventQueue &eq,
@@ -75,6 +77,32 @@ AlloyCache::writebackLine(Addr addr, CoreId core, Tick when)
     } else {
         offPkgBlockAccess(frameNumOf(addr), pageOffset(addr), true, when);
     }
+}
+
+void
+AlloyCache::saveOrgState(ckpt::Serializer &out) const
+{
+    out.putU64(tags_.size());
+    for (const TagEntry &t : tags_) {
+        out.putU64(t.line);
+        out.putBool(t.valid);
+        out.putBool(t.dirty);
+    }
+    ckpt::save(out, dirtyEvictions_);
+}
+
+void
+AlloyCache::loadOrgState(ckpt::Deserializer &in)
+{
+    const std::uint64_t n = in.getU64();
+    tdc_assert(n == tags_.size(),
+               "Alloy cache geometry mismatch on checkpoint restore");
+    for (TagEntry &t : tags_) {
+        t.line = in.getU64();
+        t.valid = in.getBool();
+        t.dirty = in.getBool();
+    }
+    ckpt::load(in, dirtyEvictions_);
 }
 
 } // namespace tdc

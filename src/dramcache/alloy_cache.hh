@@ -47,6 +47,10 @@ class AlloyCache : public DramCacheOrg
     /** Usable data blocks (capacity lost to in-DRAM tags). */
     std::uint64_t dataBlocks() const { return tags_.size(); }
 
+  protected:
+    void saveOrgState(ckpt::Serializer &out) const override;
+    void loadOrgState(ckpt::Deserializer &in) override;
+
   private:
     std::uint64_t slotOf(std::uint64_t line) const
     {

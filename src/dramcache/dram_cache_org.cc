@@ -1,5 +1,7 @@
 #include "dramcache/dram_cache_org.hh"
 
+#include "ckpt/stats_io.hh"
+
 namespace tdc {
 
 DramCacheOrg::DramCacheOrg(std::string name, EventQueue &eq,
@@ -49,6 +51,32 @@ DramCacheOrg::onTlbResidence(const TlbEntry &entry, CoreId core,
     (void)entry;
     (void)core;
     (void)resident;
+}
+
+void
+DramCacheOrg::saveState(ckpt::Serializer &out) const
+{
+    ckpt::save(out, accesses_);
+    ckpt::save(out, hitsInPkg_);
+    ckpt::save(out, missesOffPkg_);
+    ckpt::save(out, pageFills_);
+    ckpt::save(out, pageWritebacks_);
+    ckpt::save(out, victimHits_);
+    ckpt::save(out, l3Latency_);
+    saveOrgState(out);
+}
+
+void
+DramCacheOrg::loadState(ckpt::Deserializer &in)
+{
+    ckpt::load(in, accesses_);
+    ckpt::load(in, hitsInPkg_);
+    ckpt::load(in, missesOffPkg_);
+    ckpt::load(in, pageFills_);
+    ckpt::load(in, pageWritebacks_);
+    ckpt::load(in, victimHits_);
+    ckpt::load(in, l3Latency_);
+    loadOrgState(in);
 }
 
 Tick

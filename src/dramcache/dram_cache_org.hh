@@ -20,6 +20,7 @@
 #include <functional>
 #include <string>
 
+#include "ckpt/checkpointable.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/dram_device.hh"
@@ -51,7 +52,7 @@ struct L3Result
     bool l3Hit = false; //!< for orgs with a hit/miss notion
 };
 
-class DramCacheOrg : public SimObject
+class DramCacheOrg : public SimObject, public ckpt::Checkpointable
 {
   public:
     /**
@@ -62,6 +63,15 @@ class DramCacheOrg : public SimObject
 
     /** Invalidates one translation in every core's TLBs. */
     using ShootdownFn = std::function<void(AsidVpn key)>;
+
+    /**
+     * Resolves a serialized PTE identity (proc, type, vpn) back to the
+     * live Pte* after the page tables have been restored. Installed by
+     * System; only orgs that store PTE pointers (the tagless cache's
+     * GIPT PTEP field) use it.
+     */
+    using PteResolver =
+        std::function<Pte *(ProcId proc, PageType type, PageNum vpn)>;
 
     DramCacheOrg(std::string name, EventQueue &eq, DramDevice &in_pkg,
                  DramDevice &off_pkg, PhysMem &phys,
@@ -96,6 +106,15 @@ class DramCacheOrg : public SimObject
 
     void setPageInvalidator(PageInvalidator fn) { invalidator_ = std::move(fn); }
     void setShootdownFn(ShootdownFn fn) { shootdown_ = std::move(fn); }
+    virtual void setPteResolver(PteResolver) {}
+
+    /**
+     * Checkpointing: the base serializes the aggregate stats every
+     * organization shares, then delegates organization-specific state
+     * to saveOrgState()/loadOrgState().
+     */
+    void saveState(ckpt::Serializer &out) const final;
+    void loadState(ckpt::Deserializer &in) final;
 
     /** On-die SRAM bits this organization spends on L3 metadata. */
     virtual std::uint64_t onDieTagBits() const { return 0; }
@@ -131,6 +150,10 @@ class DramCacheOrg : public SimObject
     obs::ProbePoint<obs::GiptEvent> giptProbe{"gipt"};
 
   protected:
+    /** Organization-specific checkpoint payload; default: stateless. */
+    virtual void saveOrgState(ckpt::Serializer &) const {}
+    virtual void loadOrgState(ckpt::Deserializer &) {}
+
     /** Times a 64-byte access on the off-package device. */
     Tick offPkgBlockAccess(PageNum ppn, Addr offset, bool is_write,
                            Tick when);

@@ -62,6 +62,12 @@ class FreeQueue
     bool empty() const { return queue_.empty(); }
     std::size_t size() const { return queue_.size(); }
 
+    /** Whole-queue view in FIFO order (checkpointing). */
+    const std::deque<FreeBlock> &blocks() const { return queue_; }
+
+    /** Drops all entries (checkpoint restore re-fills the queue). */
+    void clear() { queue_.clear(); }
+
   private:
     std::deque<FreeBlock> queue_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/stats_io.hh"
 #include "common/units.hh"
 
 namespace tdc {
@@ -176,6 +177,42 @@ bool
 SramTagCache::containsPage(PageNum ppn) const
 {
     return findWay(setOf(ppn), ppn) >= 0;
+}
+
+void
+SramTagCache::saveOrgState(ckpt::Serializer &out) const
+{
+    out.putU64(ways_.size());
+    for (const Way &w : ways_) {
+        out.putU64(w.ppn);
+        out.putBool(w.valid);
+        out.putBool(w.dirty);
+        out.putU64(w.lastUse);
+        out.putU64(w.fillTime);
+    }
+    out.putU64(useClock_);
+    ckpt::save(out, tagProbes_);
+    ckpt::save(out, dirtyEvictions_);
+    ckpt::save(out, wbMissOffPkg_);
+}
+
+void
+SramTagCache::loadOrgState(ckpt::Deserializer &in)
+{
+    const std::uint64_t n = in.getU64();
+    tdc_assert(n == ways_.size(),
+               "SRAM-tag cache geometry mismatch on checkpoint restore");
+    for (Way &w : ways_) {
+        w.ppn = in.getU64();
+        w.valid = in.getBool();
+        w.dirty = in.getBool();
+        w.lastUse = in.getU64();
+        w.fillTime = in.getU64();
+    }
+    useClock_ = in.getU64();
+    ckpt::load(in, tagProbes_);
+    ckpt::load(in, dirtyEvictions_);
+    ckpt::load(in, wbMissOffPkg_);
 }
 
 } // namespace tdc

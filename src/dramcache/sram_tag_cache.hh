@@ -76,6 +76,10 @@ class SramTagCache : public DramCacheOrg
     /** Functional membership check, for tests. */
     bool containsPage(PageNum ppn) const;
 
+  protected:
+    void saveOrgState(ckpt::Serializer &out) const override;
+    void loadOrgState(ckpt::Deserializer &in) override;
+
   private:
     struct Way
     {

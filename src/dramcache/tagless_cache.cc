@@ -1,6 +1,10 @@
 #include "dramcache/tagless_cache.hh"
 
 #include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "ckpt/stats_io.hh"
 
 namespace tdc {
 
@@ -577,6 +581,194 @@ TaglessCache::onTlbResidence(const TlbEntry &entry, CoreId core,
         gipt_.addResidence(frame, core);
     else
         gipt_.removeResidence(frame, core);
+}
+
+void
+TaglessCache::saveOrgState(ckpt::Serializer &out) const
+{
+    out.putU64(frames_.size());
+    for (const FrameMeta &m : frames_) {
+        out.putBool(m.dirty);
+        out.putBool(m.pinned);
+        out.putU64(m.lastTouch);
+    }
+    for (std::uint64_t f = 0; f < frames_.size(); ++f)
+        out.putBool(frameIsFree_[f]);
+
+    // GIPT entries; the PTEP pointer is serialized as the PTE's
+    // (proc, type, vpn) identity and re-resolved against the restored
+    // page tables at load time.
+    for (std::uint64_t f = 0; f < gipt_.frames(); ++f) {
+        const Gipt::Entry &g = gipt_.at(f);
+        out.putBool(g.valid);
+        if (!g.valid)
+            continue;
+        out.putU64(g.ppn);
+        for (std::uint16_t r : g.residence)
+            out.putU16(r);
+        out.putBool(g.ptep != nullptr);
+        if (g.ptep) {
+            out.putU32(g.ptep->proc);
+            out.putU8(static_cast<std::uint8_t>(g.ptep->type));
+            out.putU64(g.ptep->vpn);
+        }
+    }
+
+    out.putU64(freeQueue_.size());
+    for (const FreeQueue::FreeBlock &b : freeQueue_.blocks()) {
+        out.putU64(b.frame);
+        out.putU64(b.readyTick);
+    }
+
+    out.putU64(allocOrder_.size());
+    for (std::uint64_t f : allocOrder_)
+        out.putU64(f);
+
+    // Unordered maps are emitted with sorted keys so the checkpoint
+    // byte stream does not depend on hash iteration order.
+    using FillRec = std::tuple<ProcId, PageNum, std::uint8_t, Tick>;
+    std::vector<FillRec> fills;
+    fills.reserve(pendingFills_.size());
+    for (const auto &kv : pendingFills_) {
+        const Pte *pte = kv.first;
+        fills.emplace_back(pte->proc, pte->vpn,
+                           static_cast<std::uint8_t>(pte->type),
+                           kv.second);
+    }
+    std::sort(fills.begin(), fills.end());
+    out.putU64(fills.size());
+    for (const auto &[proc, vpn, type, tick] : fills) {
+        out.putU32(proc);
+        out.putU8(type);
+        out.putU64(vpn);
+        out.putU64(tick);
+    }
+
+    std::vector<std::pair<AsidVpn, std::uint32_t>> counts(
+        filterCounts_.begin(), filterCounts_.end());
+    std::sort(counts.begin(), counts.end());
+    out.putU64(counts.size());
+    for (const auto &[key, count] : counts) {
+        out.putU64(key);
+        out.putU32(count);
+    }
+
+    out.putU64(touchClock_);
+    out.putU64(pinnedCount_);
+    out.putBool(lastVictimForced_);
+
+    ckpt::save(out, ncBypasses_);
+    ckpt::save(out, puWaits_);
+    ckpt::save(out, freeStalls_);
+    ckpt::save(out, shootdowns_);
+    ckpt::save(out, evictions_);
+    ckpt::save(out, residentSkips_);
+    ckpt::save(out, giptWrites_);
+    ckpt::save(out, giptReads_);
+    ckpt::save(out, superpageFills_);
+    ckpt::save(out, superpageNcFallbacks_);
+    ckpt::save(out, filterRejects_);
+}
+
+void
+TaglessCache::loadOrgState(ckpt::Deserializer &in)
+{
+    tdc_assert(pteResolver_,
+               "tagless cache restore requires a PTE resolver");
+    const std::uint64_t nframes = in.getU64();
+    tdc_assert(nframes == frames_.size(),
+               "tagless cache geometry mismatch on checkpoint restore "
+               "({} vs {} frames)", nframes, frames_.size());
+
+    for (FrameMeta &m : frames_) {
+        m.dirty = in.getBool();
+        m.pinned = in.getBool();
+        m.lastTouch = in.getU64();
+    }
+    for (std::uint64_t f = 0; f < frames_.size(); ++f)
+        frameIsFree_[f] = in.getBool();
+
+    for (std::uint64_t f = 0; f < gipt_.frames(); ++f) {
+        gipt_.invalidate(f);
+        if (!in.getBool())
+            continue;
+        Gipt::Entry &g = gipt_.at(f);
+        g.valid = true;
+        g.ppn = in.getU64();
+        for (std::uint16_t &r : g.residence)
+            r = in.getU16();
+        if (in.getBool()) {
+            const ProcId proc = in.getU32();
+            const auto type = static_cast<PageType>(in.getU8());
+            const PageNum vpn = in.getU64();
+            g.ptep = pteResolver_(proc, type, vpn);
+            tdc_assert(g.ptep,
+                       "unresolvable GIPT PTEP (proc {}, vpn {})",
+                       proc, vpn);
+        }
+    }
+
+    freeQueue_.clear();
+    const std::uint64_t nfree = in.getU64();
+    for (std::uint64_t i = 0; i < nfree; ++i) {
+        const std::uint64_t frame = in.getU64();
+        const Tick ready = in.getU64();
+        freeQueue_.push(frame, ready);
+    }
+
+    allocOrder_.clear();
+    const std::uint64_t nalloc = in.getU64();
+    for (std::uint64_t i = 0; i < nalloc; ++i)
+        allocOrder_.push_back(in.getU64());
+
+    pendingFills_.clear();
+    const std::uint64_t nfills = in.getU64();
+    for (std::uint64_t i = 0; i < nfills; ++i) {
+        const ProcId proc = in.getU32();
+        const auto type = static_cast<PageType>(in.getU8());
+        const PageNum vpn = in.getU64();
+        const Tick tick = in.getU64();
+        const Pte *pte = pteResolver_(proc, type, vpn);
+        tdc_assert(pte,
+                   "unresolvable pending-fill PTE (proc {}, vpn {})",
+                   proc, vpn);
+        pendingFills_[pte] = tick;
+    }
+
+    filterCounts_.clear();
+    const std::uint64_t ncounts = in.getU64();
+    for (std::uint64_t i = 0; i < ncounts; ++i) {
+        const AsidVpn key = in.getU64();
+        filterCounts_[key] = in.getU32();
+    }
+
+    touchClock_ = in.getU64();
+    pinnedCount_ = in.getU64();
+    lastVictimForced_ = in.getBool();
+
+    ckpt::load(in, ncBypasses_);
+    ckpt::load(in, puWaits_);
+    ckpt::load(in, freeStalls_);
+    ckpt::load(in, shootdowns_);
+    ckpt::load(in, evictions_);
+    ckpt::load(in, residentSkips_);
+    ckpt::load(in, giptWrites_);
+    ckpt::load(in, giptReads_);
+    ckpt::load(in, superpageFills_);
+    ckpt::load(in, superpageNcFallbacks_);
+    ckpt::load(in, filterRejects_);
+
+    // Rebuild the lazily invalidated LRU heap from the live
+    // (lastTouch, frame) pairs. A straight run's heap holds these live
+    // entries plus stale ones that pickVictimLru() skips without any
+    // side effect, so the rebuilt heap is behaviour-identical.
+    lruHeap_ = {};
+    if (params_.policy == ReplPolicy::LRU) {
+        for (std::uint64_t f = 0; f < frames_.size(); ++f) {
+            if (gipt_.at(f).valid && frames_[f].lastTouch != 0)
+                lruHeap_.emplace(frames_[f].lastTouch, f);
+        }
+    }
 }
 
 } // namespace tdc

@@ -121,6 +121,26 @@ class TaglessCache : public DramCacheOrg
         return gipt_.at(frame).valid;
     }
 
+    /** Installed by System; resolves serialized GIPT PTEP identities. */
+    void
+    setPteResolver(PteResolver resolver) override
+    {
+        pteResolver_ = std::move(resolver);
+    }
+
+  protected:
+    /**
+     * Checkpointing of the full cache-management state: GIPT (with
+     * PTEP identities as (proc, type, vpn) triples), free queue,
+     * per-frame metadata, fill order, pending fills, filter counts and
+     * the tagless-specific stats. The LRU heap is not serialized; it
+     * is rebuilt from the live (lastTouch, frame) pairs, which is
+     * behaviour-identical because stale heap entries are skipped
+     * without side effects.
+     */
+    void saveOrgState(ckpt::Serializer &out) const override;
+    void loadOrgState(ckpt::Deserializer &in) override;
+
   private:
     struct FrameMeta
     {
@@ -201,6 +221,9 @@ class TaglessCache : public DramCacheOrg
 
     /** Set while the current eviction's victim needed a shootdown. */
     bool lastVictimForced_ = false;
+
+    /** PTE identity -> live pointer mapping for checkpoint restore. */
+    PteResolver pteResolver_;
 
     stats::Scalar ncBypasses_;
     stats::Scalar puWaits_;

@@ -7,6 +7,8 @@
 #include <exception>
 #include <future>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <mutex>
 
 #include "common/format.hh"
@@ -51,9 +53,38 @@ progressLine(const JobResult &r, unsigned done, unsigned total)
     std::cerr << line << "\n";
 }
 
-/** One design point, including the retry loop. */
+/**
+ * The configuration a shared warm System is built from: the job's
+ * config with observability outputs stripped. Observers add no timed
+ * state (probes fire into unattached points otherwise), so the warm
+ * state is identical -- and the warm System must not claim the measure
+ * jobs' trace/time-series files.
+ */
+SystemConfig
+warmConfigFor(const JobSpec &job)
+{
+    SystemConfig cfg = job.toSystemConfig();
+    Config raw;
+    for (const auto &[key, value] : cfg.raw.entries()) {
+        if (key.rfind("obs.", 0) == 0)
+            continue;
+        raw.set(key, value);
+    }
+    cfg.raw = std::move(raw);
+    cfg.obs = {};
+    return cfg;
+}
+
+/**
+ * One design point, including the retry loop. When `warm` is non-null
+ * the first attempt restores the shared warm checkpoint and only runs
+ * the measurement leg; the retry attempt (and the null-warm path) runs
+ * warmup + measure in full, so a corrupt shared state can never fail a
+ * job permanently.
+ */
 JobResult
-runOne(const JobSpec &job, double timeout_s, bool retry)
+runOne(const JobSpec &job, double timeout_s, bool retry,
+       const ckpt::Checkpoint *warm = nullptr)
 {
     JobResult r;
     r.label = job.label;
@@ -70,7 +101,13 @@ runOne(const JobSpec &job, double timeout_s, bool retry)
             ScopedFatalCapture capture;
             const SystemConfig cfg = job.toSystemConfig();
             System sys(cfg);
-            RunResult rr = sys.run();
+            RunResult rr;
+            if (warm != nullptr && attempt == 1) {
+                sys.restoreCheckpoint(*warm);
+                rr = sys.measure();
+            } else {
+                rr = sys.run();
+            }
             r.wallSeconds = secondsSince(t0);
             if (timeout_s > 0.0 && r.wallSeconds > timeout_s) {
                 r.status = JobResult::Status::TimedOut;
@@ -151,6 +188,70 @@ SweepRunner::run(const SweepManifest &manifest) const
     const bool retry = opt_.retryOnFailure;
     const double timeout_s = manifest.timeoutSeconds;
 
+    // Phase 1 (shareWarmups): one warm System per distinct warm
+    // fingerprint, checkpointed in memory. Jobs that share a group
+    // differ only in measure-phase configuration, so the restored
+    // state is exactly what each job's own warmup would have produced.
+    struct WarmGroup
+    {
+        unsigned firstJob = 0;
+        std::vector<unsigned> jobs;
+        std::shared_ptr<const ckpt::Checkpoint> ckpt;
+    };
+    std::vector<WarmGroup> groups;
+    std::vector<const ckpt::Checkpoint *> warm(n, nullptr);
+    if (opt_.shareWarmups) {
+        std::map<std::uint64_t, unsigned> index;
+        for (unsigned i = 0; i < n; ++i) {
+            const std::uint64_t fp =
+                warmFingerprint(manifest.jobs[i].toSystemConfig());
+            auto [it, fresh] = index.emplace(
+                fp, static_cast<unsigned>(groups.size()));
+            if (fresh)
+                groups.push_back(WarmGroup{i, {}, nullptr});
+            groups[it->second].jobs.push_back(i);
+        }
+
+        ThreadPool pool(
+            effectiveWorkers(static_cast<unsigned>(groups.size())));
+        std::vector<std::future<void>> pending;
+        pending.reserve(groups.size());
+        for (auto &g : groups) {
+            pending.push_back(pool.submit([&, progress] {
+                const JobSpec &job = manifest.jobs[g.firstJob];
+                ScopedLogLabel log_label("warm " + job.label);
+                const auto t0 = Clock::now();
+                try {
+                    ScopedFatalCapture capture;
+                    System sys(warmConfigFor(job));
+                    sys.warmup();
+                    g.ckpt = std::make_shared<const ckpt::Checkpoint>(
+                        sys.makeCheckpoint());
+                    if (progress) {
+                        std::lock_guard<std::mutex> lock(
+                            progressMutex());
+                        std::cerr << format(
+                            "[sweep] warm    {:<28} {:.2f}s  shared by "
+                            "{} job(s)\n",
+                            job.label, secondsSince(t0), g.jobs.size());
+                    }
+                } catch (const std::exception &e) {
+                    // Leave ckpt null: the group's jobs fall back to
+                    // full warmup+measure runs.
+                    warn("warm run for '{}' failed ({}); its {} job(s) "
+                         "run unshared",
+                         job.label, e.what(), g.jobs.size());
+                }
+            }));
+        }
+        for (auto &f : pending)
+            f.get();
+        for (const auto &g : groups) {
+            for (unsigned i : g.jobs)
+                warm[i] = g.ckpt.get();
+        }
+    }
+
     {
         ThreadPool pool(effectiveWorkers(n));
         std::vector<std::future<void>> pending;
@@ -158,7 +259,7 @@ SweepRunner::run(const SweepManifest &manifest) const
         for (unsigned i = 0; i < n; ++i) {
             pending.push_back(pool.submit([&, i] {
                 results[i] =
-                    runOne(manifest.jobs[i], timeout_s, retry);
+                    runOne(manifest.jobs[i], timeout_s, retry, warm[i]);
                 const unsigned d = ++done;
                 if (progress)
                     progressLine(results[i], d, n);

@@ -64,6 +64,17 @@ struct SweepOptions
 
     /** One automatic retry after a failed (not timed-out) attempt. */
     bool retryOnFailure = true;
+
+    /**
+     * "Warm once, restore many": jobs whose warm-relevant
+     * configuration hashes (warmFingerprint) match are grouped; one
+     * System per group runs the warmup and is checkpointed in memory,
+     * and every job in the group measures from the restored state.
+     * Aggregated output is byte-identical to the non-shared path at
+     * any worker count; a group whose warm run fails falls back to
+     * full per-job runs.
+     */
+    bool shareWarmups = false;
 };
 
 class SweepRunner

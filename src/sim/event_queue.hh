@@ -99,6 +99,26 @@ class EventQueue
 
     std::uint64_t executedEvents() const { return executed_; }
 
+    /** Sequence counter used for FIFO tie-breaking (checkpointing). */
+    std::uint64_t scheduleSeq() const { return seq_; }
+
+    /**
+     * Checkpoint restore of the clock state. Pending events cannot be
+     * serialized (callbacks are opaque), so restoring requires a
+     * quiescent queue; the analytic components keep it empty by
+     * construction and System asserts it at save time too.
+     */
+    void
+    restoreClock(Tick now, std::uint64_t seq, std::uint64_t executed)
+    {
+        tdc_assert(heap_.empty(),
+                   "restoring clock with {} pending events",
+                   heap_.size());
+        now_ = now;
+        seq_ = seq;
+        executed_ = executed;
+    }
+
   private:
     struct Entry
     {

@@ -250,8 +250,20 @@ System::capture() const
 RunResult
 System::run()
 {
-    // Warmup: populate caches, TLBs and the DRAM cache, then measure.
+    warmup();
+    return measure();
+}
+
+void
+System::warmup()
+{
+    // Populate caches, TLBs and the DRAM cache before measuring.
     advanceAllCores(cfg_.warmupInsts);
+}
+
+RunResult
+System::measure()
+{
     const Snapshot base = capture();
 
     advanceAllCores(cfg_.warmupInsts + cfg_.instsPerCore);

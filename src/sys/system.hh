@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hh"
 #include "common/config.hh"
 #include "common/json.hh"
 #include "core/core_params.hh"
@@ -107,8 +108,32 @@ class System
     System(const System &) = delete;
     System &operator=(const System &) = delete;
 
-    /** Runs every core to the configured instruction budget. */
+    /** Runs every core to the configured instruction budget;
+     *  equivalent to warmup() followed by measure(). */
     RunResult run();
+
+    /** The warmup leg of run(): advances every core to warmupInsts. */
+    void warmup();
+
+    /**
+     * The measurement leg of run(): captures the warm baseline, runs
+     * every core to the full budget, drains, and reports warm deltas.
+     * Call after warmup() or loadCheckpoint()/restoreCheckpoint().
+     */
+    RunResult measure();
+
+    /**
+     * Warm-state checkpointing (DESIGN.md 8). makeCheckpoint()
+     * serializes the complete architectural and timing state at the
+     * warmup/measure boundary; restoreCheckpoint() rebuilds it so that
+     * a subsequent measure() is byte-identical to a straight run. The
+     * checkpoint's config fingerprint must match this system's
+     * warm-relevant configuration, else restore is a hard error.
+     */
+    ckpt::Checkpoint makeCheckpoint() const;
+    void restoreCheckpoint(const ckpt::Checkpoint &ckpt);
+    void saveCheckpoint(const std::string &path) const;
+    void loadCheckpoint(const std::string &path);
 
     /** Dumps the full hierarchical statistics tree. */
     void dumpStats(std::ostream &os) const;
@@ -180,6 +205,16 @@ class System
 SystemConfig makeSystemConfig(OrgKind org,
                               const std::vector<std::string> &workloads,
                               std::uint64_t l3_size = 1ULL << 30);
+
+/**
+ * Hash of every configuration field that influences the state reached
+ * at the warmup/measure boundary: organization, capacities, workloads,
+ * warmup budget, quantum, core parameters and dotted raw overrides.
+ * Measure-only knobs (instsPerCore, energy parameters, "obs.*" keys and
+ * flat driver-CLI keys) are excluded, so runs differing only in those
+ * can share one warm checkpoint.
+ */
+std::uint64_t warmFingerprint(const SystemConfig &cfg);
 
 } // namespace tdc
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/stats_io.hh"
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
@@ -165,6 +166,28 @@ SyntheticTraceGen::next()
             cls == Cls::Chase || rng_.chance(params_.depFraction);
     }
     return rec;
+}
+
+void
+SyntheticTraceGen::saveState(ckpt::Serializer &out) const
+{
+    ckpt::save(out, rng_);
+    out.putU64(streamPage_);
+    out.putU32(streamLine_);
+    out.putU32(runStartLine_);
+    out.putU64(singletonPage_);
+    out.putU32(singletonLine_);
+}
+
+void
+SyntheticTraceGen::loadState(ckpt::Deserializer &in)
+{
+    ckpt::load(in, rng_);
+    streamPage_ = in.getU64();
+    streamLine_ = in.getU32();
+    runStartLine_ = in.getU32();
+    singletonPage_ = in.getU64();
+    singletonLine_ = in.getU32();
 }
 
 } // namespace tdc

@@ -32,6 +32,7 @@
 #include <memory>
 #include <optional>
 
+#include "ckpt/checkpointable.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 #include "trace/trace.hh"
@@ -92,7 +93,7 @@ struct SyntheticParams
     std::uint64_t seed = 1;
 };
 
-class SyntheticTraceGen : public TraceSource
+class SyntheticTraceGen : public TraceSource, public ckpt::Checkpointable
 {
   public:
     explicit SyntheticTraceGen(const SyntheticParams &params);
@@ -117,6 +118,11 @@ class SyntheticTraceGen : public TraceSource
      * per-page touch count is below the threshold.
      */
     bool isLowReusePage(PageNum vpn, unsigned threshold = 32) const;
+
+    /** RNG engine state plus the stream/singleton cursors; the Zipf
+     *  table is immutable and rebuilt from params. */
+    void saveState(ckpt::Serializer &out) const override;
+    void loadState(ckpt::Deserializer &in) override;
 
   private:
     enum class Cls { Hot, Stream, Chase, Singleton };

@@ -1,6 +1,69 @@
 #include "vm/page_table.hh"
 
+#include <algorithm>
+#include <vector>
+
+#include "ckpt/stats_io.hh"
+
 namespace tdc {
+namespace {
+
+void
+putPte(ckpt::Serializer &out, const Pte &p)
+{
+    out.putU64(p.frame);
+    out.putBool(p.valid);
+    out.putBool(p.vc);
+    out.putBool(p.nc);
+    out.putBool(p.pu);
+    out.putU8(static_cast<std::uint8_t>(p.type));
+    out.putU32(p.proc);
+    out.putU64(p.vpn);
+}
+
+Pte
+getPte(ckpt::Deserializer &in)
+{
+    Pte p;
+    p.frame = in.getU64();
+    p.valid = in.getBool();
+    p.vc = in.getBool();
+    p.nc = in.getBool();
+    p.pu = in.getBool();
+    p.type = static_cast<PageType>(in.getU8());
+    p.proc = in.getU32();
+    p.vpn = in.getU64();
+    return p;
+}
+
+void
+putPteMap(ckpt::Serializer &out,
+          const std::unordered_map<PageNum, Pte> &m)
+{
+    std::vector<PageNum> keys;
+    keys.reserve(m.size());
+    for (const auto &kv : m)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    out.putU64(keys.size());
+    for (PageNum k : keys) {
+        out.putU64(k);
+        putPte(out, m.at(k));
+    }
+}
+
+void
+getPteMap(ckpt::Deserializer &in, std::unordered_map<PageNum, Pte> &m)
+{
+    m.clear();
+    const std::uint64_t n = in.getU64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const PageNum k = in.getU64();
+        m.emplace(k, getPte(in));
+    }
+}
+
+} // namespace
 
 PageTable::PageTable(std::string name, EventQueue &eq, ProcId proc,
                      PhysMem &phys)
@@ -106,6 +169,42 @@ PageTable::setNonCacheableHint(PageNum vpn)
     ncHints_[vpn] = true;
     if (Pte *pte = find(vpn))
         pte->nc = true;
+}
+
+void
+PageTable::saveState(ckpt::Serializer &out) const
+{
+    putPteMap(out, table_);
+    putPteMap(out, table2m_);
+
+    std::vector<PageNum> hint_keys;
+    hint_keys.reserve(ncHints_.size());
+    for (const auto &kv : ncHints_)
+        hint_keys.push_back(kv.first);
+    std::sort(hint_keys.begin(), hint_keys.end());
+    out.putU64(hint_keys.size());
+    for (PageNum k : hint_keys) {
+        out.putU64(k);
+        out.putBool(ncHints_.at(k));
+    }
+
+    ckpt::save(out, demandAllocs_);
+}
+
+void
+PageTable::loadState(ckpt::Deserializer &in)
+{
+    getPteMap(in, table_);
+    getPteMap(in, table2m_);
+
+    ncHints_.clear();
+    const std::uint64_t hints = in.getU64();
+    for (std::uint64_t i = 0; i < hints; ++i) {
+        const PageNum k = in.getU64();
+        ncHints_[k] = in.getBool();
+    }
+
+    ckpt::load(in, demandAllocs_);
 }
 
 } // namespace tdc

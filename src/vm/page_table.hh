@@ -15,6 +15,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "ckpt/checkpointable.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "sim/sim_object.hh"
@@ -23,7 +24,7 @@
 
 namespace tdc {
 
-class PageTable : public SimObject
+class PageTable : public SimObject, public ckpt::Checkpointable
 {
   public:
     /** Called when a page is touched for the first time (demand zero). */
@@ -76,6 +77,15 @@ class PageTable : public SimObject
     void setFirstTouchHook(FirstTouchHook hook) { hook_ = std::move(hook); }
 
     std::uint64_t demandAllocs() const { return demandAllocs_.value(); }
+
+    /**
+     * Checkpointing. Entries are emitted sorted by key so the byte
+     * stream is independent of unordered_map iteration order;
+     * loadState() installs mappings directly (no demand allocation,
+     * no first-touch hook).
+     */
+    void saveState(ckpt::Serializer &out) const override;
+    void loadState(ckpt::Deserializer &in) override;
 
   private:
     ProcId proc_;

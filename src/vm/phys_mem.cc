@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "ckpt/stats_io.hh"
 #include "common/bitops.hh"
 
 namespace tdc {
@@ -70,6 +71,34 @@ PhysMem::regionOf(PageNum ppn) const
 {
     return ppn >= offPkgPages_ ? MemRegion::InPackage
                                : MemRegion::OffPackage;
+}
+
+void
+PhysMem::saveState(ckpt::Serializer &out) const
+{
+    // Region sizes are config-derived; saved only to cross-check the
+    // fingerprint-validated restore target.
+    out.putU64(offPkgPages_);
+    out.putU64(inPkgPages_);
+    out.putU64(nextOff_);
+    out.putU64(nextIn_);
+    out.putU64(allocCounter_);
+    ckpt::save(out, allocated_);
+    ckpt::save(out, allocatedInPkg_);
+}
+
+void
+PhysMem::loadState(ckpt::Deserializer &in)
+{
+    const std::uint64_t off = in.getU64();
+    const std::uint64_t in_pkg = in.getU64();
+    tdc_assert(off == offPkgPages_ && in_pkg == inPkgPages_,
+               "phys-mem geometry mismatch on checkpoint restore");
+    nextOff_ = in.getU64();
+    nextIn_ = in.getU64();
+    allocCounter_ = in.getU64();
+    ckpt::load(in, allocated_);
+    ckpt::load(in, allocatedInPkg_);
 }
 
 } // namespace tdc

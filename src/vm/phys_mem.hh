@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "ckpt/checkpointable.hh"
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -27,7 +28,7 @@ enum class MemRegion : std::uint8_t {
     InPackage,
 };
 
-class PhysMem : public SimObject
+class PhysMem : public SimObject, public ckpt::Checkpointable
 {
   public:
     /**
@@ -62,6 +63,9 @@ class PhysMem : public SimObject
     std::uint64_t offPkgPages() const { return offPkgPages_; }
     std::uint64_t inPkgPages() const { return inPkgPages_; }
     std::uint64_t allocatedPages() const { return allocated_.value(); }
+
+    void saveState(ckpt::Serializer &out) const override;
+    void loadState(ckpt::Deserializer &in) override;
 
   private:
     std::uint64_t offPkgPages_;

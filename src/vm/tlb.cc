@@ -1,5 +1,9 @@
 #include "vm/tlb.hh"
 
+#include <iterator>
+
+#include "ckpt/stats_io.hh"
+
 namespace tdc {
 
 Tlb::Tlb(std::string name, EventQueue &eq, unsigned entries)
@@ -80,6 +84,43 @@ Tlb::flushAll()
     }
     lru_.clear();
     map_.clear();
+}
+
+void
+Tlb::saveState(ckpt::Serializer &out) const
+{
+    // MRU -> LRU order; loadState() rebuilds the same recency stack.
+    out.putU64(lru_.size());
+    for (const auto &e : lru_) {
+        out.putU64(e.key);
+        out.putU64(e.frame);
+        out.putBool(e.nc);
+        out.putU8(static_cast<std::uint8_t>(e.type));
+    }
+    ckpt::save(out, hits_);
+    ckpt::save(out, misses_);
+    ckpt::save(out, evictions_);
+}
+
+void
+Tlb::loadState(ckpt::Deserializer &in)
+{
+    lru_.clear();
+    map_.clear();
+    const std::uint64_t n = in.getU64();
+    tdc_assert(n <= capacity_, "TLB restore overflows capacity");
+    for (std::uint64_t i = 0; i < n; ++i) {
+        TlbEntry e;
+        e.key = in.getU64();
+        e.frame = in.getU64();
+        e.nc = in.getBool();
+        e.type = static_cast<PageType>(in.getU8());
+        lru_.push_back(e);
+        map_.emplace(e.key, std::prev(lru_.end()));
+    }
+    ckpt::load(in, hits_);
+    ckpt::load(in, misses_);
+    ckpt::load(in, evictions_);
 }
 
 } // namespace tdc

@@ -22,6 +22,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "ckpt/checkpointable.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "sim/sim_object.hh"
@@ -40,7 +41,7 @@ struct TlbEntry
     PageType type = PageType::Page4K;
 };
 
-class Tlb : public SimObject
+class Tlb : public SimObject, public ckpt::Checkpointable
 {
   public:
     using ResidenceHook =
@@ -81,6 +82,15 @@ class Tlb : public SimObject
         const auto total = hits_.value() + misses_.value();
         return total ? static_cast<double>(misses_.value()) / total : 0.0;
     }
+
+    /**
+     * Checkpointing. loadState() rebuilds the recency stack directly
+     * and deliberately does NOT fire the residence hook: the GIPT
+     * residence counts the hook maintains are restored as part of the
+     * owning org's own section.
+     */
+    void saveState(ckpt::Serializer &out) const override;
+    void loadState(ckpt::Deserializer &in) override;
 
   private:
     using LruList = std::list<TlbEntry>;

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Checkpoint subsystem tests: byte-level serializer, the versioned
+ * container's validation, full-system round-trips across every L3
+ * organization, fingerprint gating, and the sweep runner's warm-sharing
+ * path.
+ *
+ * The headline property under test: a straight warmup+measure run and a
+ * warmup/save/restore/measure run produce byte-identical run reports,
+ * for every organization, and the sweep runner's --warm-once mode
+ * preserves that identity at any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "ckpt/serializer.hh"
+#include "common/logging.hh"
+#include "dramcache/org_factory.hh"
+#include "runner/sweep.hh"
+#include "runner/sweep_runner.hh"
+#include "sys/report.hh"
+#include "sys/system.hh"
+
+using namespace tdc;
+
+namespace {
+
+SystemConfig
+quickConfig(OrgKind org, const std::vector<std::string> &w,
+            std::uint64_t insts = 60'000, std::uint64_t warmup = 30'000)
+{
+    SystemConfig cfg;
+    cfg.org = org;
+    cfg.workloads = w;
+    cfg.instsPerCore = insts;
+    cfg.warmupInsts = warmup;
+    return cfg;
+}
+
+/** Full report of a straight warmup+measure run. */
+std::string
+straightReport(const SystemConfig &cfg)
+{
+    System sys(cfg);
+    const RunResult r = sys.run();
+    return makeRunReport(cfg, r, &sys).dump();
+}
+
+/** Full report of a warmup/checkpoint/fresh-System/restore/measure run. */
+std::string
+restoredReport(const SystemConfig &cfg)
+{
+    ckpt::Checkpoint ck;
+    {
+        System warm(cfg);
+        warm.warmup();
+        ck = warm.makeCheckpoint();
+    }
+    System sys(cfg);
+    sys.restoreCheckpoint(ck);
+    const RunResult r = sys.measure();
+    return makeRunReport(cfg, r, &sys).dump();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Serializer / Deserializer
+// ---------------------------------------------------------------------
+
+TEST(CkptSerializer, RoundTripsEveryType)
+{
+    ckpt::Serializer s;
+    s.putU8(0xab);
+    s.putU16(0xbeef);
+    s.putU32(0xdeadbeefu);
+    s.putU64(0x0123456789abcdefULL);
+    s.putBool(true);
+    s.putBool(false);
+    s.putDouble(3.14159265358979);
+    s.putDouble(-0.0);
+    s.putString("hello checkpoint");
+    s.putString("");
+
+    ckpt::Deserializer d(s.bytes());
+    EXPECT_EQ(d.getU8(), 0xab);
+    EXPECT_EQ(d.getU16(), 0xbeef);
+    EXPECT_EQ(d.getU32(), 0xdeadbeefu);
+    EXPECT_EQ(d.getU64(), 0x0123456789abcdefULL);
+    EXPECT_TRUE(d.getBool());
+    EXPECT_FALSE(d.getBool());
+    EXPECT_DOUBLE_EQ(d.getDouble(), 3.14159265358979);
+    EXPECT_DOUBLE_EQ(d.getDouble(), -0.0);
+    EXPECT_EQ(d.getString(), "hello checkpoint");
+    EXPECT_EQ(d.getString(), "");
+    EXPECT_TRUE(d.done());
+}
+
+TEST(CkptSerializer, LittleEndianOnDisk)
+{
+    ckpt::Serializer s;
+    s.putU32(0x04030201u);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(s.bytes()[0], 0x01);
+    EXPECT_EQ(s.bytes()[3], 0x04);
+}
+
+TEST(CkptSerializer, ReadPastEndIsFatal)
+{
+    ScopedFatalCapture capture;
+    ckpt::Serializer s;
+    s.putU32(7);
+    ckpt::Deserializer d(s.bytes());
+    d.getU16();
+    d.getU16();
+    EXPECT_TRUE(d.done());
+    EXPECT_THROW(d.getU8(), FatalError);
+}
+
+TEST(CkptSerializer, TruncatedStringIsFatal)
+{
+    ScopedFatalCapture capture;
+    ckpt::Serializer s;
+    s.putString("twelve bytes");
+    auto bytes = s.bytes();
+    bytes.resize(bytes.size() - 3);
+    ckpt::Deserializer d(bytes);
+    EXPECT_THROW(d.getString(), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint container
+// ---------------------------------------------------------------------
+
+namespace {
+
+ckpt::Checkpoint
+tinyCheckpoint()
+{
+    ckpt::Checkpoint ck;
+    ck.setFingerprint(0x1122334455667788ULL);
+    ckpt::Serializer a;
+    a.putU64(42);
+    ck.addSection("alpha", std::move(a));
+    ckpt::Serializer b;
+    b.putString("beta payload");
+    ck.addSection("beta", std::move(b));
+    return ck;
+}
+
+} // namespace
+
+TEST(CkptContainer, EncodeDecodeRoundTrip)
+{
+    const auto bytes = tinyCheckpoint().encode();
+    const auto ck = ckpt::Checkpoint::decode(bytes);
+    EXPECT_EQ(ck.fingerprint(), 0x1122334455667788ULL);
+    ASSERT_EQ(ck.sections().size(), 2u);
+    EXPECT_EQ(ck.sections()[0].name, "alpha");
+    EXPECT_EQ(ck.sections()[1].name, "beta");
+    const ckpt::Section *alpha = ck.find("alpha");
+    ASSERT_NE(alpha, nullptr);
+    ckpt::Deserializer d(alpha->payload.data(), alpha->payload.size());
+    EXPECT_EQ(d.getU64(), 42u);
+    EXPECT_EQ(ck.find("gamma"), nullptr);
+}
+
+TEST(CkptContainer, RejectsBadMagic)
+{
+    ScopedFatalCapture capture;
+    auto bytes = tinyCheckpoint().encode();
+    bytes[0] ^= 0xff;
+    EXPECT_THROW(ckpt::Checkpoint::decode(bytes), FatalError);
+}
+
+TEST(CkptContainer, RejectsVersionSkew)
+{
+    ScopedFatalCapture capture;
+    auto bytes = tinyCheckpoint().encode();
+    bytes[8] = 0xff; // low byte of the u32 format version
+    EXPECT_THROW(ckpt::Checkpoint::decode(bytes), FatalError);
+}
+
+TEST(CkptContainer, RejectsCorruptPayload)
+{
+    ScopedFatalCapture capture;
+    auto bytes = tinyCheckpoint().encode();
+    bytes.back() ^= 0x01; // flips a payload byte under its checksum
+    EXPECT_THROW(ckpt::Checkpoint::decode(bytes), FatalError);
+}
+
+TEST(CkptContainer, RejectsTruncation)
+{
+    ScopedFatalCapture capture;
+    const auto bytes = tinyCheckpoint().encode();
+    // Every proper prefix must be rejected, not just "almost whole".
+    for (std::size_t n : {bytes.size() - 1, bytes.size() / 2,
+                          std::size_t{4}})
+        EXPECT_THROW(ckpt::Checkpoint::decode(bytes.data(), n),
+                     FatalError);
+}
+
+TEST(CkptContainer, FileRoundTrip)
+{
+    const std::string path =
+        ::testing::TempDir() + "tdc_ckpt_container.ckpt";
+    tinyCheckpoint().writeFile(path);
+    const auto ck = ckpt::Checkpoint::loadFile(path);
+    EXPECT_EQ(ck.fingerprint(), 0x1122334455667788ULL);
+    EXPECT_EQ(ck.sections().size(), 2u);
+    EXPECT_EQ(ck.encode(), tinyCheckpoint().encode());
+}
+
+TEST(CkptContainer, MissingFileIsFatal)
+{
+    ScopedFatalCapture capture;
+    EXPECT_THROW(
+        ckpt::Checkpoint::loadFile("/nonexistent/path/to.ckpt"),
+        FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Config fingerprint
+// ---------------------------------------------------------------------
+
+TEST(CkptFingerprint, SensitiveToWarmRelevantConfig)
+{
+    const auto base = quickConfig(OrgKind::Tagless, {"mcf"});
+    const std::uint64_t fp = warmFingerprint(base);
+
+    auto org = base;
+    org.org = OrgKind::SramTag;
+    EXPECT_NE(warmFingerprint(org), fp);
+
+    auto workload = base;
+    workload.workloads = {"libquantum"};
+    EXPECT_NE(warmFingerprint(workload), fp);
+
+    auto warmup = base;
+    warmup.warmupInsts += 1;
+    EXPECT_NE(warmFingerprint(warmup), fp);
+
+    auto policy = base;
+    policy.raw.set("l3.policy", std::string("lru"));
+    EXPECT_NE(warmFingerprint(policy), fp);
+}
+
+TEST(CkptFingerprint, IgnoresMeasureOnlyConfig)
+{
+    const auto base = quickConfig(OrgKind::Tagless, {"mcf"});
+    const std::uint64_t fp = warmFingerprint(base);
+
+    // The measure budget does not affect warm state: jobs differing
+    // only in instsPerCore share one warm group.
+    auto budget = base;
+    budget.instsPerCore *= 4;
+    EXPECT_EQ(warmFingerprint(budget), fp);
+
+    // Observability adds no timed state, so obs.* keys are excluded.
+    auto traced = base;
+    traced.raw.set("obs.trace_out", std::string("/tmp/x.trace.json"));
+    EXPECT_EQ(warmFingerprint(traced), fp);
+}
+
+// ---------------------------------------------------------------------
+// Full-system round-trips (the ckpt_roundtrip ctest gate)
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+expectRoundTripIdentical(const SystemConfig &cfg)
+{
+    const std::string straight = straightReport(cfg);
+    const std::string restored = restoredReport(cfg);
+    EXPECT_EQ(straight, restored);
+}
+
+} // namespace
+
+TEST(CkptRoundTrip, EveryOrgMcf)
+{
+    for (OrgKind org : allOrgKinds()) {
+        SCOPED_TRACE(std::string(cliName(org)));
+        expectRoundTripIdentical(quickConfig(org, {"mcf"}));
+    }
+}
+
+TEST(CkptRoundTrip, EveryOrgLibquantum)
+{
+    for (OrgKind org : allOrgKinds()) {
+        SCOPED_TRACE(std::string(cliName(org)));
+        expectRoundTripIdentical(quickConfig(org, {"libquantum"}));
+    }
+}
+
+TEST(CkptRoundTrip, TaglessLruPolicyAndFilter)
+{
+    // LRU exercises the rebuilt victim heap; the fill filter carries
+    // an unordered map that must serialize in canonical order.
+    auto cfg = quickConfig(OrgKind::Tagless, {"mcf"});
+    cfg.raw.set("l3.policy", std::string("lru"));
+    cfg.raw.set("l3.filter", true);
+    expectRoundTripIdentical(cfg);
+}
+
+TEST(CkptRoundTrip, MultiProgrammedMix)
+{
+    expectRoundTripIdentical(quickConfig(
+        OrgKind::Tagless, {"milc", "leslie3d", "omnetpp", "sphinx3"},
+        50'000, 25'000));
+}
+
+TEST(CkptRoundTrip, MultithreadedSharedPageTable)
+{
+    expectRoundTripIdentical(
+        quickConfig(OrgKind::Tagless, {"streamcluster"}, 50'000,
+                    25'000));
+}
+
+TEST(CkptRoundTrip, SaveAfterRestoreIsByteIdentical)
+{
+    // Restoring a checkpoint and immediately re-saving must reproduce
+    // the original byte stream: no state is lost or reordered.
+    const auto cfg = quickConfig(OrgKind::Tagless, {"mcf"});
+    ckpt::Checkpoint ck;
+    {
+        System warm(cfg);
+        warm.warmup();
+        ck = warm.makeCheckpoint();
+    }
+    System sys(cfg);
+    sys.restoreCheckpoint(ck);
+    EXPECT_EQ(sys.makeCheckpoint().encode(), ck.encode());
+}
+
+TEST(CkptRoundTrip, FingerprintMismatchIsFatal)
+{
+    ScopedFatalCapture capture;
+    ckpt::Checkpoint ck;
+    {
+        System warm(quickConfig(OrgKind::Tagless, {"mcf"}));
+        warm.warmup();
+        ck = warm.makeCheckpoint();
+    }
+    // Same org and workload, different warmup budget: warm state
+    // would be silently wrong, so the restore must refuse.
+    System sys(
+        quickConfig(OrgKind::Tagless, {"mcf"}, 60'000, 40'000));
+    try {
+        sys.restoreCheckpoint(ck);
+        FAIL() << "restore accepted a mismatched fingerprint";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("fingerprint"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sweep-level warm sharing
+// ---------------------------------------------------------------------
+
+namespace {
+
+runner::SweepManifest
+smallSweep()
+{
+    return runner::SweepManifest::crossProduct(
+        "ckpt-warm-share",
+        {OrgKind::Tagless, OrgKind::SramTag},
+        {"mcf", "libquantum"}, {1ULL << 30}, 60'000, 30'000, Config());
+}
+
+std::string
+sweepReport(const runner::SweepManifest &m, bool share, unsigned jobs)
+{
+    runner::SweepOptions opt;
+    opt.jobs = jobs;
+    opt.progress = false;
+    opt.shareWarmups = share;
+    const auto results = runner::SweepRunner(opt).run(m);
+    for (const auto &r : results)
+        EXPECT_TRUE(r.ok()) << r.label << ": " << r.error;
+    return runner::SweepRunner::aggregateReport(m, results, false)
+        .dump();
+}
+
+} // namespace
+
+TEST(CkptWarmShare, ByteIdenticalAtAnyWorkerCountAndVsUnshared)
+{
+    const auto m = smallSweep();
+    const std::string unshared = sweepReport(m, false, 4);
+    EXPECT_EQ(sweepReport(m, true, 1), unshared);
+    EXPECT_EQ(sweepReport(m, true, 8), unshared);
+}
+
+TEST(CkptWarmShare, MeasureBudgetAxisSharesWarmGroups)
+{
+    // Jobs differing only in measure budget have equal fingerprints,
+    // so a budget axis warms once per (org, workload) point.
+    runner::SweepManifest m;
+    m.name = "budget-axis";
+    for (std::uint64_t insts : {40'000, 80'000}) {
+        runner::JobSpec job;
+        job.label = format("ctlb/mcf@{}", insts);
+        job.org = OrgKind::Tagless;
+        job.workloads = {"mcf"};
+        job.instsPerCore = insts;
+        job.warmupInsts = 30'000;
+        m.jobs.push_back(std::move(job));
+    }
+    EXPECT_EQ(warmFingerprint(m.jobs[0].toSystemConfig()),
+              warmFingerprint(m.jobs[1].toSystemConfig()));
+    EXPECT_EQ(sweepReport(m, true, 2), sweepReport(m, false, 2));
+}
+
+// ---------------------------------------------------------------------
+// Environment-override precedence (regression)
+// ---------------------------------------------------------------------
+
+TEST(EnvPrecedence, ManifestBudgetsBeatEnvironment)
+{
+    // TDC_INSTS/TDC_WARMUP are a convenience for tdc_sim and the bench
+    // defaults only. A sweep manifest pins its budgets; the runner
+    // must never let the environment override a job's spec.
+    ASSERT_EQ(setenv("TDC_INSTS", "1000", 1), 0);
+    ASSERT_EQ(setenv("TDC_WARMUP", "500", 1), 0);
+
+    runner::JobSpec job;
+    job.label = "ctlb/mcf";
+    job.org = OrgKind::Tagless;
+    job.workloads = {"mcf"};
+    job.instsPerCore = 60'000;
+    job.warmupInsts = 30'000;
+
+    const SystemConfig cfg = job.toSystemConfig();
+    EXPECT_EQ(cfg.instsPerCore, 60'000u);
+    EXPECT_EQ(cfg.warmupInsts, 30'000u);
+
+    // The environment is live (applyEnvironment picks it up), so the
+    // check above demonstrates precedence rather than an unset env.
+    SystemConfig envCfg;
+    envCfg.applyEnvironment();
+    EXPECT_EQ(envCfg.instsPerCore, 1000u);
+    EXPECT_EQ(envCfg.warmupInsts, 500u);
+
+    // End to end: the sweep result reflects the manifest budget.
+    runner::SweepManifest m;
+    m.name = "env-precedence";
+    m.jobs.push_back(job);
+    runner::SweepOptions opt;
+    opt.jobs = 1;
+    opt.progress = false;
+    const auto results = runner::SweepRunner(opt).run(m);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok()) << results[0].error;
+    // Quantum granularity can undershoot the budget by a few
+    // instructions; the env's 1000-inst budget is far below this.
+    EXPECT_GE(results[0].result.totalInsts, 59'000u);
+
+    unsetenv("TDC_INSTS");
+    unsetenv("TDC_WARMUP");
+}

@@ -21,6 +21,9 @@
  *             [--filter=<org>[:<workload>]]  restrict the matrix
  *             [org=<cli-name>]       restrict to one organization
  *             [workload=<name>]      restrict to one workload
+ *             [--warm-once]          run the matrix through the
+ *                                    checkpoint-restore path (warm
+ *                                    sharing); verdict must not change
  *             [--list]               print the matrix and exit
  *
  * The budgets are hard-coded (never taken from TDC_INSTS/TDC_WARMUP):
@@ -81,6 +84,7 @@ struct Options
     bool list = false;
     double tolerance = 1e-6;
     unsigned jobs = 0;
+    bool warmOnce = false;
     std::string orgFilter;
     std::string workloadFilter;
 };
@@ -96,6 +100,8 @@ parseOptions(int argc, char **argv)
             opt.update = true;
         } else if (tok == "--list") {
             opt.list = true;
+        } else if (tok == "--warm-once") {
+            opt.warmOnce = true;
         } else if (tok.find('=') != std::string_view::npos) {
             if (!cfg.parseAssignment(tok))
                 fatal("malformed argument '{}'", tok);
@@ -246,6 +252,7 @@ main(int argc, char **argv)
     runner::SweepOptions sweep_opt;
     sweep_opt.jobs = opt.jobs;
     sweep_opt.progress = false;
+    sweep_opt.shareWarmups = opt.warmOnce;
     const auto results =
         runner::SweepRunner(sweep_opt).run(manifest);
 

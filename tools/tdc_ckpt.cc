@@ -1,0 +1,86 @@
+/**
+ * @file
+ * tdc_ckpt: warm-state checkpoint inspector.
+ *
+ *   tdc_ckpt --ckpt=<path> [--list] [--verify]
+ *
+ *   --list    (default) print the header (format version, config
+ *             fingerprint), the per-section sizes and the "meta"
+ *             summary the saving run embedded
+ *   --verify  fully decode the file, re-checking magic, version and
+ *             every section checksum; prints one verdict line
+ *
+ * Exit status is non-zero for a missing, truncated, corrupt or
+ * version-skewed file (decoding fatal()s), so the tool doubles as a
+ * scriptable integrity check.
+ */
+
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "ckpt/checkpoint.hh"
+#include "common/config.hh"
+#include "common/format.hh"
+#include "common/json.hh"
+
+using namespace tdc;
+
+int
+main(int argc, char **argv)
+{
+    Config args;
+    bool list = false, verify = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view tok(argv[i]);
+        if (tok == "--list") {
+            list = true;
+        } else if (tok == "--verify") {
+            verify = true;
+        } else if (!args.parseAssignment(tok)) {
+            fatal("tdc_ckpt: unrecognized argument '{}' (usage: "
+                  "tdc_ckpt --ckpt=<path> [--list] [--verify])",
+                  tok);
+        }
+    }
+    args.checkKnown({"ckpt"}, "tdc_ckpt");
+    const std::string path = args.getString("ckpt", "");
+    if (path.empty())
+        fatal("tdc_ckpt: --ckpt=<path> is required");
+    if (!list && !verify)
+        list = true;
+
+    // loadFile() validates magic, format version and every section's
+    // size and checksum; any defect is a fatal (non-zero) exit.
+    const ckpt::Checkpoint ck = ckpt::Checkpoint::loadFile(path);
+
+    if (verify) {
+        std::size_t bytes = 0;
+        for (const auto &sec : ck.sections())
+            bytes += sec.payload.size();
+        std::cout << format(
+            "{}: OK (format v{}, fingerprint {:#x}, {} sections, {} "
+            "payload bytes)\n",
+            path, ckpt::checkpointFormatVersion, ck.fingerprint(),
+            ck.sections().size(), bytes);
+    }
+
+    if (list) {
+        std::cout << format("checkpoint            : {}\n", path);
+        std::cout << format("format version        : {}\n",
+                            ckpt::checkpointFormatVersion);
+        std::cout << format("config fingerprint    : {:#x}\n",
+                            ck.fingerprint());
+        std::cout << format("sections              : {}\n",
+                            ck.sections().size());
+        for (const auto &sec : ck.sections())
+            std::cout << format("  {:<18} {:>10} bytes\n", sec.name,
+                                sec.payload.size());
+        if (const ckpt::Section *meta = ck.find("meta")) {
+            ckpt::Deserializer d(meta->payload.data(),
+                                 meta->payload.size());
+            std::cout << "meta:\n" << d.getString() << "\n";
+        }
+    }
+    return 0;
+}

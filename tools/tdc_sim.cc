@@ -11,6 +11,11 @@
  *           [--json=<path>]   (write the full machine-readable run
  *                              report: meta + result + stats tree)
  *           [stats-json=<path>] (write only the stats tree as JSON)
+ *           [--save-ckpt=<path>] (checkpoint the warm state at the
+ *                              warmup/measure boundary, then measure)
+ *           [--load-ckpt=<path>] (skip warmup: restore the warm state
+ *                              and measure; the checkpoint's config
+ *                              fingerprint must match)
  *
  * Observability (all off by default; see DESIGN.md 7):
  *   --trace-out=<path>        Chrome trace-event JSON (Perfetto)
@@ -101,10 +106,10 @@ main(int argc, char **argv)
                   argv[i]);
     }
     args.checkKnown({"org", "workload", "mix", "insts", "warmup",
-                     "stats", "json", "stats-json", "trace-out",
-                     "trace-categories", "trace-ring", "stats-interval",
-                     "timeseries-out", "summary-max", "stats-desc",
-                     "stats-extremes"},
+                     "stats", "json", "stats-json", "save-ckpt",
+                     "load-ckpt", "trace-out", "trace-categories",
+                     "trace-ring", "stats-interval", "timeseries-out",
+                     "summary-max", "stats-desc", "stats-extremes"},
                     "tdc_sim");
 
     // The observability flags are aliases for the dotted obs.* config
@@ -139,7 +144,17 @@ main(int argc, char **argv)
     cfg.instsPerCore = args.getU64("insts", cfg.instsPerCore);
     cfg.warmupInsts = args.getU64("warmup", cfg.warmupInsts);
     cfg.l3SizeBytes = args.getU64("l3.size_bytes", cfg.l3SizeBytes);
-    cfg.raw = args;
+
+    // Output-artifact and checkpoint-path keys select where results go,
+    // not what is simulated; strip them from the recorded raw config so
+    // a straight run and a save/restore pair emit byte-identical
+    // reports.
+    for (const auto &[key, value] : args.entries()) {
+        if (key == "json" || key == "stats-json" || key == "save-ckpt"
+            || key == "load-ckpt")
+            continue;
+        cfg.raw.set(key, value);
+    }
 
     std::cout << format("org={} l3={}MB insts/core={} warmup={}\n",
                         toString(cfg.org), cfg.l3SizeBytes >> 20,
@@ -150,7 +165,21 @@ main(int argc, char **argv)
     std::cout << "\n\n";
 
     System sys(cfg);
-    const RunResult r = sys.run();
+    const std::string load_path = args.getString("load-ckpt", "");
+    const std::string save_path = args.getString("save-ckpt", "");
+    if (!load_path.empty()) {
+        sys.loadCheckpoint(load_path);
+        std::cout << format("warm state restored from {}\n\n",
+                            load_path);
+    } else {
+        sys.warmup();
+    }
+    if (!save_path.empty()) {
+        sys.saveCheckpoint(save_path);
+        std::cout << format("warm checkpoint written to {}\n\n",
+                            save_path);
+    }
+    const RunResult r = sys.measure();
     printResult(sys, r);
 
     if (auto *hub = sys.observability()) {

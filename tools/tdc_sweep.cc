@@ -12,6 +12,11 @@
  *     --jobs=N          worker threads (default: TDC_JOBS or cores)
  *     --out=<path>      aggregated tdc-sweep-report-v1 JSON
  *     --timeout=<sec>   per-job wall-clock budget (0 = none)
+ *     --warm-once       share warmups: jobs with identical
+ *                       warm-relevant configuration warm one System,
+ *                       checkpoint it, and each measure from the
+ *                       restored state (results are byte-identical to
+ *                       the unshared path)
  *     --no-progress     suppress per-completion stderr lines
  *     --timing          add per-job wall-clock/KIPS to the report
  *     --list            print the expanded job list and exit
@@ -126,6 +131,7 @@ main(int argc, char **argv)
 {
     Config args;
     bool list = false, no_progress = false, timing = false;
+    bool warm_once = false;
     for (int i = 1; i < argc; ++i) {
         std::string_view tok(argv[i]);
         if (tok == "--list") {
@@ -134,6 +140,8 @@ main(int argc, char **argv)
             no_progress = true;
         } else if (tok == "--timing") {
             timing = true;
+        } else if (tok == "--warm-once") {
+            warm_once = true;
         } else if (!args.parseAssignment(tok)) {
             fatal("tdc_sweep: unrecognized argument '{}' (every other "
                   "option is key=value; see tools/tdc_sweep.cc)",
@@ -190,6 +198,7 @@ main(int argc, char **argv)
     opt.jobs = static_cast<unsigned>(
         args.getU64("jobs", runner::SweepRunner::envJobs(0)));
     opt.progress = !no_progress;
+    opt.shareWarmups = warm_once;
     runner::SweepRunner sweep_runner(opt);
 
     std::cerr << format(
