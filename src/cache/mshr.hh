@@ -31,29 +31,40 @@ class Mshr
     }
 
     /**
-     * If line is already outstanding, returns its completion tick
-     * (merged secondary miss). Otherwise returns maxTick.
+     * If line is outstanding at `now`, returns its completion tick
+     * (merged secondary miss). Otherwise returns maxTick. Registers
+     * are retired lazily (only allocate/retireUpTo erase them), so a
+     * stored entry whose miss already completed is no longer a merge
+     * target -- a new miss to that line must be a fresh fetch, not a
+     * ride on one that finished in the past.
      */
     Tick
-    lookup(std::uint64_t line) const
+    lookup(std::uint64_t line, Tick now) const
     {
         auto it = active_.find(line);
-        return it == active_.end() ? maxTick : it->second;
+        if (it == active_.end() || it->second <= now)
+            return maxTick;
+        return it->second;
     }
 
     /**
      * Earliest tick a *new* miss issued at `when` can actually start,
-     * given that all registers may be busy.
+     * given that all registers may be busy. Entries with done <= when
+     * are free registers in disguise (lazy retirement), so only the
+     * still-busy ones count against the capacity.
      */
     Tick
     earliestStart(Tick when) const
     {
-        if (active_.size() < entries_)
-            return when;
+        std::size_t busy = 0;
         Tick first_free = maxTick;
-        for (const auto &[line, done] : active_)
+        for (const auto &[line, done] : active_) {
+            if (done <= when)
+                continue;
+            ++busy;
             first_free = std::min(first_free, done);
-        return std::max(when, first_free);
+        }
+        return busy < entries_ ? when : first_free;
     }
 
     /** Records a miss on `line` completing at `done`. */
@@ -74,7 +85,19 @@ class Mshr
                       [now](const auto &kv) { return kv.second <= now; });
     }
 
+    /** Registers occupied, counting lazily retired ones. */
     std::size_t inFlight() const { return active_.size(); }
+
+    /** Registers whose misses are genuinely outstanding at `now`. */
+    std::size_t
+    inFlight(Tick now) const
+    {
+        std::size_t busy = 0;
+        for (const auto &[line, done] : active_)
+            if (done > now)
+                ++busy;
+        return busy;
+    }
     unsigned capacity() const { return entries_; }
     void clear() { active_.clear(); }
 

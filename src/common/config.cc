@@ -56,13 +56,59 @@ Config::parseArgs(int argc, char **argv)
     }
 }
 
+const std::vector<std::string_view> &
+knownDottedKeys()
+{
+    static const std::vector<std::string_view> keys = {
+        // l3.*: organization parameters (src/dramcache/org_factory.cc)
+        "l3.size_bytes", "l3.policy", "l3.tag_latency", "l3.alpha",
+        "l3.gipt_writes", "l3.filter", "l3.filter_threshold",
+        // obs.*: observability knobs (src/obs/observability.cc)
+        "obs.trace_out", "obs.trace_categories", "obs.trace_ring",
+        "obs.stats_interval", "obs.timeseries", "obs.summary_max",
+        // check.*: invariant auditor (src/check/invariant_auditor.cc)
+        "check.audit", "check.interval",
+    };
+    return keys;
+}
+
+bool
+isKnownDottedKey(std::string_view key)
+{
+    for (std::string_view k : knownDottedKeys())
+        if (key == k)
+            return true;
+    return false;
+}
+
+namespace {
+
+std::string
+joinKeys(const std::vector<std::string_view> &keys)
+{
+    std::string out;
+    for (std::string_view k : keys) {
+        if (!out.empty())
+            out += ", ";
+        out += k;
+    }
+    return out;
+}
+
+} // namespace
+
 void
 Config::checkKnown(std::initializer_list<std::string_view> known,
                    std::string_view tool) const
 {
     for (const auto &[key, value] : entries_) {
-        if (key.find('.') != std::string::npos)
-            continue;
+        if (key.find('.') != std::string::npos) {
+            if (isKnownDottedKey(key))
+                continue;
+            fatal("{}: unknown dotted key '{}' (registered component "
+                  "overrides: {})",
+                  tool, key, joinKeys(knownDottedKeys()));
+        }
         bool found = false;
         for (std::string_view k : known) {
             if (key == k) {
@@ -78,9 +124,9 @@ Config::checkKnown(std::initializer_list<std::string_view> known,
                 valid += ", ";
             valid += k;
         }
-        fatal("{}: unknown option '{}' (valid options: {}; "
-              "dotted keys like l3.* pass through as raw overrides)",
-              tool, key, valid);
+        fatal("{}: unknown option '{}' (valid options: {}; dotted "
+              "component overrides: {})",
+              tool, key, valid, joinKeys(knownDottedKeys()));
     }
 }
 

@@ -4,8 +4,8 @@
  *
  * Values are stored as strings and parsed on read; readers supply the
  * default, so a Config object only needs to carry overrides. Keys use
- * dotted paths ("l3.size_mb"). Command-line "key=value" tokens and the
- * environment can populate it.
+ * dotted paths ("l3.size_bytes"). Command-line "key=value" tokens and
+ * the environment can populate it.
  */
 
 #ifndef TDC_COMMON_CONFIG_HH
@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace tdc {
 
@@ -53,12 +54,12 @@ class Config
     }
 
     /**
-     * fatal()s on the first key that is neither in `known` nor a
-     * dotted path. Dotted keys ("l3.alpha", "obs.trace_out") are raw
-     * component overrides whose vocabulary no driver owns, so they
-     * always pass; a typo'd flat key ("warmup" vs "wramup") would
-     * otherwise be silently ignored. The message names `tool` and
-     * lists every valid option.
+     * fatal()s on the first unknown key: a flat key must be in `known`
+     * (the per-tool CLI vocabulary) and a dotted key ("l3.alpha",
+     * "obs.trace_out") must be in the shared component-override
+     * registry (knownDottedKeys()). Either kind of typo ("wramup",
+     * "obs.trce_out") would otherwise be silently ignored. The message
+     * names `tool` and lists the valid options.
      */
     void checkKnown(std::initializer_list<std::string_view> known,
                     std::string_view tool) const;
@@ -66,6 +67,18 @@ class Config
   private:
     std::map<std::string, std::string> entries_;
 };
+
+/**
+ * The registry of dotted component-override keys every driver shares:
+ * "l3.*" organization parameters (src/dramcache/org_factory.cc),
+ * "obs.*" observability knobs (src/obs/observability.cc) and "check.*"
+ * invariant-auditor knobs (src/check/invariant_auditor.cc). A new
+ * dotted key must be added here to be accepted by checkKnown().
+ */
+bool isKnownDottedKey(std::string_view key);
+
+/** The registry itself, for diagnostics and help text. */
+const std::vector<std::string_view> &knownDottedKeys();
 
 } // namespace tdc
 

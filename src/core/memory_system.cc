@@ -162,11 +162,21 @@ MemorySystem::access(Addr vaddr, AccessType type, Tick when)
 unsigned
 MemorySystem::invalidatePage(Addr page_addr)
 {
-    unsigned dirty = 0;
-    dirty += static_cast<unsigned>(l1i_->invalidatePage(page_addr).size());
-    dirty += static_cast<unsigned>(l1d_->invalidatePage(page_addr).size());
-    dirty += static_cast<unsigned>(l2_->invalidatePage(page_addr).size());
-    return dirty;
+    std::unordered_set<Addr> dirty;
+    invalidatePage(page_addr, dirty);
+    return static_cast<unsigned>(dirty.size());
+}
+
+void
+MemorySystem::invalidatePage(Addr page_addr,
+                             std::unordered_set<Addr> &dirty)
+{
+    for (Addr a : l1i_->invalidatePage(page_addr))
+        dirty.insert(a);
+    for (Addr a : l1d_->invalidatePage(page_addr))
+        dirty.insert(a);
+    for (Addr a : l2_->invalidatePage(page_addr))
+        dirty.insert(a);
 }
 
 void

@@ -18,6 +18,7 @@
 #define TDC_CORE_MEMORY_SYSTEM_HH
 
 #include <memory>
+#include <unordered_set>
 
 #include "cache/sram_cache.hh"
 #include "ckpt/checkpointable.hh"
@@ -53,9 +54,21 @@ class MemorySystem : public SimObject, public ckpt::Checkpointable
 
     /**
      * Flushes one frame-space page from this core's L1/L2 caches.
-     * @return number of dirty lines flushed.
+     * @return number of distinct dirty lines flushed.
      */
     unsigned invalidatePage(Addr page_addr);
+
+    /**
+     * As above, but records each dirty line's address into `dirty`
+     * instead of counting. A line can be dirty at two levels at once
+     * (re-written in L1 over an older dirty write-back parked in L2)
+     * and, for thread-shared pages, in several cores' private caches;
+     * it still streams to the frame as one line, so callers that size
+     * flush traffic must collect one set across levels and cores
+     * rather than summing per-cache counts.
+     */
+    void invalidatePage(Addr page_addr,
+                        std::unordered_set<Addr> &dirty);
 
     /** TLB shootdown of one translation on this core. */
     void shootdown(AsidVpn key);

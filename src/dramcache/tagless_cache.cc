@@ -180,6 +180,16 @@ TaglessCache::handleTlbMiss(PageTable &pt, PageNum vpn, CoreId core,
     }
 
     // Cold fill (shaded path of Figure 4).
+    if (params_.filterEnabled) {
+        // While the page sat under filter probation its misses were
+        // served through conventional NC mappings; any such entry
+        // still resident in another TLB would keep routing accesses
+        // off-package after this fill moves the page in-package.
+        // Promotion therefore shoots the stale translation down first.
+        if (shootdown_)
+            shootdown_(key);
+        ++shootdowns_;
+    }
     pte.pu = true;
     Tick t = when;
 

@@ -121,6 +121,22 @@ class TaglessCache : public DramCacheOrg
         return gipt_.at(frame).valid;
     }
 
+    /**
+     * Read-only structural views for the invariant auditor
+     * (src/check/): the free queue with its readyTicks, the per-frame
+     * free/pinned flags, the FIFO fill order and the in-flight fills.
+     */
+    const FreeQueue &freeQueue() const { return freeQueue_; }
+    bool frameFree(std::uint64_t frame) const { return frameIsFree_[frame]; }
+    bool framePinned(std::uint64_t frame) const { return frames_[frame].pinned; }
+    const std::deque<std::uint64_t> &allocOrder() const { return allocOrder_; }
+
+    const std::unordered_map<const Pte *, Tick> &
+    pendingFills() const
+    {
+        return pendingFills_;
+    }
+
     /** Installed by System; resolves serialized GIPT PTEP identities. */
     void
     setPteResolver(PteResolver resolver) override

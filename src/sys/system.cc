@@ -85,10 +85,15 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
     // Cross-component wiring: page invalidation flushes every core's
     // on-die caches; shootdowns hit every core's TLBs.
     org_->setPageInvalidator([this](Addr page_addr) {
-        unsigned dirty = 0;
+        // One set across levels and cores: the same line can be dirty
+        // in L1 over a parked L2 write-back, and thread-shared pages
+        // sit dirty in several cores' private caches. Each distinct
+        // line streams to the frame once, so the flush never exceeds
+        // the page (one DRAM row).
+        std::unordered_set<Addr> dirty;
         for (auto &ms : memSystems_)
-            dirty += ms->invalidatePage(page_addr);
-        return dirty;
+            ms->invalidatePage(page_addr, dirty);
+        return static_cast<unsigned>(dirty.size());
     });
     org_->setShootdownFn([this](AsidVpn key) {
         for (auto &ms : memSystems_)
@@ -96,6 +101,7 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
     });
 
     buildObservability();
+    buildAuditor();
 }
 
 void
@@ -139,6 +145,46 @@ System::buildObservability()
         }
     }
     obs_->start();
+}
+
+void
+System::buildAuditor()
+{
+    // "check.*" keys arm the auditor; the TDC_AUDIT / TDC_AUDIT_INTERVAL
+    // environment variables fill in for absent keys so existing configs
+    // (and their reports, which never see check.*) can be re-run armed
+    // without edits.
+    Config raw = cfg_.raw;
+    std::uint64_t v = 0;
+    if (!raw.has("check.audit") && readEnvU64("TDC_AUDIT", v))
+        raw.set("check.audit", v != 0);
+    if (!raw.has("check.interval") && readEnvU64("TDC_AUDIT_INTERVAL", v))
+        raw.set("check.interval", v);
+
+    const check::AuditConfig acfg = check::AuditConfig::fromConfig(raw);
+    if (!acfg.enabled)
+        return; // probes stay unattached; firing sites cost one test
+    auditor_ = std::make_unique<check::InvariantAuditor>(acfg);
+
+    auditor_->observePageFill(org_->fillProbe);
+    auditor_->observeEviction(org_->evictProbe);
+    auditor_->observeVictimHit(org_->victimHitProbe);
+    auditor_->observeFreeQueue(org_->freeQueueProbe);
+    auditor_->observeGipt(org_->giptProbe);
+    auditor_->observeDram(inPkg_->accessProbe);
+    auditor_->observeDram(offPkg_->accessProbe);
+    for (auto &ms : memSystems_)
+        auditor_->observeTlbMiss(ms->tlbMissProbe);
+
+    if (auto *tc = dynamic_cast<TaglessCache *>(org_.get())) {
+        auditor_->setTagless(tc);
+        for (auto &ms : memSystems_) {
+            const PageTable *pt = &ms->pageTable();
+            auditor_->addTlb(&ms->itlb(), ms->coreId(), pt);
+            auditor_->addTlb(&ms->dtlb(), ms->coreId(), pt);
+            auditor_->addTlb(&ms->l2tlb(), ms->coreId(), pt);
+        }
+    }
 }
 
 System::~System() = default;
@@ -330,6 +376,8 @@ System::measure()
     r.energy = energyModel_->compute(ei);
     r.edp = energyModel_->edp(r.energy, r.seconds);
 
+    if (auditor_)
+        auditor_->verifyAll();
     if (obs_)
         obs_->finish();
     return r;

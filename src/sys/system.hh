@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant_auditor.hh"
 #include "ckpt/checkpoint.hh"
 #include "common/config.hh"
 #include "common/json.hh"
@@ -146,6 +147,14 @@ class System
     obs::Observability *observability() { return obs_.get(); }
     const obs::Observability *observability() const { return obs_.get(); }
 
+    /** The invariant auditor; nullptr unless armed via "check.audit"
+     *  (or TDC_AUDIT=1 in the environment when the key is absent). */
+    check::InvariantAuditor *auditor() { return auditor_.get(); }
+    const check::InvariantAuditor *auditor() const
+    {
+        return auditor_.get();
+    }
+
     // Component access for tests and examples.
     DramCacheOrg &org() { return *org_; }
     OooCore &core(unsigned i) { return *cores_.at(i); }
@@ -156,6 +165,10 @@ class System
     unsigned activeCores() const
     {
         return static_cast<unsigned>(cores_.size());
+    }
+    unsigned pageTableCount() const
+    {
+        return static_cast<unsigned>(pageTables_.size());
     }
     const SystemConfig &config() const { return cfg_; }
 
@@ -180,6 +193,7 @@ class System
 
     void buildWorkloads();
     void buildObservability();
+    void buildAuditor();
     void advanceAllCores(std::uint64_t inst_target);
     Snapshot capture() const;
 
@@ -199,6 +213,7 @@ class System
 
     /** Declared last: listeners detach before any probe owner dies. */
     std::unique_ptr<obs::Observability> obs_;
+    std::unique_ptr<check::InvariantAuditor> auditor_;
 };
 
 /** Convenience: builds a SystemConfig for one design point. */

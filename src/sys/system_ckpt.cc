@@ -48,13 +48,15 @@ warmFingerprint(const SystemConfig &cfg)
 
     // Dotted raw keys are component overrides (l3.policy, l3.alpha,
     // dram.*...) and shape warm state; flat keys are driver CLI flags
-    // and "obs.*" only adds zero-overhead observers, so both are
-    // excluded (as are instsPerCore and energyParams above: they only
-    // affect the measured window, not the state at its start).
+    // and "obs."/"check." keys only add zero-overhead observers (the
+    // tracer/sampler and the invariant auditor never change simulated
+    // state), so those are excluded (as are instsPerCore and
+    // energyParams above: they only affect the measured window, not
+    // the state at its start).
     for (const auto &[key, value] : cfg.raw.entries()) {
         if (key.find('.') == std::string::npos)
             continue;
-        if (key.rfind("obs.", 0) == 0)
+        if (key.rfind("obs.", 0) == 0 || key.rfind("check.", 0) == 0)
             continue;
         s += format("{}={};", key, value);
     }
@@ -229,6 +231,12 @@ System::restoreCheckpoint(const ckpt::Checkpoint &ck)
         for (auto &t : traces_)
             t->loadState(d);
     });
+
+    // An armed auditor vets the restored state before measure() runs
+    // on it: a deserialization bug surfaces here, at the boundary,
+    // rather than as a mysterious divergence later.
+    if (auditor_)
+        auditor_->verifyAll();
 }
 
 void

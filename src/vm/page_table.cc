@@ -94,6 +94,13 @@ PageTable::findSuperpage(PageNum vpn)
     return it == table2m_.end() ? nullptr : &it->second;
 }
 
+const Pte *
+PageTable::findSuperpage(PageNum vpn) const
+{
+    auto it = table2m_.find(vpn / pagesPerSuperpage);
+    return it == table2m_.end() ? nullptr : &it->second;
+}
+
 Pte &
 PageTable::installSuperpage(PageNum base_vpn)
 {

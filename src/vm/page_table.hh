@@ -63,6 +63,7 @@ class PageTable : public SimObject, public ckpt::Checkpointable
 
     /** The superpage PTE covering vpn, or nullptr. */
     Pte *findSuperpage(PageNum vpn);
+    const Pte *findSuperpage(PageNum vpn) const;
 
     /** True once any superpage mapping exists (fast-path gate). */
     bool hasSuperpages() const { return !table2m_.empty(); }
@@ -72,6 +73,18 @@ class PageTable : public SimObject, public ckpt::Checkpointable
 
     /** Installed mappings count. */
     std::size_t size() const { return table_.size(); }
+
+    /** Read-only visit of every installed PTE, 4 KiB then 2 MiB
+     *  mappings (invariant auditing). */
+    template <typename Fn>
+    void
+    forEachPte(Fn fn) const
+    {
+        for (const auto &[vpn, pte] : table_)
+            fn(pte);
+        for (const auto &[spn, pte] : table2m_)
+            fn(pte);
+    }
 
     /** Hook invoked on demand allocation (used by NC classification). */
     void setFirstTouchHook(FirstTouchHook hook) { hook_ = std::move(hook); }

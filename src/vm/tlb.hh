@@ -73,6 +73,16 @@ class Tlb : public SimObject, public ckpt::Checkpointable
     unsigned capacity() const { return capacity_; }
     std::size_t size() const { return map_.size(); }
 
+    /** Read-only visit of every resident entry, most recent first
+     *  (invariant auditing); no recency update. */
+    template <typename Fn>
+    void
+    forEachEntry(Fn fn) const
+    {
+        for (const TlbEntry &e : lru_)
+            fn(e);
+    }
+
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
 

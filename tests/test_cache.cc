@@ -218,7 +218,7 @@ TEST(Mshr, StartsEmpty)
 {
     Mshr m(4);
     EXPECT_EQ(m.inFlight(), 0u);
-    EXPECT_EQ(m.lookup(1), maxTick);
+    EXPECT_EQ(m.lookup(1, 0), maxTick);
     EXPECT_EQ(m.earliestStart(100), 100u);
 }
 
@@ -226,8 +226,48 @@ TEST(Mshr, MergesSameLine)
 {
     Mshr m(4);
     m.allocate(7, 500, 0);
-    EXPECT_EQ(m.lookup(7), 500u);
-    EXPECT_EQ(m.lookup(8), maxTick);
+    EXPECT_EQ(m.lookup(7, 0), 500u);
+    EXPECT_EQ(m.lookup(8, 0), maxTick);
+}
+
+// Regression: registers retire lazily, so a query must not merge into
+// a miss that completed in the past -- the pre-fix lookup() returned
+// line 7's stale completion tick 500 here, making the "merged" request
+// appear to finish before it was even issued.
+TEST(Mshr, LookupIgnoresCompletedMisses)
+{
+    Mshr m(4);
+    m.allocate(7, 500, 0);
+    EXPECT_EQ(m.lookup(7, 499), 500u); // still outstanding: merge
+    EXPECT_EQ(m.lookup(7, 500), maxTick); // completed: fresh miss
+    EXPECT_EQ(m.lookup(7, 900), maxTick);
+}
+
+// Regression: a full MSHR whose misses have all completed holds only
+// free registers in disguise; the pre-fix earliestStart() still
+// counted the stale entries as busy and delayed the new miss to the
+// stalest completion tick instead of starting it immediately.
+TEST(Mshr, FullButExpiredMshrDoesNotDelayNewMisses)
+{
+    Mshr m(2);
+    m.allocate(1, 100, 0);
+    m.allocate(2, 120, 0);
+    EXPECT_EQ(m.inFlight(), 2u); // lazily retained
+    EXPECT_EQ(m.inFlight(200), 0u); // genuinely outstanding
+    EXPECT_EQ(m.earliestStart(200), 200u);
+}
+
+TEST(Mshr, MixedExpiredAndBusyCountsOnlyBusy)
+{
+    Mshr m(2);
+    m.allocate(1, 100, 0);
+    m.allocate(2, 300, 0);
+    // At t=150 line 1 is done: one register is effectively free, so a
+    // new miss starts immediately despite the map still holding two.
+    EXPECT_EQ(m.inFlight(150), 1u);
+    EXPECT_EQ(m.earliestStart(150), 150u);
+    // At t=50 both are genuinely busy: wait for the first completion.
+    EXPECT_EQ(m.earliestStart(50), 100u);
 }
 
 TEST(Mshr, FullDelaysNewMisses)

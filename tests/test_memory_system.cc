@@ -160,6 +160,67 @@ TEST_F(MemSysTest, InvalidatePageReportsDirtyLines)
         ms->access(0x10000, AccessType::Load, r1.completionTick).l1Hit);
 }
 
+TEST_F(MemSysTest, InvalidatePageCountsLineDirtyAtTwoLevelsOnce)
+{
+    // Regression (found by tdc_fuzz): a line re-written in L1 over an
+    // older dirty write-back still parked in L2 is dirty at both
+    // levels, but it flushes to the frame exactly once. Summing
+    // per-cache counts let a page flush claim more than the 64 lines
+    // a page holds, and the eviction path then issued an in-package
+    // write spanning DRAM rows.
+    buildTagless();
+    Tick t = ms->access(0x10000, AccessType::Store, 0).completionTick;
+    const Pte *pte = m.pt.find(pageOf(0x10000));
+    ASSERT_NE(pte, nullptr);
+    ASSERT_TRUE(pte->vc);
+    const std::uint64_t f = pte->frame;
+
+    // Offset-0 lines of same-parity frames share one L1D set (128
+    // sets, 64B lines: set = 64 * (frame % 2)). Touching eight fresh
+    // pages allocates frames f+1..f+8; the four even-distance ones
+    // overflow the 4-way set and evict frame f's dirty line into L2.
+    for (unsigned i = 1; i <= 8; ++i)
+        t = ms->access(0x40000 + i * pageBytes, AccessType::Store, t)
+                .completionTick;
+    for (unsigned i = 1; i <= 8; ++i) {
+        const Pte *p = m.pt.find(pageOf(0x40000) + i);
+        ASSERT_NE(p, nullptr);
+        ASSERT_EQ(p->frame, f + i) << "frames expected in fill order";
+    }
+    EXPECT_FALSE(ms->l1d().contains(caAddr(f, 0)))
+        << "conflicting stores should have evicted the line from L1D";
+
+    // Re-dirty the line in L1D; the stale dirty copy stays in L2.
+    t = ms->access(0x10000, AccessType::Store, t).completionTick;
+    ASSERT_TRUE(ms->l1d().contains(caAddr(f, 0)));
+
+    const unsigned dirty = ms->invalidatePage(caAddr(f, 0));
+    EXPECT_EQ(dirty, 1u)
+        << "one distinct line, even though two levels held it dirty";
+}
+
+TEST_F(MemSysTest, InvalidatePageDedupesSharedDirtyLinesAcrossCores)
+{
+    // Two threads of one process (shared page table) dirty the same
+    // line in their private L1Ds; the page flush still streams that
+    // line to the frame once.
+    buildTagless();
+    auto ms2 = std::make_unique<MemorySystem>("mem1", m.eq, 1, params,
+                                              m.cpuClk, m.pt, *org);
+    const Tick t = ms->access(0x10000, AccessType::Store, 0)
+                       .completionTick;
+    ms2->access(0x10000, AccessType::Store, t);
+    const Pte *pte = m.pt.find(pageOf(0x10000));
+    ASSERT_NE(pte, nullptr);
+    ASSERT_TRUE(pte->vc);
+
+    std::unordered_set<Addr> dirty;
+    ms->invalidatePage(caAddr(pte->frame, 0), dirty);
+    ms2->invalidatePage(caAddr(pte->frame, 0), dirty);
+    EXPECT_EQ(dirty.size(), 1u)
+        << "the same line dirty in two cores' caches flushes once";
+}
+
 TEST_F(MemSysTest, ShootdownDropsTranslations)
 {
     buildTagless();

@@ -386,7 +386,9 @@ TEST(ConfigCheckKnown, AcceptsKnownAndDottedRejectsTypos)
     ScopedFatalCapture capture;
     Config c;
     c.set("warmup", std::uint64_t{5});
-    c.set("l3.alpha", std::uint64_t{2}); // dotted: always passes
+    c.set("l3.alpha", std::uint64_t{2}); // registered dotted key
+    c.set("obs.trace_out", "t.json");    // registered dotted key
+    c.set("check.audit", true);          // registered dotted key
     EXPECT_NO_THROW(c.checkKnown({"warmup", "insts"}, "test"));
 
     c.set("wramup", std::uint64_t{5});
@@ -398,6 +400,31 @@ TEST(ConfigCheckKnown, AcceptsKnownAndDottedRejectsTypos)
         EXPECT_NE(msg.find("wramup"), std::string::npos);
         EXPECT_NE(msg.find("warmup, insts"), std::string::npos);
     }
+}
+
+// Regression: dotted keys used to bypass checkKnown entirely, so a
+// typo'd component override ("obs.trce_out" for "obs.trace_out") was
+// silently ignored and the run proceeded without the requested trace.
+TEST(ConfigCheckKnown, RejectsTypodDottedKeys)
+{
+    ScopedFatalCapture capture;
+    Config c;
+    c.set("obs.trce_out", "t.json");
+    try {
+        c.checkKnown({"warmup", "insts"}, "test");
+        FAIL() << "typo'd dotted key must be fatal";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("obs.trce_out"), std::string::npos);
+        // The message lists the registered vocabulary.
+        EXPECT_NE(msg.find("obs.trace_out"), std::string::npos);
+    }
+
+    EXPECT_TRUE(isKnownDottedKey("l3.policy"));
+    EXPECT_TRUE(isKnownDottedKey("check.interval"));
+    EXPECT_FALSE(isKnownDottedKey("l3.sixe_mb"));
+    EXPECT_FALSE(isKnownDottedKey("l3."));
+    EXPECT_FALSE(isKnownDottedKey(""));
 }
 
 // ---------------------------------------------------------------------

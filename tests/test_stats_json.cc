@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/json.hh"
 #include "common/stats.hh"
@@ -38,6 +39,25 @@ TEST(Json, DoublesKeepFloatShape)
     EXPECT_EQ(json::Value(0.5).dump(-1), "0.5");
     // Non-finite values have no JSON spelling; they become null.
     EXPECT_EQ(json::Value(std::nan("")).dump(-1), "null");
+}
+
+TEST(Json, NonFiniteDoublesRoundTripAsNull)
+{
+    // JSON has no spelling for NaN or the infinities; the writer maps
+    // them to null, and the result must stay machine-parseable (a raw
+    // "inf"/"nan" token would poison every downstream report reader).
+    const double nonfinite[] = {
+        std::nan(""), std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()};
+    for (const double v : nonfinite) {
+        auto obj = json::Value::object();
+        obj.set("v", v);
+        const std::string text = obj.dump(-1);
+        EXPECT_EQ(text, "{\"v\":null}");
+        const auto parsed = json::Value::parse(text);
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_TRUE(parsed->find("v")->isNull());
+    }
 }
 
 TEST(Json, StringEscaping)
@@ -160,6 +180,50 @@ TEST(StatsJson, ScalarAndAverage)
     EXPECT_DOUBLE_EQ(v.find("sum")->asDouble(), 6.0);
     EXPECT_EQ(v.find("count")->asUint(), 2u);
     EXPECT_DOUBLE_EQ(v.find("mean")->asDouble(), 3.0);
+}
+
+TEST(StatsJson, EmptyStatsWithExtremesStayFiniteAndParseable)
+{
+    // Before any sample, an Average's internal min/max sit at +/-inf.
+    // With extremes requested, the JSON must neither leak those (the
+    // writer would only save it by nulling them) nor emit the keys at
+    // all: empty stats serialize to their stable default shape.
+    stats::JsonOptions opt;
+    opt.extremes = true;
+
+    stats::Average a;
+    const auto av = a.toJson(opt);
+    EXPECT_EQ(av.find("min"), nullptr);
+    EXPECT_EQ(av.find("max"), nullptr);
+    EXPECT_DOUBLE_EQ(av.find("mean")->asDouble(), 0.0);
+
+    stats::Histogram h(10.0, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0)
+        << "empty histogram percentile is defined as 0";
+    const auto hv = h.toJson(opt);
+    EXPECT_EQ(hv.find("p50"), nullptr);
+
+    // Whatever was emitted must round-trip through the parser.
+    const auto reparsed = json::Value::parse(hv.dump(2));
+    ASSERT_TRUE(reparsed.has_value());
+    EXPECT_EQ(reparsed->find("count")->asUint(), 0u);
+}
+
+TEST(StatsJson, PopulatedExtremesRoundTrip)
+{
+    stats::JsonOptions opt;
+    opt.extremes = true;
+    stats::Histogram h(10.0, 4);
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(35.0);
+    const std::string text = h.toJson(opt).dump(-1);
+    const auto v = json::Value::parse(text);
+    ASSERT_TRUE(v.has_value()) << text;
+    EXPECT_DOUBLE_EQ(v->find("min")->asDouble(), 5.0);
+    EXPECT_DOUBLE_EQ(v->find("max")->asDouble(), 35.0);
+    EXPECT_TRUE(std::isfinite(v->find("p50")->asDouble()));
+    EXPECT_TRUE(std::isfinite(v->find("p99")->asDouble()));
 }
 
 TEST(StatsJson, HistogramBuckets)

@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <set>
 
+#include "ckpt/serializer.hh"
 #include "common/random.hh"
 #include "common/units.hh"
 #include "dramcache/tagless_cache.hh"
+#include "obs/probe.hh"
 #include "test_util.hh"
 
 using namespace tdc;
@@ -46,9 +49,14 @@ struct TaglessTest : public ::testing::Test
         });
         cache->setShootdownFn([this](AsidVpn k) {
             shotDown.push_back(k);
-            // Emulate every core's TLBs dropping the translation.
+            // Emulate every core's TLBs dropping the translation. Only
+            // cached pages have GIPT residence to drain; a filter
+            // promotion shoots down a page that still holds its
+            // physical (NC) mapping, where frame is a PPN.
             const Pte *pte = m.pt.find(vpnOf(k));
             ASSERT_NE(pte, nullptr);
+            if (!pte->vc)
+                return;
             for (CoreId c = 0; c < Gipt::maxCores; ++c) {
                 while (cache->gipt().at(pte->frame).residence[c] > 0)
                     cache->onTlbResidence(
@@ -316,6 +324,84 @@ TEST_F(TaglessTest, FreeStallWhenEvictionTrafficPending)
     EXPECT_GE(cache->freeStalls(), 1u);
 }
 
+TEST_F(TaglessTest, FreeStallChargesExactReadyTickDifference)
+{
+    build(2);
+    miss(1);
+    miss(2); // evicts page 1; its frame re-queues with a future readyTick
+    ASSERT_FALSE(cache->freeQueue().blocks().empty());
+    const Tick ready = cache->freeQueue().front().readyTick;
+    ASSERT_GT(ready, 0u) << "eviction traffic must still be draining";
+
+    obs::PageFillEvent got{};
+    obs::FnListener<obs::PageFillEvent,
+                    std::function<void(const obs::PageFillEvent &)>>
+        listener([&](const obs::PageFillEvent &ev) { got = ev; });
+    cache->fillProbe.attach(&listener);
+    const auto res = miss(3, 0);
+    cache->fillProbe.detach(&listener);
+
+    EXPECT_TRUE(got.freeStall);
+    EXPECT_EQ(got.start, ready)
+        << "the fill starts exactly when the free block drains -- no "
+           "more, no less";
+    EXPECT_EQ(cache->freeStalls(), 1u);
+    EXPECT_GE(res.readyTick, ready);
+}
+
+TEST_F(TaglessTest, FreeStallSurvivesCheckpointRestore)
+{
+    // A frame whose eviction traffic is still draining keeps its
+    // readyTick across save/restore; the first post-restore fill
+    // charges the identical stall.
+    build(2);
+    miss(1);
+    miss(2);
+    const Tick ready = cache->freeQueue().front().readyTick;
+    ASSERT_GT(ready, 0u);
+
+    // Mirror the System's restore order: page table and DRAM-device
+    // timing state first (bank/row state shapes fill latencies), then
+    // the org itself.
+    ckpt::Serializer pts;
+    m.phys.saveState(pts);
+    m.pt.saveState(pts);
+    ckpt::Serializer ds;
+    m.inPkg.saveState(ds);
+    m.offPkg.saveState(ds);
+    ckpt::Serializer cs;
+    cache->saveState(cs);
+
+    Machine m2;
+    ckpt::Deserializer ptd(pts.bytes());
+    m2.phys.loadState(ptd);
+    m2.pt.loadState(ptd);
+    ckpt::Deserializer dd(ds.bytes());
+    m2.inPkg.loadState(dd);
+    m2.offPkg.loadState(dd);
+    TaglessCache other("ctlb2", m2.eq, m2.inPkg, m2.offPkg, m2.phys,
+                       m2.cpuClk, params);
+    other.setPteResolver(
+        [&m2 = m2](ProcId proc, PageType type, PageNum vpn) -> Pte * {
+            if (proc != 0)
+                return nullptr;
+            return type == PageType::Page2M ? m2.pt.findSuperpage(vpn)
+                                            : m2.pt.find(vpn);
+        });
+    ckpt::Deserializer cd(cs.bytes());
+    other.loadState(cd);
+
+    ASSERT_FALSE(other.freeQueue().blocks().empty());
+    EXPECT_EQ(other.freeQueue().front().readyTick, ready)
+        << "pending eviction traffic must survive restore";
+
+    const auto a = miss(3, 0);
+    const auto b = other.handleTlbMiss(m2.pt, 3, 0, 0);
+    EXPECT_EQ(b.readyTick, a.readyTick)
+        << "restored fill must stall exactly like the straight one";
+    EXPECT_EQ(other.freeStalls(), cache->freeStalls());
+}
+
 TEST_F(TaglessTest, StatsAndStorageAccounting)
 {
     build(16);
@@ -445,6 +531,28 @@ TEST_F(TaglessTest, FilterDefersFillUntilThreshold)
     EXPECT_FALSE(m3.entry.nc);
     EXPECT_TRUE(m3.coldFill);
     EXPECT_TRUE(m.pt.find(7)->vc);
+}
+
+TEST_F(TaglessTest, FilterPromotionShootsDownStaleNcMapping)
+{
+    // Regression (found by the armed auditor): while a page sits under
+    // filter probation its misses install conventional NC mappings.
+    // Crossing the threshold moves the page in-package; any NC entry
+    // still resident in another TLB would keep routing its accesses
+    // off-package, so the promotion must shoot the translation down
+    // before filling.
+    params.filterEnabled = true;
+    params.filterThreshold = 2;
+    build(16);
+    const auto m1 = miss(100);
+    EXPECT_TRUE(m1.entry.nc);
+    EXPECT_TRUE(shotDown.empty());
+
+    const auto m2 = miss(100, 1'000'000);
+    EXPECT_TRUE(m2.coldFill);
+    EXPECT_FALSE(m2.entry.nc);
+    ASSERT_EQ(shotDown.size(), 1u);
+    EXPECT_EQ(shotDown[0], makeAsidVpn(0, 100));
 }
 
 TEST_F(TaglessTest, FilterDoesNotMarkPtePermanentlyNc)

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * tdc_fuzz: seed-replayable randomized invariant/differential tester.
+ *
+ *   tdc_fuzz [--seed=N] [--points=N] [--insts=N] [--only=K] [--verbose=1]
+ *
+ * Each point K derives its entire configuration from Pcg32(seed, K):
+ * organization (all six), workload shape (single-programmed, Table 5
+ * four-program mix, or a multithreaded PARSEC profile on a shared page
+ * table), cache size, replacement policy, alpha, the hot/cold filter,
+ * the auditor's sweep interval, and whether the run is split by an
+ * in-memory checkpoint save/restore at the warmup/measure boundary.
+ * Every simulation runs with the invariant auditor armed
+ * (DESIGN.md 9), so any cTLB/GIPT/PTE/free-queue inconsistency or
+ * timing-monotonicity break is fatal on the spot.
+ *
+ * Three oracles per point:
+ *   1. the armed InvariantAuditor (structural invariants, sweeps);
+ *   2. differential comparison against the ideal all-in-package
+ *      reference: quantities that depend only on the functional access
+ *      stream -- per-core retired instructions, per-process page-table
+ *      size and demand allocations, per-core TLB lookups -- must be
+ *      identical across organizations (timing-dependent counters like
+ *      TLB hit rates legitimately differ);
+ *   3. for checkpointed points, the straight and the restored run must
+ *      produce identical measured results.
+ *
+ * A failure prints the violation and a one-line repro command
+ * (--only=K reruns exactly the failing point); the exit code is
+ * non-zero. The point banner is printed and flushed *before* the run,
+ * so even an uncatchable abort (tdc_panic/assert) identifies its
+ * configuration in the log.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/format.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/units.hh"
+#include "sys/system.hh"
+#include "trace/workloads.hh"
+
+using namespace tdc;
+
+namespace {
+
+struct FuzzPoint
+{
+    OrgKind org = OrgKind::Tagless;
+    std::vector<std::string> workloads;
+    std::uint64_t insts = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t l3Bytes = 0;
+    ReplPolicy policy = ReplPolicy::FIFO;
+    unsigned alpha = 1;
+    bool filter = false;
+    unsigned filterThreshold = 2;
+    std::uint64_t sweepInterval = 1;
+    bool ckptMidRun = false;
+};
+
+FuzzPoint
+generatePoint(std::uint64_t seed, std::uint64_t index,
+              std::uint64_t base_insts)
+{
+    Pcg32 rng(seed, /*stream=*/index);
+    FuzzPoint p;
+
+    // Half the points hit the tagless design (it owns nearly all the
+    // structural invariants); the rest spread over every organization.
+    const auto &orgs = allOrgKinds();
+    p.org = rng.chance(0.5)
+                ? OrgKind::Tagless
+                : orgs[rng.below(static_cast<std::uint32_t>(orgs.size()))];
+
+    switch (rng.below(3)) {
+      case 0: { // single-programmed
+        const auto &names = spec11Names();
+        p.workloads = {names[rng.below(
+            static_cast<std::uint32_t>(names.size()))]};
+        break;
+      }
+      case 1: { // four-program mix
+        const auto &mixes = table5Mixes();
+        const auto &mix =
+            mixes[rng.below(static_cast<std::uint32_t>(mixes.size()))];
+        p.workloads.assign(mix.begin(), mix.end());
+        break;
+      }
+      default: { // multithreaded (four threads, shared page table)
+        const auto &names = parsecNames();
+        p.workloads = {names[rng.below(
+            static_cast<std::uint32_t>(names.size()))]};
+        break;
+      }
+    }
+
+    // Short, varied instruction budgets; warmup below the budget so
+    // the measured window is never empty.
+    p.insts = base_insts / 2 + rng.below64(base_insts);
+    p.warmup = rng.below64(p.insts / 2 + 1);
+
+    // Small caches force the eviction/free-stall/shootdown paths.
+    p.l3Bytes = MiB << rng.below(7); // 1 MiB .. 64 MiB
+    p.policy = rng.chance(0.5) ? ReplPolicy::FIFO : ReplPolicy::LRU;
+    p.alpha = 1 + rng.below(4);
+    p.filter = rng.chance(0.5);
+    p.filterThreshold = 2 + rng.below(3);
+    p.sweepInterval = 1 + rng.below64(64);
+    p.ckptMidRun = rng.chance(0.25);
+    return p;
+}
+
+SystemConfig
+makeConfig(const FuzzPoint &p, OrgKind org)
+{
+    SystemConfig cfg;
+    cfg.org = org;
+    cfg.workloads = p.workloads;
+    cfg.l3SizeBytes = p.l3Bytes;
+    cfg.instsPerCore = p.insts;
+    cfg.warmupInsts = p.warmup;
+    cfg.raw.set("l3.size_bytes", p.l3Bytes);
+    cfg.raw.set("l3.policy", std::string(p.policy == ReplPolicy::LRU
+                                             ? "lru"
+                                             : "fifo"));
+    cfg.raw.set("l3.alpha", std::uint64_t{p.alpha});
+    cfg.raw.set("l3.filter", p.filter);
+    cfg.raw.set("l3.filter_threshold", std::uint64_t{p.filterThreshold});
+    cfg.raw.set("check.audit", true);
+    cfg.raw.set("check.interval", p.sweepInterval);
+    return cfg;
+}
+
+std::string
+describe(const FuzzPoint &p)
+{
+    std::string wl;
+    for (const auto &w : p.workloads) {
+        if (!wl.empty())
+            wl += ",";
+        wl += w;
+    }
+    return format("org={} workloads={} insts={} warmup={} l3={}MiB "
+                  "policy={} alpha={} filter={}/{} interval={} ckpt={}",
+                  cliName(p.org), wl, p.insts, p.warmup,
+                  p.l3Bytes >> 20,
+                  p.policy == ReplPolicy::LRU ? "lru" : "fifo", p.alpha,
+                  p.filter ? 1 : 0, p.filterThreshold, p.sweepInterval,
+                  p.ckptMidRun ? 1 : 0);
+}
+
+/** Functional quantities that must not depend on the organization. */
+struct FunctionalState
+{
+    std::vector<std::uint64_t> coreInsts;
+    std::vector<std::uint64_t> tlbLookups;
+    std::vector<std::uint64_t> ptSizes;
+    std::vector<std::uint64_t> ptAllocs;
+};
+
+FunctionalState
+captureFunctional(System &sys)
+{
+    FunctionalState f;
+    for (unsigned i = 0; i < sys.activeCores(); ++i) {
+        f.coreInsts.push_back(sys.core(i).instsRetired());
+        f.tlbLookups.push_back(sys.memSystem(i).tlbAccesses());
+    }
+    for (unsigned i = 0; i < sys.pageTableCount(); ++i) {
+        f.ptSizes.push_back(sys.pageTable(i).size());
+        f.ptAllocs.push_back(sys.pageTable(i).demandAllocs());
+    }
+    return f;
+}
+
+void
+compareVectors(const std::vector<std::uint64_t> &a,
+               const std::vector<std::uint64_t> &b,
+               std::string_view what, OrgKind org)
+{
+    if (a == b)
+        return;
+    std::string sa, sb;
+    for (std::uint64_t v : a)
+        sa += format("{} ", v);
+    for (std::uint64_t v : b)
+        sb += format("{} ", v);
+    fatal("differential mismatch [{}]: {} = [{}] vs ideal [{}]", what,
+          cliName(org), sa, sb);
+}
+
+void
+compareRuns(const RunResult &a, const RunResult &b)
+{
+    if (a.totalInsts != b.totalInsts || a.cycles != b.cycles
+        || a.l3Accesses != b.l3Accesses || a.victimHits != b.victimHits
+        || a.coldFills != b.coldFills
+        || a.pageWritebacks != b.pageWritebacks
+        || a.inPkgBytes != b.inPkgBytes
+        || a.offPkgBytes != b.offPkgBytes || a.coreIpc != b.coreIpc) {
+        fatal("checkpoint divergence: straight run (insts={} cycles={} "
+              "l3={} fills={}) vs restored run (insts={} cycles={} "
+              "l3={} fills={})",
+              a.totalInsts, a.cycles, a.l3Accesses, a.coldFills,
+              b.totalInsts, b.cycles, b.l3Accesses, b.coldFills);
+    }
+}
+
+/** Runs one point; throws FatalError (via capture) on any violation. */
+void
+runPoint(const FuzzPoint &p, bool verbose)
+{
+    const SystemConfig cfg = makeConfig(p, p.org);
+
+    System sys(cfg);
+    RunResult r;
+    if (p.ckptMidRun) {
+        // Split the run at the warmup/measure boundary through an
+        // in-memory checkpoint; the restored system must measure
+        // exactly what the straight one does (and the armed auditor
+        // re-validates the rebuilt structures on restore).
+        sys.warmup();
+        const ckpt::Checkpoint ck = sys.makeCheckpoint();
+        System restored(cfg);
+        restored.restoreCheckpoint(ck);
+        const RunResult rr = restored.measure();
+        r = sys.measure();
+        compareRuns(r, rr);
+    } else {
+        sys.warmup();
+        r = sys.measure();
+    }
+
+    const FunctionalState got = captureFunctional(sys);
+
+    // Differential reference: the ideal all-in-package system consumes
+    // the identical trace streams, so every functional quantity must
+    // match no matter how the organization under test times or places
+    // pages.
+    if (p.org != OrgKind::Ideal) {
+        System ideal(makeConfig(p, OrgKind::Ideal));
+        ideal.run();
+        const FunctionalState want = captureFunctional(ideal);
+        compareVectors(got.coreInsts, want.coreInsts,
+                       "retired instructions", p.org);
+        compareVectors(got.tlbLookups, want.tlbLookups, "TLB lookups",
+                       p.org);
+        compareVectors(got.ptSizes, want.ptSizes, "page-table size",
+                       p.org);
+        compareVectors(got.ptAllocs, want.ptAllocs, "demand allocs",
+                       p.org);
+    }
+
+    if (verbose) {
+        const auto *aud = sys.auditor();
+        std::cout << format("  ok: ipc={:.3f} checks={} sweeps={}\n",
+                            r.sumIpc, aud ? aud->eventChecks() : 0,
+                            aud ? aud->sweeps() : 0);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config args;
+    for (int i = 1; i < argc; ++i) {
+        if (!args.parseAssignment(argv[i]))
+            fatal("tdc_fuzz: unrecognized argument '{}' (every option "
+                  "is key=value; see the header of tools/tdc_fuzz.cc)",
+                  argv[i]);
+    }
+    args.checkKnown({"seed", "points", "insts", "only", "verbose"},
+                    "tdc_fuzz");
+
+    const std::uint64_t seed = args.getU64("seed", 1);
+    const std::uint64_t points = args.getU64("points", 20);
+    const std::uint64_t base_insts = args.getU64("insts", 40'000);
+    const bool verbose = args.getBool("verbose", false);
+    const bool only_one = args.has("only");
+    const std::uint64_t only = args.getU64("only", 0);
+
+    std::uint64_t first = only_one ? only : 0;
+    std::uint64_t last = only_one ? only + 1 : points;
+
+    unsigned failures = 0;
+    for (std::uint64_t k = first; k < last; ++k) {
+        const FuzzPoint p = generatePoint(seed, k, base_insts);
+        // Flushed before the run: an uncatchable abort mid-simulation
+        // still leaves the failing configuration in the log.
+        std::cout << format("point {}: {}\n", k, describe(p))
+                  << std::flush;
+        try {
+            ScopedFatalCapture capture;
+            runPoint(p, verbose);
+        } catch (const FatalError &e) {
+            ++failures;
+            std::cout << format(
+                "FAILED point {}: {}\n"
+                "repro: tdc_fuzz --seed={} --insts={} --only={}\n",
+                k, e.what(), seed, base_insts, k);
+        }
+    }
+
+    if (failures != 0) {
+        std::cout << format("{} of {} points failed\n", failures,
+                            last - first);
+        return 1;
+    }
+    std::cout << format("all {} points passed\n", last - first);
+    return 0;
+}

@@ -25,9 +25,14 @@
  *   --stats-desc=1            include stat descriptions in JSON output
  *   --stats-extremes=1        include min/max/percentiles in JSON
  *
+ * Invariant auditing (off by default; see DESIGN.md 9):
+ *   --audit=1                 arm the invariant auditor (check.audit)
+ *   --audit-interval=<N>      full sweep every N trigger firings
+ *
  * Every option is spelled key=value (leading dashes optional); an
  * unrecognized flat key or a bare token is a fatal error. Dotted keys
- * (l3.*, dram.*, obs.*, ...) pass through as raw component overrides.
+ * (l3.*, obs.*, check.*) are component overrides validated against the
+ * registry in src/common/config.cc; a typo'd dotted key is fatal too.
  *
  * Examples:
  *   tdc_sim org=ctlb workload=mcf
@@ -109,12 +114,14 @@ main(int argc, char **argv)
                      "stats", "json", "stats-json", "save-ckpt",
                      "load-ckpt", "trace-out", "trace-categories",
                      "trace-ring", "stats-interval", "timeseries-out",
-                     "summary-max", "stats-desc", "stats-extremes"},
+                     "summary-max", "stats-desc", "stats-extremes",
+                     "audit", "audit-interval"},
                     "tdc_sim");
 
-    // The observability flags are aliases for the dotted obs.* config
-    // keys consumed by ObsConfig::fromConfig, so the CLI and sweep
-    // manifests spell the same knobs.
+    // The observability and audit flags are aliases for the dotted
+    // obs.*/check.* config keys consumed by ObsConfig::fromConfig and
+    // AuditConfig::fromConfig, so the CLI and sweep manifests spell
+    // the same knobs.
     constexpr std::pair<const char *, const char *> obs_aliases[] = {
         {"trace-out", "obs.trace_out"},
         {"trace-categories", "obs.trace_categories"},
@@ -122,6 +129,8 @@ main(int argc, char **argv)
         {"stats-interval", "obs.stats_interval"},
         {"timeseries-out", "obs.timeseries"},
         {"summary-max", "obs.summary_max"},
+        {"audit", "check.audit"},
+        {"audit-interval", "check.interval"},
     };
     for (const auto &[flag, key] : obs_aliases)
         if (args.has(flag))
@@ -182,6 +191,10 @@ main(int argc, char **argv)
     const RunResult r = sys.measure();
     printResult(sys, r);
 
+    if (const auto *aud = sys.auditor()) {
+        std::cout << format("invariant checks      : {} ({} sweeps)\n",
+                            aud->eventChecks(), aud->sweeps());
+    }
     if (auto *hub = sys.observability()) {
         if (hub->tracing())
             std::cout << format("trace events          : {}\n",
