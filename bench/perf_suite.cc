@@ -1,0 +1,254 @@
+/**
+ * @file
+ * perf_suite: the host-performance benchmark harness behind the CI
+ * KIPS trend gate.
+ *
+ * Measures what the experiment harness actually spends wall clock on:
+ *
+ *  - the golden mini-matrix (6 organizations x 3 workloads), one cell
+ *    per design point, repeated --repeat times with the median KIPS
+ *    reported (the simulation itself is deterministic, so repeats only
+ *    firm up the host timing);
+ *  - a 4-core multi-programmed mix on the tagless organization;
+ *  - a --warm-once style sweep (three measure lengths sharing one
+ *    warmup) timed end to end, covering the checkpoint-shared path;
+ *  - warm-state checkpoint save and restore, timed directly.
+ *
+ * Output is a versioned BENCH_<n>.json document (schema
+ * tdc-bench-report-v1, bench_version 6) with per-cell KIPS and host
+ * metadata. tools/tdc_perf_check compares two such documents and
+ * gates on median-KIPS regressions; the committed reference lives in
+ * bench/baselines/BENCH_6.json.
+ *
+ *   perf_suite [--out=PATH] [--repeat=N] [--insts=N] [--warmup=N]
+ *              [--update-baseline]
+ *
+ * --update-baseline writes to the committed baseline path (resolved
+ * relative to the source tree at configure time) instead of --out;
+ * commit the result to move the trend reference after an accepted
+ * hardware or optimization change.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/config.hh"
+#include "common/format.hh"
+#include "common/json.hh"
+#include "dramcache/org_factory.hh"
+#include "runner/sweep.hh"
+#include "runner/sweep_runner.hh"
+#include "sys/system.hh"
+
+using namespace tdc;
+
+#ifndef TDC_BASELINE_PATH
+#define TDC_BASELINE_PATH "bench/baselines/BENCH_6.json"
+#endif
+
+namespace {
+
+constexpr std::uint64_t benchVersion = 6;
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+json::Value
+hostMetadata()
+{
+    auto host = json::Value::object();
+    char name[256] = {};
+    if (gethostname(name, sizeof(name) - 1) == 0 && name[0] != '\0')
+        host.set("hostname", std::string(name));
+    else
+        host.set("hostname", "unknown");
+    host.set("hardware_threads",
+             std::uint64_t{std::thread::hardware_concurrency()});
+#if defined(__VERSION__)
+    host.set("compiler", std::string(__VERSION__));
+#endif
+#if defined(NDEBUG)
+    host.set("assertions_disabled", true);
+#else
+    host.set("assertions_disabled", false);
+#endif
+    return host;
+}
+
+runner::JobSpec
+cell(std::string label, OrgKind org, std::vector<std::string> workloads,
+     std::uint64_t insts, std::uint64_t warmup)
+{
+    runner::JobSpec job;
+    job.label = std::move(label);
+    job.org = org;
+    job.workloads = std::move(workloads);
+    job.instsPerCore = insts;
+    job.warmupInsts = warmup;
+    return job;
+}
+
+json::Value
+cellEntry(const runner::JobResult &r)
+{
+    auto e = json::Value::object();
+    e.set("label", r.label);
+    e.set("status", std::string(statusName(r.status)));
+    if (r.ok()) {
+        e.set("kips", r.kips);
+        e.set("wall_seconds", r.wallSeconds);
+        e.set("total_insts", r.result.totalInsts);
+    } else {
+        e.set("error", r.error);
+    }
+    return e;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config args;
+    bool update_baseline = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view tok(argv[i]);
+        if (tok == "--update-baseline") {
+            update_baseline = true;
+        } else if (!args.parseAssignment(tok)) {
+            fatal("perf_suite: unrecognized argument '{}' (options: "
+                  "--out=PATH --repeat=N --insts=N --warmup=N "
+                  "--update-baseline)",
+                  tok);
+        }
+    }
+    args.checkKnown({"out", "repeat", "insts", "warmup"}, "perf_suite");
+
+    const auto repeat =
+        static_cast<unsigned>(args.getU64("repeat", 3));
+    if (repeat == 0)
+        fatal("perf_suite: --repeat must be >= 1");
+    const std::uint64_t insts = args.getU64("insts", 2'000'000);
+    const std::uint64_t warmup = args.getU64("warmup", 500'000);
+    std::string out = args.getString("out", "BENCH_6.json");
+    if (update_baseline)
+        out = TDC_BASELINE_PATH;
+
+    // ---- the golden mini-matrix plus the 4-core mix ----
+    const std::vector<OrgKind> orgs = {
+        OrgKind::NoL3,   OrgKind::BankInterleave, OrgKind::Ideal,
+        OrgKind::SramTag, OrgKind::Alloy,         OrgKind::Tagless,
+    };
+    const std::vector<std::string> workloads = {"libquantum", "mcf",
+                                                "milc"};
+
+    runner::SweepManifest manifest;
+    manifest.name = "perf-suite";
+    for (OrgKind org : orgs)
+        for (const std::string &w : workloads)
+            manifest.jobs.push_back(
+                cell(format("{}/{}", cliName(org), w), org, {w}, insts,
+                     warmup));
+    manifest.jobs.push_back(cell("mix4/ctlb", OrgKind::Tagless,
+                                 {"libquantum", "mcf", "milc",
+                                  "fluidanimate"},
+                                 insts, warmup));
+
+    runner::SweepOptions opt;
+    opt.jobs = 1; // serial: cells must not contend for the host
+    opt.progress = true;
+    opt.repeat = repeat;
+    runner::SweepRunner sweep_runner(opt);
+
+    std::cerr << format(
+        "[perf] {} cell(s), median of {} repetition(s), {} insts\n",
+        manifest.jobs.size(), repeat, insts);
+    const auto results = sweep_runner.run(manifest);
+
+    bool all_ok = true;
+    auto cells = json::Value::array();
+    for (const auto &r : results) {
+        all_ok = all_ok && r.ok();
+        cells.push(cellEntry(r));
+    }
+
+    // ---- warm-once sweep: three measure legs off one shared warmup ----
+    runner::SweepManifest warm_manifest;
+    warm_manifest.name = "perf-suite-warm-once";
+    for (unsigned k = 1; k <= 3; ++k)
+        warm_manifest.jobs.push_back(
+            cell(format("warm/ctlb-mcf-x{}", k), OrgKind::Tagless,
+                 {"mcf"}, k * (insts / 2), warmup));
+    runner::SweepOptions warm_opt;
+    warm_opt.jobs = 1;
+    warm_opt.progress = true;
+    warm_opt.shareWarmups = true;
+    const auto warm_t0 = Clock::now();
+    const auto warm_results =
+        runner::SweepRunner(warm_opt).run(warm_manifest);
+    const double warm_wall = secondsSince(warm_t0);
+    for (const auto &r : warm_results)
+        all_ok = all_ok && r.ok();
+
+    auto warm_doc = json::Value::object();
+    warm_doc.set("jobs", std::uint64_t{warm_manifest.jobs.size()});
+    warm_doc.set("wall_seconds", warm_wall);
+
+    // ---- checkpoint save / restore timing ----
+    auto ckpt_doc = json::Value::object();
+    {
+        runner::JobSpec job = cell("ckpt/ctlb-mcf", OrgKind::Tagless,
+                                   {"mcf"}, insts, warmup);
+        System sys(job.toSystemConfig());
+        sys.warmup();
+
+        const auto save_t0 = Clock::now();
+        const ckpt::Checkpoint ck = sys.makeCheckpoint();
+        const double save_s = secondsSince(save_t0);
+
+        std::uint64_t bytes = 0;
+        for (const auto &sec : ck.sections())
+            bytes += sec.payload.size();
+
+        System fresh(job.toSystemConfig());
+        const auto restore_t0 = Clock::now();
+        fresh.restoreCheckpoint(ck);
+        const double restore_s = secondsSince(restore_t0);
+
+        ckpt_doc.set("save_seconds", save_s);
+        ckpt_doc.set("restore_seconds", restore_s);
+        ckpt_doc.set("bytes", bytes);
+    }
+
+    // ---- assemble the versioned report ----
+    auto doc = json::Value::object();
+    doc.set("schema", "tdc-bench-report-v1");
+    doc.set("bench_version", benchVersion);
+    doc.set("host", hostMetadata());
+    auto cfg = json::Value::object();
+    cfg.set("insts", insts);
+    cfg.set("warmup", warmup);
+    cfg.set("repeat", std::uint64_t{repeat});
+    doc.set("config", std::move(cfg));
+    doc.set("cells", std::move(cells));
+    doc.set("warm_once_sweep", std::move(warm_doc));
+    doc.set("checkpoint", std::move(ckpt_doc));
+
+    json::writeFile(doc, out);
+    std::cout << format("perf report written to {}\n", out);
+    if (update_baseline)
+        std::cout << "baseline updated; commit the file to move the "
+                     "trend reference\n";
+
+    return all_ok ? 0 : 1;
+}

@@ -14,7 +14,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/logging.hh"
@@ -28,6 +27,7 @@ class Mshr
     explicit Mshr(unsigned entries) : entries_(entries)
     {
         tdc_assert(entries > 0, "MSHR needs at least one entry");
+        active_.reserve(entries);
     }
 
     /**
@@ -41,10 +41,10 @@ class Mshr
     Tick
     lookup(std::uint64_t line, Tick now) const
     {
-        auto it = active_.find(line);
-        if (it == active_.end() || it->second <= now)
-            return maxTick;
-        return it->second;
+        for (const Entry &e : active_)
+            if (e.line == line)
+                return e.done <= now ? maxTick : e.done;
+        return maxTick;
     }
 
     /**
@@ -58,31 +58,36 @@ class Mshr
     {
         std::size_t busy = 0;
         Tick first_free = maxTick;
-        for (const auto &[line, done] : active_) {
-            if (done <= when)
+        for (const Entry &e : active_) {
+            if (e.done <= when)
                 continue;
             ++busy;
-            first_free = std::min(first_free, done);
+            first_free = std::min(first_free, e.done);
         }
         return busy < entries_ ? when : first_free;
     }
 
-    /** Records a miss on `line` completing at `done`. */
+    /**
+     * Records a miss on `line` completing at `done`. A duplicate line
+     * keeps its original completion (emplace semantics).
+     */
     void
     allocate(std::uint64_t line, Tick done, Tick now)
     {
         // Retire registers whose misses have completed.
-        std::erase_if(active_,
-                      [now](const auto &kv) { return kv.second <= now; });
+        retireUpTo(now);
         tdc_assert(active_.size() < entries_, "MSHR overflow");
-        active_.emplace(line, done);
+        for (const Entry &e : active_)
+            if (e.line == line)
+                return;
+        active_.push_back(Entry{line, done});
     }
 
     void
     retireUpTo(Tick now)
     {
         std::erase_if(active_,
-                      [now](const auto &kv) { return kv.second <= now; });
+                      [now](const Entry &e) { return e.done <= now; });
     }
 
     /** Registers occupied, counting lazily retired ones. */
@@ -93,8 +98,8 @@ class Mshr
     inFlight(Tick now) const
     {
         std::size_t busy = 0;
-        for (const auto &[line, done] : active_)
-            if (done > now)
+        for (const Entry &e : active_)
+            if (e.done > now)
                 ++busy;
         return busy;
     }
@@ -102,8 +107,17 @@ class Mshr
     void clear() { active_.clear(); }
 
   private:
+    // Flat storage: the register file is tiny (tens of entries), so a
+    // linear scan over a contiguous array beats hashing on every lookup
+    // and allocates nothing after construction.
+    struct Entry
+    {
+        std::uint64_t line;
+        Tick done;
+    };
+
     unsigned entries_;
-    std::unordered_map<std::uint64_t, Tick> active_;
+    std::vector<Entry> active_;
 };
 
 } // namespace tdc

@@ -20,7 +20,11 @@ SramCache::SramCache(std::string name, EventQueue &eq,
     numSets_ = static_cast<unsigned>(num_lines / params_.associativity);
     tdc_assert(isPowerOf2(numSets_), "set count must be 2^n");
     lineBits_ = floorLog2(params_.lineBytes);
-    lines_.assign(num_lines, Line{});
+    setBits_ = floorLog2(numSets_);
+    tags_.assign(num_lines, invalidAddr);
+    state_.assign(num_lines, 0);
+    lastUse_.assign(num_lines, 0);
+    fillTime_.assign(num_lines, 0);
 
     auto &sg = statGroup();
     sg.addScalar("hits", &hits_);
@@ -28,47 +32,28 @@ SramCache::SramCache(std::string name, EventQueue &eq,
     sg.addScalar("writebacks", &writebacks_, "dirty evictions");
 }
 
-std::uint64_t
-SramCache::setIndex(Addr addr) const
-{
-    return (addr >> lineBits_) & (numSets_ - 1);
-}
-
-Addr
-SramCache::tagOf(Addr addr) const
-{
-    return addr >> (lineBits_ + floorLog2(numSets_));
-}
-
-Addr
-SramCache::rebuildAddr(Addr tag, std::uint64_t set) const
-{
-    return (tag << (lineBits_ + floorLog2(numSets_)))
-           | (set << lineBits_);
-}
-
-SramCache::Line &
+// Precondition: every way in the set is valid (the access scan hands
+// over the lowest invalid way itself when one exists).
+std::size_t
 SramCache::selectVictim(std::uint64_t set)
 {
-    Line *base = &lines_[set * params_.associativity];
-    // Prefer an invalid way.
-    for (unsigned w = 0; w < params_.associativity; ++w) {
-        if (!base[w].valid)
-            return base[w];
-    }
+    const std::size_t base = set * params_.associativity;
     switch (params_.policy) {
       case ReplPolicy::LRU:
-        return *std::min_element(base, base + params_.associativity,
-                                 [](const Line &a, const Line &b) {
-                                     return a.lastUse < b.lastUse;
-                                 });
-      case ReplPolicy::FIFO:
-        return *std::min_element(base, base + params_.associativity,
-                                 [](const Line &a, const Line &b) {
-                                     return a.fillTime < b.fillTime;
-                                 });
+      case ReplPolicy::FIFO: {
+        // First minimum wins, replicating std::min_element's tie-break.
+        const std::uint64_t *key = params_.policy == ReplPolicy::LRU
+                                       ? lastUse_.data()
+                                       : fillTime_.data();
+        std::size_t best = base;
+        for (unsigned w = 1; w < params_.associativity; ++w) {
+            if (key[base + w] < key[best])
+                best = base + w;
+        }
+        return best;
+      }
       case ReplPolicy::Random:
-        return base[rng_.below(params_.associativity)];
+        return base + rng_.below(params_.associativity);
     }
     tdc_panic("unreachable");
 }
@@ -79,31 +64,40 @@ SramCache::access(Addr addr, bool is_write)
     CacheAccessOutcome out;
     const std::uint64_t set = setIndex(addr);
     const Addr tag = tagOf(addr);
-    Line *base = &lines_[set * params_.associativity];
+    const std::size_t base = set * params_.associativity;
     ++useClock_;
 
+    std::size_t first_invalid = tags_.size(); // sentinel: none seen
     for (unsigned w = 0; w < params_.associativity; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
+        const std::size_t i = base + w;
+        if (!(state_[i] & stValid)) {
+            if (first_invalid == tags_.size())
+                first_invalid = i;
+            continue;
+        }
+        if (tags_[i] == tag) {
             out.hit = true;
-            line.lastUse = useClock_;
-            line.dirty |= is_write;
+            lastUse_[i] = useClock_;
+            if (is_write)
+                state_[i] |= stDirty;
             ++hits_;
             return out;
         }
     }
 
     ++misses_;
-    Line &victim = selectVictim(set);
-    if (victim.valid && victim.dirty) {
-        out.writebackAddr = rebuildAddr(victim.tag, set);
+    // Fill the lowest invalid way if any; otherwise evict by policy.
+    const std::size_t v = first_invalid != tags_.size()
+                              ? first_invalid
+                              : selectVictim(set);
+    if ((state_[v] & (stValid | stDirty)) == (stValid | stDirty)) {
+        out.writebackAddr = rebuildAddr(tags_[v], set);
         ++writebacks_;
     }
-    victim.valid = true;
-    victim.tag = tag;
-    victim.dirty = is_write;
-    victim.lastUse = useClock_;
-    victim.fillTime = useClock_;
+    tags_[v] = tag;
+    state_[v] = is_write ? (stValid | stDirty) : stValid;
+    lastUse_[v] = useClock_;
+    fillTime_[v] = useClock_;
     return out;
 }
 
@@ -112,9 +106,9 @@ SramCache::contains(Addr addr) const
 {
     const std::uint64_t set = setIndex(addr);
     const Addr tag = tagOf(addr);
-    const Line *base = &lines_[set * params_.associativity];
+    const std::size_t base = set * params_.associativity;
     for (unsigned w = 0; w < params_.associativity; ++w) {
-        if (base[w].valid && base[w].tag == tag)
+        if (tags_[base + w] == tag && (state_[base + w] & stValid))
             return true;
     }
     return false;
@@ -128,16 +122,15 @@ SramCache::invalidatePage(Addr base_addr)
     for (Addr a = page; a < page + pageBytes; a += params_.lineBytes) {
         const std::uint64_t set = setIndex(a);
         const Addr tag = tagOf(a);
-        Line *base = &lines_[set * params_.associativity];
+        const std::size_t base = set * params_.associativity;
         for (unsigned w = 0; w < params_.associativity; ++w) {
-            Line &line = base[w];
-            if (line.valid && line.tag == tag) {
-                if (line.dirty) {
+            const std::size_t i = base + w;
+            if (tags_[i] == tag && (state_[i] & stValid)) {
+                if (state_[i] & stDirty) {
                     dirty_lines.push_back(a);
                     ++writebacks_;
                 }
-                line.valid = false;
-                line.dirty = false;
+                state_[i] = 0;
             }
         }
     }
@@ -147,22 +140,19 @@ SramCache::invalidatePage(Addr base_addr)
 void
 SramCache::flushAll()
 {
-    for (auto &line : lines_) {
-        line.valid = false;
-        line.dirty = false;
-    }
+    std::fill(state_.begin(), state_.end(), std::uint8_t{0});
 }
 
 void
 SramCache::saveState(ckpt::Serializer &out) const
 {
-    out.putU64(lines_.size());
-    for (const Line &line : lines_) {
-        out.putU64(line.tag);
-        out.putBool(line.valid);
-        out.putBool(line.dirty);
-        out.putU64(line.lastUse);
-        out.putU64(line.fillTime);
+    out.putU64(tags_.size());
+    for (std::size_t i = 0; i < tags_.size(); ++i) {
+        out.putU64(tags_[i]);
+        out.putBool((state_[i] & stValid) != 0);
+        out.putBool((state_[i] & stDirty) != 0);
+        out.putU64(lastUse_[i]);
+        out.putU64(fillTime_[i]);
     }
     out.putU64(useClock_);
     ckpt::save(out, rng_);
@@ -175,15 +165,16 @@ void
 SramCache::loadState(ckpt::Deserializer &in)
 {
     const std::uint64_t n = in.getU64();
-    tdc_assert(n == lines_.size(),
+    tdc_assert(n == tags_.size(),
                "SRAM cache geometry mismatch on checkpoint restore "
-               "({} vs {} lines)", n, lines_.size());
-    for (Line &line : lines_) {
-        line.tag = in.getU64();
-        line.valid = in.getBool();
-        line.dirty = in.getBool();
-        line.lastUse = in.getU64();
-        line.fillTime = in.getU64();
+               "({} vs {} lines)", n, tags_.size());
+    for (std::size_t i = 0; i < tags_.size(); ++i) {
+        tags_[i] = in.getU64();
+        const bool valid = in.getBool();
+        const bool dirty = in.getBool();
+        state_[i] = (valid ? stValid : 0) | (dirty ? stDirty : 0);
+        lastUse_[i] = in.getU64();
+        fillTime_[i] = in.getU64();
     }
     useClock_ = in.getU64();
     ckpt::load(in, rng_);

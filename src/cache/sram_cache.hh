@@ -89,24 +89,38 @@ class SramCache : public SimObject, public ckpt::Checkpointable
     void loadState(ckpt::Deserializer &in) override;
 
   private:
-    struct Line
-    {
-        Addr tag = invalidAddr;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lastUse = 0;  //!< for LRU
-        std::uint64_t fillTime = 0; //!< for FIFO
-    };
+    // Structure-of-arrays line storage (set-major, way-minor): the
+    // way-scan on every access touches one contiguous run of tags (and
+    // one of state bytes) instead of striding over ~40-byte records.
+    // The checkpoint byte stream still serializes line-by-line in the
+    // original field order.
+    static constexpr std::uint8_t stValid = 1;
+    static constexpr std::uint8_t stDirty = 2;
 
-    std::uint64_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
-    Addr rebuildAddr(Addr tag, std::uint64_t set) const;
-    Line &selectVictim(std::uint64_t set);
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return (addr >> lineBits_) & (numSets_ - 1);
+    }
+
+    Addr tagOf(Addr addr) const { return addr >> (lineBits_ + setBits_); }
+
+    Addr
+    rebuildAddr(Addr tag, std::uint64_t set) const
+    {
+        return (tag << (lineBits_ + setBits_)) | (set << lineBits_);
+    }
+
+    std::size_t selectVictim(std::uint64_t set);
 
     SramCacheParams params_;
     unsigned numSets_;
     unsigned lineBits_;
-    std::vector<Line> lines_; //!< numSets_ * associativity, set-major
+    unsigned setBits_;
+    std::vector<Addr> tags_;
+    std::vector<std::uint8_t> state_; //!< stValid | stDirty
+    std::vector<std::uint64_t> lastUse_;  //!< for LRU
+    std::vector<std::uint64_t> fillTime_; //!< for FIFO
     std::uint64_t useClock_ = 0;
     Pcg32 rng_;
 

@@ -10,6 +10,7 @@
 #ifndef TDC_COMMON_RANDOM_HH
 #define TDC_COMMON_RANDOM_HH
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -131,6 +132,22 @@ class ZipfSampler
         }
         for (auto &v : cdf_)
             v /= sum;
+
+        // Quantized index: bucketLo_[b] is the first rank whose CDF
+        // reaches b/numBuckets. A draw u in [b/K, (b+1)/K) has its
+        // answer inside [bucketLo_[b], bucketLo_[b+1]], so the binary
+        // search starts on a tiny subrange. Pure search-space pruning:
+        // the comparison sequence endpoint is unchanged, so samples are
+        // bit-identical to the unindexed search.
+        bucketLo_.resize(numBuckets + 1);
+        for (std::size_t b = 0; b <= numBuckets; ++b) {
+            const double target =
+                static_cast<double>(b) / static_cast<double>(numBuckets);
+            const std::size_t idx = static_cast<std::size_t>(
+                std::lower_bound(cdf_.begin(), cdf_.end(), target)
+                - cdf_.begin());
+            bucketLo_[b] = idx < n ? idx : n - 1;
+        }
     }
 
     /** Draws a rank in [0, n); rank 0 is the most popular. */
@@ -138,7 +155,19 @@ class ZipfSampler
     sample(Pcg32 &rng) const
     {
         double u = rng.uniform();
-        std::size_t lo = 0, hi = cdf_.size() - 1;
+        std::size_t b = static_cast<std::size_t>(
+            u * static_cast<double>(numBuckets));
+        if (b >= numBuckets)
+            b = numBuckets - 1;
+        // The u*K product can round across an integer boundary; b/K is
+        // exact (K is a power of two), so one corrective step restores
+        // the invariant b/K <= u < (b+1)/K that the subrange relies on.
+        if (u < static_cast<double>(b) / numBuckets)
+            --b;
+        else if (b + 1 < numBuckets
+                 && u >= static_cast<double>(b + 1) / numBuckets)
+            ++b;
+        std::size_t lo = bucketLo_[b], hi = bucketLo_[b + 1];
         while (lo < hi) {
             std::size_t mid = (lo + hi) / 2;
             if (cdf_[mid] < u)
@@ -152,7 +181,10 @@ class ZipfSampler
     std::size_t size() const { return cdf_.size(); }
 
   private:
+    static constexpr std::size_t numBuckets = 1024;
+
     std::vector<double> cdf_;
+    std::vector<std::size_t> bucketLo_;
 };
 
 } // namespace tdc

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Lazily zero-filled flat array for huge, sparsely touched tables.
+ *
+ * std::vector value-initialization writes every byte eagerly, which for
+ * a multi-hundred-megabyte tag store costs more than the simulation
+ * that follows. calloc instead maps copy-on-write zero pages, so
+ * construction is O(1) in touched memory and untouched slots never
+ * fault in. Restricted to trivially-copyable, zero-initializable
+ * element types; elements are destroyed by free() without destructor
+ * calls.
+ */
+
+#ifndef TDC_COMMON_ZEROED_ARRAY_HH
+#define TDC_COMMON_ZEROED_ARRAY_HH
+
+#include <cstdlib>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace tdc {
+
+template <typename T>
+class ZeroedArray
+{
+    static_assert(std::is_trivially_copyable_v<T>
+                      && std::is_trivially_destructible_v<T>,
+                  "ZeroedArray requires trivial element types");
+
+  public:
+    ZeroedArray() = default;
+
+    explicit ZeroedArray(std::size_t n) { reset(n); }
+
+    ZeroedArray(ZeroedArray &&o) noexcept
+        : data_(std::exchange(o.data_, nullptr)),
+          size_(std::exchange(o.size_, 0))
+    {}
+
+    ZeroedArray &
+    operator=(ZeroedArray &&o) noexcept
+    {
+        if (this != &o) {
+            std::free(data_);
+            data_ = std::exchange(o.data_, nullptr);
+            size_ = std::exchange(o.size_, 0);
+        }
+        return *this;
+    }
+
+    ZeroedArray(const ZeroedArray &) = delete;
+    ZeroedArray &operator=(const ZeroedArray &) = delete;
+
+    ~ZeroedArray() { std::free(data_); }
+
+    /** Releases the old storage and allocates n zeroed elements. */
+    void
+    reset(std::size_t n)
+    {
+        std::free(data_);
+        data_ = nullptr;
+        size_ = 0;
+        if (n == 0)
+            return;
+        data_ = static_cast<T *>(std::calloc(n, sizeof(T)));
+        tdc_assert(data_ != nullptr, "ZeroedArray: allocation failed");
+        size_ = n;
+    }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+
+  private:
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace tdc
+
+#endif // TDC_COMMON_ZEROED_ARRAY_HH

@@ -2,6 +2,7 @@
 
 #include "ckpt/stats_io.hh"
 #include "common/bitops.hh"
+#include "dramcache/org_dispatch.hh"
 
 namespace tdc {
 
@@ -20,13 +21,11 @@ MemorySystem::MemorySystem(std::string name, EventQueue &eq, CoreId core,
     l1d_ = std::make_unique<SramCache>(n + ".l1d", eq, params.l1d);
     l2_ = std::make_unique<SramCache>(n + ".l2", eq, params.l2);
 
-    // Residence hooks keep the GIPT's TLB bit vector exact.
-    auto hook = [this](const TlbEntry &e, bool resident) {
-        org_.onTlbResidence(e, core_, resident);
-    };
-    itlb_->setResidenceHook(hook);
-    dtlb_->setResidenceHook(hook);
-    l2tlb_->setResidenceHook(hook);
+    // Residence listeners keep the GIPT's TLB bit vector exact; the
+    // direct listener avoids a std::function hop per insert/evict.
+    itlb_->setResidenceListener(&org_, core_);
+    dtlb_->setResidenceListener(&org_, core_);
+    l2tlb_->setResidenceListener(&org_, core_);
 
     auto &sg = statGroup();
     sg.addScalar("tlb_full_misses", &tlbFullMisses_,
@@ -49,9 +48,11 @@ MemorySystem::translate(AsidVpn key, bool ifetch, Tick when)
 {
     Tlb &l1tlb = ifetch ? *itlb_ : *dtlb_;
     // Probe the 2MB granularity only when the process uses superpages;
-    // hardware probes both granularities in parallel anyway.
+    // hardware probes both granularities in parallel anyway. The common
+    // (no-superpage) path never computes the super key at all.
     const bool use_super = pt_.hasSuperpages();
-    const AsidVpn super_key = makeSuperKey(pt_.proc(), vpnOf(key));
+    const AsidVpn super_key =
+        use_super ? makeSuperKey(pt_.proc(), vpnOf(key)) : 0;
 
     if (auto hit = l1tlb.lookup(key))
         return {*hit, when};
@@ -60,10 +61,8 @@ MemorySystem::translate(AsidVpn key, bool ifetch, Tick when)
             return {*hit, when};
     }
 
-    for (AsidVpn k : {key, super_key}) {
-        if (k == super_key && !use_super)
-            continue;
-        if (auto hit = l2tlb_->lookup(k)) {
+    for (unsigned probe = 0; probe < (use_super ? 2u : 1u); ++probe) {
+        if (auto hit = l2tlb_->lookup(probe == 0 ? key : super_key)) {
             // L2 TLB hit: refill the L1 TLB.
             Tick t = when + clk_.cyclesToTicks(params_.l2TlbHitPenalty);
             l1tlb.insert(*hit);
@@ -152,7 +151,7 @@ MemorySystem::access(Addr vaddr, AccessType type, Tick when)
 
     // L3 (the DRAM cache organization under evaluation).
     out.reachedL3 = true;
-    const L3Result l3 = org_.access(fa, type, core_, t);
+    const L3Result l3 = dispatchL3Access(org_, fa, type, core_, t);
     l3LatencyCycles_.sample(
         static_cast<double>(clk_.ticksToCycles(l3.completionTick - t)));
     out.completionTick = l3.completionTick;

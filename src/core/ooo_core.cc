@@ -12,6 +12,8 @@ OooCore::OooCore(std::string name, EventQueue &eq, CoreId core,
     : SimObject(std::move(name), eq), core_(core), params_(params),
       clk_(clk), trace_(trace), mem_(mem)
 {
+    outstanding_.init(params_.maxOutstanding);
+
     auto &sg = statGroup();
     sg.addScalar("insts", &insts_, "retired instructions");
     sg.addScalar("mem_refs", &memRefs_, "memory references");
@@ -26,7 +28,7 @@ OooCore::retireCompleted()
 {
     while (!outstanding_.empty()
            && outstanding_.front().completion <= now_) {
-        outstanding_.pop_front();
+        outstanding_.popFront();
     }
 }
 
@@ -87,7 +89,7 @@ OooCore::runUntil(Tick horizon, std::uint64_t inst_limit)
             // Pipelined L1 hit: no visible stall beyond issue.
             continue;
         }
-        outstanding_.push_back(
+        outstanding_.pushBack(
             Outstanding{res.completionTick, insts_.value()});
     }
 }
@@ -98,10 +100,10 @@ OooCore::saveState(ckpt::Serializer &out) const
     out.putU64(now_);
     out.putU64(carryInsts_);
     out.putU64(outstanding_.size());
-    for (const Outstanding &o : outstanding_) {
+    outstanding_.forEach([&out](const Outstanding &o) {
         out.putU64(o.completion);
         out.putU64(o.instNo);
-    }
+    });
     ckpt::save(out, insts_);
     ckpt::save(out, memRefs_);
     ckpt::save(out, mshrStalls_);
@@ -115,10 +117,13 @@ OooCore::loadState(ckpt::Deserializer &in)
     carryInsts_ = in.getU64();
     outstanding_.clear();
     const std::uint64_t n = in.getU64();
+    tdc_assert(n <= outstanding_.capacity(),
+               "outstanding-miss window too large on restore "
+               "({} vs capacity {})", n, outstanding_.capacity());
     for (std::uint64_t i = 0; i < n; ++i) {
         const Tick completion = in.getU64();
         const std::uint64_t inst_no = in.getU64();
-        outstanding_.push_back(Outstanding{completion, inst_no});
+        outstanding_.pushBack(Outstanding{completion, inst_no});
     }
     ckpt::load(in, insts_);
     ckpt::load(in, memRefs_);

@@ -21,9 +21,10 @@
 #ifndef TDC_CORE_OOO_CORE_HH
 #define TDC_CORE_OOO_CORE_HH
 
-#include <deque>
+#include <vector>
 
 #include "ckpt/checkpointable.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "core/core_params.hh"
 #include "core/memory_system.hh"
@@ -52,7 +53,8 @@ class OooCore : public SimObject, public ckpt::Checkpointable
     drain()
     {
         if (!outstanding_.empty()) {
-            now_ = std::max(now_, outstanding_.back().completion);
+            const Tick last = outstanding_.back().completion;
+            now_ = now_ > last ? now_ : last;
             outstanding_.clear();
         }
     }
@@ -111,6 +113,75 @@ class OooCore : public SimObject, public ckpt::Checkpointable
         std::uint64_t instNo;
     };
 
+    /**
+     * FIFO window of in-flight misses. The population is bounded by
+     * maxOutstanding (the MSHR stall pops before any push), so a ring
+     * over a fixed array replaces the deque: no allocation after
+     * construction and power-of-two masking for the index math.
+     */
+    class MissWindow
+    {
+      public:
+        void
+        init(std::size_t capacity)
+        {
+            std::size_t cap = 1;
+            while (cap < capacity)
+                cap <<= 1;
+            buf_.resize(cap);
+            mask_ = cap - 1;
+        }
+
+        bool empty() const { return count_ == 0; }
+        std::size_t size() const { return count_; }
+        std::size_t capacity() const { return buf_.size(); }
+
+        const Outstanding &front() const { return buf_[head_]; }
+
+        const Outstanding &
+        back() const
+        {
+            return buf_[(head_ + count_ - 1) & mask_];
+        }
+
+        void
+        pushBack(const Outstanding &o)
+        {
+            tdc_assert(count_ < buf_.size(), "miss window overflow");
+            buf_[(head_ + count_) & mask_] = o;
+            ++count_;
+        }
+
+        void
+        popFront()
+        {
+            head_ = (head_ + 1) & mask_;
+            --count_;
+        }
+
+        void
+        clear()
+        {
+            head_ = 0;
+            count_ = 0;
+        }
+
+        /** Visits entries oldest to newest (checkpoint emission). */
+        template <typename Fn>
+        void
+        forEach(Fn fn) const
+        {
+            for (std::size_t i = 0; i < count_; ++i)
+                fn(buf_[(head_ + i) & mask_]);
+        }
+
+      private:
+        std::vector<Outstanding> buf_;
+        std::size_t mask_ = 0;
+        std::size_t head_ = 0;
+        std::size_t count_ = 0;
+    };
+
     void retireCompleted();
 
     CoreId core_;
@@ -123,7 +194,7 @@ class OooCore : public SimObject, public ckpt::Checkpointable
     std::uint64_t carryInsts_ = 0; //!< sub-cycle issue remainder
     std::uint64_t milestone_ = 0;     //!< retire-probe interval (0: off)
     std::uint64_t nextMilestone_ = 0; //!< next boundary to cross
-    std::deque<Outstanding> outstanding_;
+    MissWindow outstanding_;
 
     stats::Scalar insts_;
     stats::Scalar memRefs_;

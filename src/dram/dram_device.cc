@@ -19,6 +19,10 @@ DramDevice::DramDevice(std::string name, EventQueue &eq,
         timing_.ranksPerChannel * timing_.banksPerRank;
     tdc_assert(isPowerOf2(banks_per_channel), "banks must be 2^n");
 
+    rowBits_ = floorLog2(timing_.rowBytes);
+    chanBits_ = floorLog2(timing_.channels);
+    bankBits_ = floorLog2(banks_per_channel);
+
     banks_.assign(timing_.channels,
                   std::vector<Bank>(banks_per_channel));
     busFree_.assign(timing_.channels, 0);
@@ -68,17 +72,11 @@ DramDevice::decode(Addr addr) const
     // Address layout (low to high): row offset | channel | bank | row.
     // Interleaving consecutive rows across channels then banks spreads
     // page-grained traffic for bank-level parallelism.
-    const unsigned row_bits = floorLog2(timing_.rowBytes);
-    const unsigned chan_bits = floorLog2(timing_.channels);
-    const unsigned banks_per_channel =
-        timing_.ranksPerChannel * timing_.banksPerRank;
-    const unsigned bank_bits = floorLog2(banks_per_channel);
-
     Decoded d;
-    d.channel = static_cast<unsigned>(bits(addr, row_bits, chan_bits));
+    d.channel = static_cast<unsigned>(bits(addr, rowBits_, chanBits_));
     d.bankIndex =
-        static_cast<unsigned>(bits(addr, row_bits + chan_bits, bank_bits));
-    d.row = addr >> (row_bits + chan_bits + bank_bits);
+        static_cast<unsigned>(bits(addr, rowBits_ + chanBits_, bankBits_));
+    d.row = addr >> (rowBits_ + chanBits_ + bankBits_);
     return d;
 }
 

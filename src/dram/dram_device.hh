@@ -118,6 +118,12 @@ class DramDevice : public SimObject, public ckpt::Checkpointable
 
     Decoded decode(Addr addr) const;
 
+    // Address-decode shift/width constants, fixed by geometry at
+    // construction so decode() is pure bit math on the hot path.
+    unsigned rowBits_ = 0;
+    unsigned chanBits_ = 0;
+    unsigned bankBits_ = 0;
+
     DramTimingParams timing_;
     DramEnergyParams energyParams_;
     DramEnergyCounter energy_;

@@ -11,7 +11,9 @@ AlloyCache::AlloyCache(std::string name, EventQueue &eq,
     : DramCacheOrg(std::move(name), eq, in_pkg, off_pkg, phys, cpu_clk),
       params_(params)
 {
-    tags_.assign(params_.cacheBytes / params_.tadBytes, TagEntry{});
+    numSlots_ = params_.cacheBytes / params_.tadBytes;
+    linesP1_.reset(numSlots_);
+    state_.reset(numSlots_);
     statGroup().addScalar("dirty_evictions", &dirtyEvictions_);
 }
 
@@ -22,7 +24,6 @@ AlloyCache::access(Addr addr, AccessType type, CoreId core, Tick when)
     tdc_assert(!isCaSpace(addr), "Alloy cache saw a cache address");
     const std::uint64_t line = lineOf(addr);
     const std::uint64_t slot = slotOf(line);
-    TagEntry &tag = tags_[slot];
     const bool write = isWrite(type);
 
     // One TAD burst reads tag and data together. Keep the burst within
@@ -35,27 +36,28 @@ AlloyCache::access(Addr addr, AccessType type, CoreId core, Tick when)
         inPkg_.access(dev, burst, false, when).completionTick;
 
     L3Result res;
-    if (tag.valid && tag.line == line) {
-        tag.dirty |= write;
-        if (write)
+    if ((state_[slot] & stValid) && linesP1_[slot] == line + 1) {
+        if (write) {
+            state_[slot] |= stDirty;
             inPkg_.postedWrite(dev, cacheLineBytes, probe);
+        }
         res.completionTick = probe;
         res.servicedInPackage = true;
         res.l3Hit = true;
     } else {
         // Conflict miss: fetch the block off-package, evicting the slot.
-        if (tag.valid && tag.dirty) {
-            offPkgBlockAccess(tag.line >> (pageBits - cacheLineBits),
-                              (tag.line << cacheLineBits) & mask(pageBits),
+        if ((state_[slot] & (stValid | stDirty)) == (stValid | stDirty)) {
+            const std::uint64_t old = linesP1_[slot] - 1;
+            offPkgBlockAccess(old >> (pageBits - cacheLineBits),
+                              (old << cacheLineBits) & mask(pageBits),
                               true, probe);
             ++dirtyEvictions_;
         }
         const Tick fetched = offPkgBlockAccess(
             frameNumOf(addr), pageOffset(addr), false, probe);
         inPkg_.postedWrite(dev, burst, fetched); // background install
-        tag.valid = true;
-        tag.line = line;
-        tag.dirty = write;
+        linesP1_[slot] = line + 1;
+        state_[slot] = write ? (stValid | stDirty) : stValid;
         res.completionTick = fetched;
         res.servicedInPackage = false;
         res.l3Hit = false;
@@ -70,9 +72,8 @@ AlloyCache::writebackLine(Addr addr, CoreId core, Tick when)
     (void)core;
     const std::uint64_t line = lineOf(addr);
     const std::uint64_t slot = slotOf(line);
-    TagEntry &tag = tags_[slot];
-    if (tag.valid && tag.line == line) {
-        tag.dirty = true;
+    if ((state_[slot] & stValid) && linesP1_[slot] == line + 1) {
+        state_[slot] |= stDirty;
         inPkg_.postedWrite(slotAddr(slot), cacheLineBytes, when);
     } else {
         offPkgBlockAccess(frameNumOf(addr), pageOffset(addr), true, when);
@@ -82,11 +83,11 @@ AlloyCache::writebackLine(Addr addr, CoreId core, Tick when)
 void
 AlloyCache::saveOrgState(ckpt::Serializer &out) const
 {
-    out.putU64(tags_.size());
-    for (const TagEntry &t : tags_) {
-        out.putU64(t.line);
-        out.putBool(t.valid);
-        out.putBool(t.dirty);
+    out.putU64(numSlots_);
+    for (std::uint64_t i = 0; i < numSlots_; ++i) {
+        out.putU64(linesP1_[i] - 1);
+        out.putBool((state_[i] & stValid) != 0);
+        out.putBool((state_[i] & stDirty) != 0);
     }
     ckpt::save(out, dirtyEvictions_);
 }
@@ -95,12 +96,13 @@ void
 AlloyCache::loadOrgState(ckpt::Deserializer &in)
 {
     const std::uint64_t n = in.getU64();
-    tdc_assert(n == tags_.size(),
+    tdc_assert(n == numSlots_,
                "Alloy cache geometry mismatch on checkpoint restore");
-    for (TagEntry &t : tags_) {
-        t.line = in.getU64();
-        t.valid = in.getBool();
-        t.dirty = in.getBool();
+    for (std::uint64_t i = 0; i < numSlots_; ++i) {
+        linesP1_[i] = in.getU64() + 1;
+        const bool valid = in.getBool();
+        const bool dirty = in.getBool();
+        state_[i] = (valid ? stValid : 0) | (dirty ? stDirty : 0);
     }
     ckpt::load(in, dirtyEvictions_);
 }

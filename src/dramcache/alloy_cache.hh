@@ -16,8 +16,8 @@
 #define TDC_DRAMCACHE_ALLOY_CACHE_HH
 
 #include <cstdint>
-#include <vector>
 
+#include "common/zeroed_array.hh"
 #include "dramcache/dram_cache_org.hh"
 
 namespace tdc {
@@ -29,7 +29,7 @@ struct AlloyCacheParams
     unsigned tadBytes = 72;
 };
 
-class AlloyCache : public DramCacheOrg
+class AlloyCache final : public DramCacheOrg
 {
   public:
     AlloyCache(std::string name, EventQueue &eq, DramDevice &in_pkg,
@@ -45,7 +45,7 @@ class AlloyCache : public DramCacheOrg
     std::string_view kind() const override { return "Alloy"; }
 
     /** Usable data blocks (capacity lost to in-DRAM tags). */
-    std::uint64_t dataBlocks() const { return tags_.size(); }
+    std::uint64_t dataBlocks() const { return numSlots_; }
 
   protected:
     void saveOrgState(ckpt::Serializer &out) const override;
@@ -54,7 +54,7 @@ class AlloyCache : public DramCacheOrg
   private:
     std::uint64_t slotOf(std::uint64_t line) const
     {
-        return line % tags_.size();
+        return line % numSlots_;
     }
 
     /** In-package device byte address of a TAD slot. */
@@ -64,15 +64,19 @@ class AlloyCache : public DramCacheOrg
         return slot * params_.tadBytes;
     }
 
-    struct TagEntry
-    {
-        std::uint64_t line = ~0ULL;
-        bool valid = false;
-        bool dirty = false;
-    };
+    static constexpr std::uint8_t stValid = 1;
+    static constexpr std::uint8_t stDirty = 2;
 
     AlloyCacheParams params_;
-    std::vector<TagEntry> tags_;
+    std::uint64_t numSlots_ = 0;
+    // Tag store as zero-page-backed arrays: a 1 GiB cache has ~15M
+    // slots and eagerly initializing them dwarfed short runs. Lines
+    // are stored biased by +1 so the all-zero fresh state means
+    // "empty" (0 == no line); the checkpoint stream still emits the
+    // unbiased value, byte-identical to the old TagEntry emission
+    // (untouched slots save as ~0).
+    ZeroedArray<std::uint64_t> linesP1_;
+    ZeroedArray<std::uint8_t> state_; //!< stValid | stDirty
 
     stats::Scalar dirtyEvictions_;
 };

@@ -14,7 +14,7 @@
 
 namespace tdc {
 
-class BankInterleave : public DramCacheOrg
+class BankInterleave final : public DramCacheOrg
 {
   public:
     using DramCacheOrg::DramCacheOrg;

@@ -52,7 +52,9 @@ struct L3Result
     bool l3Hit = false; //!< for orgs with a hit/miss notion
 };
 
-class DramCacheOrg : public SimObject, public ckpt::Checkpointable
+class DramCacheOrg : public SimObject,
+                     public ckpt::Checkpointable,
+                     public TlbResidenceListener
 {
   public:
     /**
@@ -95,8 +97,19 @@ class DramCacheOrg : public SimObject, public ckpt::Checkpointable
     virtual void writebackLine(Addr addr, CoreId core, Tick when);
 
     /** TLB insert/evict notification for residence tracking. */
-    virtual void onTlbResidence(const TlbEntry &entry, CoreId core,
-                                bool resident);
+    void onTlbResidence(const TlbEntry &entry, CoreId core,
+                        bool resident) override;
+
+    /**
+     * Static-dispatch id for the per-access fast path: the concrete
+     * organizations set this to their OrgKind value so hot call sites
+     * can switch + static_cast instead of paying a virtual call (see
+     * org_dispatch.hh). -1 means "unknown; use the virtual call".
+     */
+    int orgKindId() const { return orgKindId_; }
+
+    /** Stamped by the factory (static_cast<int>(OrgKind)). */
+    void setOrgKindId(int id) { orgKindId_ = id; }
 
     /** Name used in reports ("cTLB", "SRAM", ...). */
     virtual std::string_view kind() const = 0;
@@ -186,6 +199,7 @@ class DramCacheOrg : public SimObject, public ckpt::Checkpointable
     const ClockDomain &cpuClk_;
     PageInvalidator invalidator_;
     ShootdownFn shootdown_;
+    int orgKindId_ = -1; //!< set by concrete orgs (OrgKind value)
 
     stats::Scalar accesses_;
     stats::Scalar hitsInPkg_;

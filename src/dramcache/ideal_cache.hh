@@ -12,7 +12,7 @@
 
 namespace tdc {
 
-class IdealCache : public DramCacheOrg
+class IdealCache final : public DramCacheOrg
 {
   public:
     using DramCacheOrg::DramCacheOrg;

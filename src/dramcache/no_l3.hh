@@ -11,7 +11,7 @@
 
 namespace tdc {
 
-class NoL3 : public DramCacheOrg
+class NoL3 final : public DramCacheOrg
 {
   public:
     using DramCacheOrg::DramCacheOrg;

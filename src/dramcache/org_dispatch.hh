@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Devirtualized dispatch for the hottest DramCacheOrg entry point.
+ *
+ * Every post-L2 demand access pays DramCacheOrg::access(); per-core
+ * MemorySystems call it through this helper instead, which switches on
+ * the factory-stamped orgKindId() and static_casts to the final
+ * concrete class. Because every organization class is `final`, the
+ * compiler resolves the call target statically (and may inline it).
+ * An unstamped organization (id -1, e.g. one constructed directly in a
+ * unit test) falls back to the ordinary virtual call, so behavior is
+ * identical either way.
+ */
+
+#ifndef TDC_DRAMCACHE_ORG_DISPATCH_HH
+#define TDC_DRAMCACHE_ORG_DISPATCH_HH
+
+#include "dramcache/alloy_cache.hh"
+#include "dramcache/bank_interleave.hh"
+#include "dramcache/dram_cache_org.hh"
+#include "dramcache/ideal_cache.hh"
+#include "dramcache/no_l3.hh"
+#include "dramcache/org_factory.hh"
+#include "dramcache/sram_tag_cache.hh"
+#include "dramcache/tagless_cache.hh"
+
+namespace tdc {
+
+inline L3Result
+dispatchL3Access(DramCacheOrg &org, Addr addr, AccessType type,
+                 CoreId core, Tick when)
+{
+    switch (static_cast<OrgKind>(org.orgKindId())) {
+      case OrgKind::NoL3:
+        return static_cast<NoL3 &>(org).access(addr, type, core, when);
+      case OrgKind::BankInterleave:
+        return static_cast<BankInterleave &>(org).access(addr, type,
+                                                         core, when);
+      case OrgKind::SramTag:
+        return static_cast<SramTagCache &>(org).access(addr, type, core,
+                                                       when);
+      case OrgKind::Tagless:
+        return static_cast<TaglessCache &>(org).access(addr, type, core,
+                                                       when);
+      case OrgKind::Ideal:
+        return static_cast<IdealCache &>(org).access(addr, type, core,
+                                                     when);
+      case OrgKind::Alloy:
+        return static_cast<AlloyCache &>(org).access(addr, type, core,
+                                                     when);
+    }
+    return org.access(addr, type, core, when);
+}
+
+} // namespace tdc
+
+#endif // TDC_DRAMCACHE_ORG_DISPATCH_HH

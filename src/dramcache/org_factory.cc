@@ -76,6 +76,7 @@ makeDramCacheOrg(OrgKind kind, const Config &cfg, EventQueue &eq,
         replPolicyFromString(cfg.getString(
             "l3.policy", kind == OrgKind::SramTag ? "lru" : "fifo"));
 
+    auto org = [&]() -> std::unique_ptr<DramCacheOrg> {
     switch (kind) {
       case OrgKind::NoL3:
         return std::make_unique<NoL3>("l3_nol3", eq, in_pkg, off_pkg,
@@ -117,6 +118,11 @@ makeDramCacheOrg(OrgKind kind, const Config &cfg, EventQueue &eq,
       }
     }
     tdc_panic("unreachable");
+    }();
+    // Stamp the static-dispatch id so hot call sites can bypass the
+    // virtual access() dispatch (org_dispatch.hh).
+    org->setOrgKindId(static_cast<int>(kind));
+    return org;
 }
 
 } // namespace tdc

@@ -43,7 +43,7 @@ Cycles sramTagLatencyForSize(std::uint64_t cache_bytes);
 /** Tag array size in bytes for a given cache size (Table 6). */
 std::uint64_t sramTagBytesForSize(std::uint64_t cache_bytes);
 
-class SramTagCache : public DramCacheOrg
+class SramTagCache final : public DramCacheOrg
 {
   public:
     SramTagCache(std::string name, EventQueue &eq, DramDevice &in_pkg,

@@ -67,7 +67,7 @@ struct TaglessCacheParams
     std::size_t filterTableSize = 1 << 16;
 };
 
-class TaglessCache : public DramCacheOrg
+class TaglessCache final : public DramCacheOrg
 {
   public:
     TaglessCache(std::string name, EventQueue &eq, DramDevice &in_pkg,

@@ -82,9 +82,18 @@ warmConfigFor(const JobSpec &job)
  * warmup + measure in full, so a corrupt shared state can never fail a
  * job permanently.
  */
+/** Median of a non-empty sample set (midpoint average for even n). */
+double
+medianOf(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    return n % 2 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2.0;
+}
+
 JobResult
 runOne(const JobSpec &job, double timeout_s, bool retry,
-       const ckpt::Checkpoint *warm = nullptr)
+       unsigned repeat, const ckpt::Checkpoint *warm = nullptr)
 {
     JobResult r;
     r.label = job.label;
@@ -117,6 +126,23 @@ runOne(const JobSpec &job, double timeout_s, bool retry,
                 return r; // retrying would blow the budget again
             }
             r.result = std::move(rr);
+            if (repeat > 1) {
+                // Median-of-N timing: the simulation is deterministic,
+                // so extra repetitions only firm up the host timing.
+                std::vector<double> walls{r.wallSeconds};
+                for (unsigned rep = 1; rep < repeat; ++rep) {
+                    const auto rt0 = Clock::now();
+                    System rsys(cfg);
+                    if (warm != nullptr && attempt == 1) {
+                        rsys.restoreCheckpoint(*warm);
+                        rsys.measure();
+                    } else {
+                        rsys.run();
+                    }
+                    walls.push_back(secondsSince(rt0));
+                }
+                r.wallSeconds = medianOf(std::move(walls));
+            }
             r.kips = r.wallSeconds > 0.0
                          ? static_cast<double>(r.result.totalInsts)
                                / r.wallSeconds / 1000.0
@@ -186,6 +212,7 @@ SweepRunner::run(const SweepManifest &manifest) const
     std::atomic<unsigned> done{0};
     const bool progress = opt_.progress;
     const bool retry = opt_.retryOnFailure;
+    const unsigned repeat = std::max(opt_.repeat, 1u);
     const double timeout_s = manifest.timeoutSeconds;
 
     // Phase 1 (shareWarmups): one warm System per distinct warm
@@ -258,8 +285,8 @@ SweepRunner::run(const SweepManifest &manifest) const
         pending.reserve(n);
         for (unsigned i = 0; i < n; ++i) {
             pending.push_back(pool.submit([&, i] {
-                results[i] =
-                    runOne(manifest.jobs[i], timeout_s, retry, warm[i]);
+                results[i] = runOne(manifest.jobs[i], timeout_s, retry,
+                                    repeat, warm[i]);
                 const unsigned d = ++done;
                 if (progress)
                     progressLine(results[i], d, n);

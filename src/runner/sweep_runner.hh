@@ -66,6 +66,14 @@ struct SweepOptions
     bool retryOnFailure = true;
 
     /**
+     * Timing repetitions per job (median-of-N wall clock / KIPS).
+     * Results are deterministic, so only the first repetition's
+     * simulation output is kept; extra repetitions re-run the same
+     * design point purely to stabilize the host-timing estimate.
+     */
+    unsigned repeat = 1;
+
+    /**
      * "Warm once, restore many": jobs whose warm-relevant
      * configuration hashes (warmFingerprint) match are grouped; one
      * System per group runs the warmup and is checkpointed in memory,

@@ -5,14 +5,26 @@
  * Events are callbacks scheduled at absolute ticks. Ties are broken by
  * insertion order (FIFO among equal ticks) so simulations are
  * deterministic. The queue is single-threaded by design.
+ *
+ * Allocation discipline: callbacks are stored in EventCallback, a
+ * move-only small-buffer functor -- captures up to its inline buffer
+ * are stored in place, so scheduling a typical lambda performs no heap
+ * allocation (std::function offers no such guarantee). The pending set
+ * is a plain vector maintained with std::push_heap/std::pop_heap;
+ * step() extracts the front entry by moving it out of the vector's
+ * tail, replacing the old const_cast-move-out-of-priority_queue::top
+ * pattern, and callbacks may schedule freely while they run.
  */
 
 #ifndef TDC_SIM_EVENT_QUEUE_HH
 #define TDC_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -20,10 +32,115 @@
 
 namespace tdc {
 
+/**
+ * Move-only callable wrapper with small-buffer optimization. Callables
+ * that fit the inline buffer (and are nothrow-movable) live in place;
+ * larger ones fall back to a single heap cell.
+ */
+class EventCallback
+{
+  public:
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    EventCallback(F &&f) // NOLINT: implicit by design (like std::function)
+    {
+        using D = std::decay_t<F>;
+        if constexpr (sizeof(D) <= bufBytes
+                      && alignof(D) <= alignof(std::max_align_t)
+                      && std::is_nothrow_move_constructible_v<D>) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>;
+        } else {
+            *reinterpret_cast<D **>(buf_) = new D(std::forward<F>(f));
+            ops_ = &heapOps<D>;
+        }
+    }
+
+    EventCallback(EventCallback &&o) noexcept { moveFrom(o); }
+
+    EventCallback &
+    operator=(EventCallback &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        tdc_assert(ops_ != nullptr, "invoking empty EventCallback");
+        ops_->call(buf_);
+    }
+
+  private:
+    struct Ops
+    {
+        void (*call)(void *self);
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *self) noexcept;
+    };
+
+    static constexpr std::size_t bufBytes = 48;
+
+    template <typename D>
+    static constexpr Ops inlineOps{
+        [](void *p) { (*static_cast<D *>(p))(); },
+        [](void *dst, void *src) noexcept {
+            ::new (dst) D(std::move(*static_cast<D *>(src)));
+            static_cast<D *>(src)->~D();
+        },
+        [](void *p) noexcept { static_cast<D *>(p)->~D(); },
+    };
+
+    template <typename D>
+    static constexpr Ops heapOps{
+        [](void *p) { (**static_cast<D **>(p))(); },
+        [](void *dst, void *src) noexcept {
+            *static_cast<D **>(dst) = *static_cast<D **>(src);
+        },
+        [](void *p) noexcept { delete *static_cast<D **>(p); },
+    };
+
+    void
+    moveFrom(EventCallback &o) noexcept
+    {
+        if (o.ops_ != nullptr) {
+            ops_ = o.ops_;
+            ops_->relocate(buf_, o.buf_);
+            o.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[bufBytes];
+    const Ops *ops_ = nullptr;
+};
+
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -38,7 +155,8 @@ class EventQueue
     {
         tdc_assert(when >= now_, "scheduling into the past: {} < {}",
                    when, now_);
-        heap_.push(Entry{when, seq_++, std::move(cb)});
+        heap_.push_back(Entry{when, seq_++, std::move(cb)});
+        std::push_heap(heap_.begin(), heap_.end(), laterThan);
     }
 
     /** Schedules cb delta ticks in the future. */
@@ -55,7 +173,7 @@ class EventQueue
     Tick
     nextEventTick() const
     {
-        return heap_.empty() ? maxTick : heap_.top().when;
+        return heap_.empty() ? maxTick : heap_.front().when;
     }
 
     /**
@@ -67,10 +185,11 @@ class EventQueue
     {
         if (heap_.empty())
             return false;
-        // Move the callback out before popping so that the callback may
-        // schedule new events without invalidating the entry.
-        Entry top = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
+        // Move the entry out of the heap before invoking it so that
+        // the callback may schedule new events freely.
+        std::pop_heap(heap_.begin(), heap_.end(), laterThan);
+        Entry top = std::move(heap_.back());
+        heap_.pop_back();
         now_ = top.when;
         top.cb();
         ++executed_;
@@ -81,7 +200,7 @@ class EventQueue
     void
     run(Tick limit = maxTick)
     {
-        while (!heap_.empty() && heap_.top().when <= limit)
+        while (!heap_.empty() && heap_.front().when <= limit)
             step();
         if (now_ < limit && limit != maxTick)
             now_ = limit;
@@ -92,7 +211,7 @@ class EventQueue
     advanceTo(Tick when)
     {
         tdc_assert(when >= now_, "advancing into the past");
-        tdc_assert(heap_.empty() || heap_.top().when >= when,
+        tdc_assert(heap_.empty() || heap_.front().when >= when,
                    "advancing past a pending event");
         now_ = when;
     }
@@ -125,15 +244,17 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         Callback cb;
-
-        bool
-        operator>(const Entry &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    /** Min-heap order on (when, seq): unique keys, so the heap pops a
+     *  deterministic FIFO order among equal ticks. */
+    static bool
+    laterThan(const Entry &a, const Entry &b)
+    {
+        return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+
+    std::vector<Entry> heap_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;

@@ -73,18 +73,28 @@ PageTable::PageTable(std::string name, EventQueue &eq, ProcId proc,
                           "pages allocated on first touch");
 }
 
-Pte *
-PageTable::find(PageNum vpn)
+PageTable::Chunk &
+PageTable::ensureChunk(PageNum num)
 {
-    auto it = table_.find(vpn);
-    return it == table_.end() ? nullptr : &it->second;
+    if (num == memoNum_)
+        return *memoChunk_;
+    auto [it, fresh] = chunks_.try_emplace(num);
+    if (fresh)
+        it->second = std::make_unique<Chunk>();
+    memoNum_ = num;
+    memoChunk_ = it->second.get();
+    return *memoChunk_;
 }
 
-const Pte *
-PageTable::find(PageNum vpn) const
+Pte &
+PageTable::emplace4k(PageNum vpn, const Pte &pte)
 {
-    auto it = table_.find(vpn);
-    return it == table_.end() ? nullptr : &it->second;
+    Pte &slot = ensureChunk(vpn >> chunkBits).ptes[vpn & chunkMask];
+    if (!slot.valid) {
+        slot = pte;
+        ++count4k_;
+    }
+    return slot;
 }
 
 Pte *
@@ -109,7 +119,7 @@ PageTable::installSuperpage(PageNum base_vpn)
     tdc_assert(table2m_.count(base_vpn / pagesPerSuperpage) == 0,
                "superpage already installed");
     for (PageNum v = base_vpn; v < base_vpn + pagesPerSuperpage; ++v) {
-        tdc_assert(table_.count(v) == 0,
+        tdc_assert(find(v) == nullptr,
                    "vpn {} already mapped at 4K granularity", v);
     }
 
@@ -140,7 +150,7 @@ PageTable::splitSuperpage(PageNum base_vpn)
         pte.nc = sp.nc;
         pte.proc = proc_;
         pte.vpn = base_vpn + i;
-        table_.emplace(base_vpn + i, pte);
+        emplace4k(base_vpn + i, pte);
     }
     table2m_.erase(it);
 }
@@ -148,26 +158,29 @@ PageTable::splitSuperpage(PageNum base_vpn)
 Pte &
 PageTable::walk(PageNum vpn)
 {
-    if (Pte *sp = findSuperpage(vpn))
-        return *sp;
+    if (hasSuperpages()) {
+        if (Pte *sp = findSuperpage(vpn))
+            return *sp;
+    }
 
-    auto it = table_.find(vpn);
-    if (it != table_.end())
-        return it->second;
+    Pte &slot = ensureChunk(vpn >> chunkBits).ptes[vpn & chunkMask];
+    if (slot.valid)
+        return slot;
 
-    Pte pte;
-    pte.frame = phys_.allocPage();
-    pte.valid = true;
-    pte.proc = proc_;
-    pte.vpn = vpn;
-    auto hint = ncHints_.find(vpn);
-    if (hint != ncHints_.end())
-        pte.nc = hint->second;
+    slot.frame = phys_.allocPage();
+    slot.valid = true;
+    slot.proc = proc_;
+    slot.vpn = vpn;
+    if (!ncHints_.empty()) {
+        auto hint = ncHints_.find(vpn);
+        if (hint != ncHints_.end())
+            slot.nc = hint->second;
+    }
     ++demandAllocs_;
-    Pte &ref = table_.emplace(vpn, pte).first->second;
+    ++count4k_;
     if (hook_)
-        hook_(ref);
-    return ref;
+        hook_(slot);
+    return slot;
 }
 
 void
@@ -181,7 +194,25 @@ PageTable::setNonCacheableHint(PageNum vpn)
 void
 PageTable::saveState(ckpt::Serializer &out) const
 {
-    putPteMap(out, table_);
+    // 4 KiB mappings, sorted by vpn: sorted chunk numbers, ascending
+    // offsets within each chunk -- byte-identical to the sorted-map
+    // emission this storage replaced.
+    std::vector<PageNum> chunk_nums;
+    chunk_nums.reserve(chunks_.size());
+    for (const auto &kv : chunks_)
+        chunk_nums.push_back(kv.first);
+    std::sort(chunk_nums.begin(), chunk_nums.end());
+    out.putU64(count4k_);
+    for (PageNum num : chunk_nums) {
+        const Chunk &c = *chunks_.at(num);
+        for (PageNum off = 0; off <= chunkMask; ++off) {
+            const Pte &p = c.ptes[off];
+            if (!p.valid)
+                continue;
+            out.putU64((num << chunkBits) | off);
+            putPte(out, p);
+        }
+    }
     putPteMap(out, table2m_);
 
     std::vector<PageNum> hint_keys;
@@ -201,7 +232,15 @@ PageTable::saveState(ckpt::Serializer &out) const
 void
 PageTable::loadState(ckpt::Deserializer &in)
 {
-    getPteMap(in, table_);
+    chunks_.clear();
+    memoNum_ = invalidPage;
+    memoChunk_ = nullptr;
+    count4k_ = 0;
+    const std::uint64_t n4k = in.getU64();
+    for (std::uint64_t i = 0; i < n4k; ++i) {
+        const PageNum k = in.getU64();
+        emplace4k(k, getPte(in));
+    }
     getPteMap(in, table2m_);
 
     ncHints_.clear();

@@ -2,17 +2,24 @@
  * @file
  * Per-process page table.
  *
- * Entries live in node-based storage so that Pte* pointers remain stable
+ * Entries live in chunked storage so that Pte* pointers remain stable
  * for the lifetime of the process -- the GIPT stores such pointers
  * (PTEP field) to rewrite PTEs at eviction time, exactly as the paper's
- * hardware stores the PTE's physical address.
+ * hardware stores the PTE's physical address. A chunk is a fixed array
+ * of PTEs covering a contiguous VPN range (presence = Pte::valid);
+ * chunks are allocated on demand, never moved and never freed, and a
+ * one-entry memo makes repeated walks within a region a single array
+ * index instead of a hash lookup. 4 KiB mappings are never removed, so
+ * stability is structural, not incidental.
  */
 
 #ifndef TDC_VM_PAGE_TABLE_HH
 #define TDC_VM_PAGE_TABLE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "ckpt/checkpointable.hh"
@@ -36,8 +43,21 @@ class PageTable : public SimObject, public ckpt::Checkpointable
     ProcId proc() const { return proc_; }
 
     /** Finds an existing mapping; nullptr if the VPN was never touched. */
-    Pte *find(PageNum vpn);
-    const Pte *find(PageNum vpn) const;
+    Pte *
+    find(PageNum vpn)
+    {
+        Chunk *c = chunkFor(vpn >> chunkBits);
+        if (c == nullptr)
+            return nullptr;
+        Pte &p = c->ptes[vpn & chunkMask];
+        return p.valid ? &p : nullptr;
+    }
+
+    const Pte *
+    find(PageNum vpn) const
+    {
+        return const_cast<PageTable *>(this)->find(vpn);
+    }
 
     /**
      * Finds or demand-allocates the mapping for vpn. A fresh mapping
@@ -71,8 +91,8 @@ class PageTable : public SimObject, public ckpt::Checkpointable
     /** Marks future first-touches of this vpn non-cacheable. */
     void setNonCacheableHint(PageNum vpn);
 
-    /** Installed mappings count. */
-    std::size_t size() const { return table_.size(); }
+    /** Installed 4 KiB mappings count. */
+    std::size_t size() const { return count4k_; }
 
     /** Read-only visit of every installed PTE, 4 KiB then 2 MiB
      *  mappings (invariant auditing). */
@@ -80,8 +100,11 @@ class PageTable : public SimObject, public ckpt::Checkpointable
     void
     forEachPte(Fn fn) const
     {
-        for (const auto &[vpn, pte] : table_)
-            fn(pte);
+        for (const auto &[num, chunk] : chunks_) {
+            for (const Pte &p : chunk->ptes)
+                if (p.valid)
+                    fn(p);
+        }
         for (const auto &[spn, pte] : table2m_)
             fn(pte);
     }
@@ -93,17 +116,46 @@ class PageTable : public SimObject, public ckpt::Checkpointable
 
     /**
      * Checkpointing. Entries are emitted sorted by key so the byte
-     * stream is independent of unordered_map iteration order;
-     * loadState() installs mappings directly (no demand allocation,
-     * no first-touch hook).
+     * stream is independent of storage layout (and identical to the
+     * earlier sorted-map emission); loadState() installs mappings
+     * directly (no demand allocation, no first-touch hook).
      */
     void saveState(ckpt::Serializer &out) const override;
     void loadState(ckpt::Deserializer &in) override;
 
   private:
+    /** 4096 PTEs (16 MiB of VA) per chunk. */
+    static constexpr unsigned chunkBits = 12;
+    static constexpr PageNum chunkMask = (PageNum{1} << chunkBits) - 1;
+
+    struct Chunk
+    {
+        std::array<Pte, std::size_t{1} << chunkBits> ptes{};
+    };
+
+    Chunk *
+    chunkFor(PageNum num) const
+    {
+        if (num == memoNum_)
+            return memoChunk_;
+        auto it = chunks_.find(num);
+        if (it == chunks_.end())
+            return nullptr;
+        memoNum_ = num;
+        memoChunk_ = it->second.get();
+        return memoChunk_;
+    }
+
+    Chunk &ensureChunk(PageNum num);
+    /** Installs pte at its vpn unless already present (emplace idiom). */
+    Pte &emplace4k(PageNum vpn, const Pte &pte);
+
     ProcId proc_;
     PhysMem &phys_;
-    std::unordered_map<PageNum, Pte> table_;
+    std::unordered_map<PageNum, std::unique_ptr<Chunk>> chunks_;
+    mutable PageNum memoNum_ = invalidPage;
+    mutable Chunk *memoChunk_ = nullptr;
+    std::size_t count4k_ = 0;
     /** 2 MiB mappings, keyed by vpn >> 9 (superpage number). */
     std::unordered_map<PageNum, Pte> table2m_;
     std::unordered_map<PageNum, bool> ncHints_;

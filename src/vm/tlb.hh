@@ -11,6 +11,13 @@
  * with (process, vpn) keys so multi-programmed mixes do not alias.
  * Insert/evict hooks let the tagless DRAM cache maintain the GIPT's
  * TLB-residence bit vector.
+ *
+ * Storage is a flat slot array sized at construction: the recency stack
+ * is an intrusive doubly-linked list of slot indices and the key index
+ * is an open-addressing table, so steady-state lookup/insert/evict
+ * perform no heap allocation. Replacement order, hook firing order and
+ * the checkpoint byte format are identical to the earlier list+map
+ * implementation.
  */
 
 #ifndef TDC_VM_TLB_HH
@@ -18,9 +25,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "ckpt/checkpointable.hh"
 #include "common/stats.hh"
@@ -41,6 +47,22 @@ struct TlbEntry
     PageType type = PageType::Page4K;
 };
 
+/**
+ * Direct residence-notification interface: one virtual call instead of
+ * a std::function hop on the insert/evict fast path. DramCacheOrg
+ * implements it; tests that need ad-hoc callbacks use the std::function
+ * hook instead (both fire when both are set).
+ */
+class TlbResidenceListener
+{
+  public:
+    virtual void onTlbResidence(const TlbEntry &entry, CoreId core,
+                                bool resident) = 0;
+
+  protected:
+    ~TlbResidenceListener() = default;
+};
+
 class Tlb : public SimObject, public ckpt::Checkpointable
 {
   public:
@@ -50,10 +72,21 @@ class Tlb : public SimObject, public ckpt::Checkpointable
     Tlb(std::string name, EventQueue &eq, unsigned entries);
 
     /** Looks up a translation, updating recency on a hit. */
-    std::optional<TlbEntry> lookup(AsidVpn key);
+    std::optional<TlbEntry>
+    lookup(AsidVpn key)
+    {
+        const std::uint32_t s = findSlot(key);
+        if (s == npos) {
+            ++misses_;
+            return std::nullopt;
+        }
+        ++hits_;
+        moveToFront(s);
+        return slots_[s].entry;
+    }
 
     /** Probe without recency update. */
-    bool contains(AsidVpn key) const;
+    bool contains(AsidVpn key) const { return findSlot(key) != npos; }
 
     /**
      * Inserts (or refreshes) a translation.
@@ -70,8 +103,16 @@ class Tlb : public SimObject, public ckpt::Checkpointable
     /** Called with (key, true) on insert and (key, false) on eviction. */
     void setResidenceHook(ResidenceHook hook) { hook_ = std::move(hook); }
 
+    /** Fast-path residence notification (see TlbResidenceListener). */
+    void
+    setResidenceListener(TlbResidenceListener *listener, CoreId core)
+    {
+        listener_ = listener;
+        listenerCore_ = core;
+    }
+
     unsigned capacity() const { return capacity_; }
-    std::size_t size() const { return map_.size(); }
+    std::size_t size() const { return count_; }
 
     /** Read-only visit of every resident entry, most recent first
      *  (invariant auditing); no recency update. */
@@ -79,8 +120,8 @@ class Tlb : public SimObject, public ckpt::Checkpointable
     void
     forEachEntry(Fn fn) const
     {
-        for (const TlbEntry &e : lru_)
-            fn(e);
+        for (std::uint32_t s = head_; s != npos; s = slots_[s].next)
+            fn(slots_[s].entry);
     }
 
     std::uint64_t hits() const { return hits_.value(); }
@@ -103,12 +144,58 @@ class Tlb : public SimObject, public ckpt::Checkpointable
     void loadState(ckpt::Deserializer &in) override;
 
   private:
-    using LruList = std::list<TlbEntry>;
+    static constexpr std::uint32_t npos = 0xffffffffu;
+
+    struct Slot
+    {
+        TlbEntry entry;
+        std::uint32_t prev = npos;
+        std::uint32_t next = npos;
+    };
+
+    std::size_t
+    homeOf(AsidVpn key) const
+    {
+        // Multiplicative hash; only spread matters, never behavior.
+        return static_cast<std::size_t>(
+                   (key * 0x9e3779b97f4a7c15ULL) >> 32)
+               & idxMask_;
+    }
+
+    std::uint32_t findSlot(AsidVpn key) const;
+    void indexInsert(AsidVpn key, std::uint32_t slot);
+    void indexErase(AsidVpn key);
+
+    void unlink(std::uint32_t s);
+    void pushFront(std::uint32_t s);
+    void pushBack(std::uint32_t s);
+    void moveToFront(std::uint32_t s);
+    std::uint32_t takeFreeSlot();
+    void releaseSlot(std::uint32_t s);
+    void resetStorage();
+
+    void
+    notifyResidence(const TlbEntry &e, bool resident)
+    {
+        if (listener_)
+            listener_->onTlbResidence(e, listenerCore_, resident);
+        if (hook_)
+            hook_(e, resident);
+    }
 
     unsigned capacity_;
-    LruList lru_; //!< front == most recent
-    std::unordered_map<AsidVpn, LruList::iterator> map_;
+    std::vector<Slot> slots_;        //!< capacity_ slots, index-linked
+    std::vector<std::uint32_t> idx_; //!< open addressing; 0 = empty,
+                                     //!< else slot index + 1
+    std::size_t idxMask_ = 0;
+    std::uint32_t head_ = npos; //!< most recently used
+    std::uint32_t tail_ = npos; //!< least recently used
+    std::uint32_t freeHead_ = npos;
+    std::uint32_t count_ = 0;
+
     ResidenceHook hook_;
+    TlbResidenceListener *listener_ = nullptr;
+    CoreId listenerCore_ = 0;
 
     stats::Scalar hits_;
     stats::Scalar misses_;

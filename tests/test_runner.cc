@@ -267,11 +267,12 @@ tinyManifest()
 }
 
 std::vector<JobResult>
-runTiny(unsigned jobs)
+runTiny(unsigned jobs, unsigned repeat = 1)
 {
     SweepOptions opt;
     opt.jobs = jobs;
     opt.progress = false;
+    opt.repeat = repeat;
     return SweepRunner(opt).run(tinyManifest());
 }
 
@@ -302,6 +303,24 @@ TEST(SweepRunner, AggregateIsByteIdenticalAcrossWorkerCounts)
         SweepRunner::aggregateReport(m, runTiny(8)).dump();
     EXPECT_EQ(serial, parallel);
     EXPECT_NE(serial.find("tdc-sweep-report-v1"), std::string::npos);
+}
+
+TEST(SweepRunner, TimedSweepStaysByteIdenticalAcrossWorkerCounts)
+{
+    // Re-check of the -j contract on the *timed* path: with
+    // median-of-N repetitions enabled, the simulated results (and so
+    // the timing-stripped aggregate) must still not depend on -j.
+    // Only wall-clock numbers may differ between the two runs.
+    const auto m = tinyManifest();
+    const auto serial = runTiny(1, 2);
+    const auto parallel = runTiny(8, 2);
+    EXPECT_EQ(SweepRunner::aggregateReport(m, serial).dump(),
+              SweepRunner::aggregateReport(m, parallel).dump());
+    for (const auto &r : serial) {
+        EXPECT_EQ(r.status, JobResult::Status::Ok);
+        EXPECT_GT(r.wallSeconds, 0.0);
+        EXPECT_GT(r.kips, 0.0);
+    }
 }
 
 TEST(SweepRunner, CapturesPerJobFailureWithoutKillingTheSweep)

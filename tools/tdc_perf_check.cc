@@ -1,0 +1,174 @@
+/**
+ * @file
+ * tdc_perf_check: compares two perf_suite reports (BENCH_<n>.json)
+ * and gates on host-throughput regressions.
+ *
+ *   tdc_perf_check --baseline=<BENCH.json> --current=<BENCH.json>
+ *                  [--threshold=0.25]
+ *
+ * Prints a per-cell KIPS delta table, then compares the median KIPS
+ * across the cells both reports share. Exit status is non-zero when
+ * the current median has regressed by more than --threshold (fraction
+ * of the baseline median, default 0.25), or when the reports are
+ * structurally unusable (no common cells, failed cells in current).
+ *
+ * Per-cell deltas are informational only: single cells on a shared CI
+ * host are noisy, while the 19-cell median is stable. To accept an
+ * intentional shift (new hardware, an optimization landing), re-run
+ * `perf_suite --update-baseline` on the reference host and commit
+ * bench/baselines/BENCH_6.json.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/format.hh"
+#include "common/json.hh"
+
+using namespace tdc;
+
+namespace {
+
+struct Cell
+{
+    double kips = 0.0;
+    bool ok = false;
+};
+
+std::map<std::string, Cell>
+loadCells(const std::string &path)
+{
+    const json::Value doc = json::readFile(path);
+    const json::Value *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString()
+        || schema->asString() != "tdc-bench-report-v1")
+        fatal("{}: not a tdc-bench-report-v1 document", path);
+    const json::Value *cells = doc.find("cells");
+    if (cells == nullptr || !cells->isArray())
+        fatal("{}: missing 'cells' array", path);
+
+    std::map<std::string, Cell> out;
+    for (const json::Value &entry : cells->items()) {
+        const json::Value *label = entry.find("label");
+        const json::Value *status = entry.find("status");
+        if (label == nullptr || !label->isString())
+            fatal("{}: cell without a label", path);
+        Cell c;
+        c.ok = status != nullptr && status->isString()
+               && status->asString() == "ok";
+        if (const json::Value *kips = entry.find("kips");
+            c.ok && kips != nullptr && kips->isNumber())
+            c.kips = kips->asDouble();
+        else
+            c.ok = false;
+        out.emplace(label->asString(), c);
+    }
+    if (out.empty())
+        fatal("{}: no cells", path);
+    return out;
+}
+
+double
+medianOf(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    return n % 2 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2.0;
+}
+
+// The in-tree formatter has no '+' sign flag, so spell it out.
+std::string
+signedPct(double frac)
+{
+    return format("{}{:.1f}%", frac >= 0.0 ? "+" : "", frac * 100.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config args;
+    for (int i = 1; i < argc; ++i) {
+        if (!args.parseAssignment(std::string_view(argv[i])))
+            fatal("tdc_perf_check: unrecognized argument '{}' (usage: "
+                  "tdc_perf_check --baseline=F --current=F "
+                  "[--threshold=0.25])",
+                  argv[i]);
+    }
+    args.checkKnown({"baseline", "current", "threshold"},
+                    "tdc_perf_check");
+    const std::string base_path = args.getString("baseline", "");
+    const std::string cur_path = args.getString("current", "");
+    if (base_path.empty() || cur_path.empty())
+        fatal("tdc_perf_check: need --baseline=<file> and "
+              "--current=<file>");
+    const double threshold = args.getDouble("threshold", 0.25);
+    if (threshold <= 0.0 || threshold >= 1.0)
+        fatal("tdc_perf_check: --threshold must be in (0, 1)");
+
+    const auto base = loadCells(base_path);
+    const auto cur = loadCells(cur_path);
+
+    std::cout << format("{:<28} {:>12} {:>12} {:>8}\n", "cell",
+                        "base KIPS", "cur KIPS", "delta");
+    std::vector<double> base_kips, cur_kips;
+    unsigned bad_cells = 0;
+    for (const auto &[label, bc] : base) {
+        const auto it = cur.find(label);
+        if (it == cur.end()) {
+            std::cout << format("{:<28} {:>12.0f} {:>12} {:>8}\n",
+                                label, bc.kips, "missing", "-");
+            continue;
+        }
+        const Cell &cc = it->second;
+        if (!bc.ok || !cc.ok) {
+            ++bad_cells;
+            std::cout << format("{:<28} {:>12} {:>12} {:>8}\n", label,
+                                bc.ok ? "ok" : "failed",
+                                cc.ok ? "ok" : "failed", "-");
+            continue;
+        }
+        base_kips.push_back(bc.kips);
+        cur_kips.push_back(cc.kips);
+        const double delta = bc.kips > 0.0
+                                 ? (cc.kips - bc.kips) / bc.kips
+                                 : 0.0;
+        std::cout << format("{:<28} {:>12.0f} {:>12.0f} {:>8}\n",
+                            label, bc.kips, cc.kips,
+                            signedPct(delta));
+    }
+
+    if (base_kips.empty())
+        fatal("tdc_perf_check: no comparable cells between {} and {}",
+              base_path, cur_path);
+
+    const double base_med = medianOf(base_kips);
+    const double cur_med = medianOf(cur_kips);
+    const double delta =
+        base_med > 0.0 ? (cur_med - base_med) / base_med : 0.0;
+    std::cout << format(
+        "\nmedian KIPS: baseline {:.0f}, current {:.0f} ({}); "
+        "gate: -{:.0f}%\n",
+        base_med, cur_med, signedPct(delta), threshold * 100.0);
+
+    if (bad_cells > 0) {
+        std::cout << format("FAIL: {} cell(s) not comparable\n",
+                            bad_cells);
+        return 1;
+    }
+    if (delta < -threshold) {
+        std::cout << format(
+            "FAIL: median KIPS regression {:.1f}% exceeds {:.0f}% "
+            "(re-baseline with perf_suite --update-baseline if "
+            "intentional)\n",
+            -delta * 100.0, threshold * 100.0);
+        return 1;
+    }
+    std::cout << "OK: within threshold\n";
+    return 0;
+}

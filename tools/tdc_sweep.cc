@@ -12,6 +12,9 @@
  *     --jobs=N          worker threads (default: TDC_JOBS or cores)
  *     --out=<path>      aggregated tdc-sweep-report-v1 JSON
  *     --timeout=<sec>   per-job wall-clock budget (0 = none)
+ *     --repeat=N        run each job N times and report the median
+ *                       wall clock / KIPS (default 1; results are
+ *                       deterministic, so repeats affect timing only)
  *     --warm-once       share warmups: jobs with identical
  *                       warm-relevant configuration warm one System,
  *                       checkpoint it, and each measure from the
@@ -150,7 +153,7 @@ main(int argc, char **argv)
     }
     args.checkKnown({"manifest", "org", "workload", "l3-size-mb",
                      "name", "insts", "warmup", "timeout", "jobs",
-                     "out", "dump-manifest"},
+                     "out", "dump-manifest", "repeat"},
                     "tdc_sweep");
 
     runner::SweepManifest manifest;
@@ -199,6 +202,9 @@ main(int argc, char **argv)
         args.getU64("jobs", runner::SweepRunner::envJobs(0)));
     opt.progress = !no_progress;
     opt.shareWarmups = warm_once;
+    opt.repeat = static_cast<unsigned>(args.getU64("repeat", 1));
+    if (opt.repeat == 0)
+        fatal("tdc_sweep: --repeat must be >= 1");
     runner::SweepRunner sweep_runner(opt);
 
     std::cerr << format(
