@@ -128,6 +128,55 @@ Checkpoint::writeFile(const std::string &path) const
         fatal("checkpoint: short write to '{}'", path);
 }
 
+std::string
+hex16(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+json::Value
+infoJson(const Checkpoint &ck, const std::string &path)
+{
+    auto doc = json::Value::object();
+    doc.set("schema", checkpointInfoSchema);
+    doc.set("path", path);
+    doc.set("format_version", checkpointFormatVersion);
+    doc.set("fingerprint", hex16(ck.fingerprint()));
+
+    std::uint64_t payload_bytes = 0;
+    auto sections = json::Value::array();
+    for (const auto &sec : ck.sections()) {
+        payload_bytes += sec.payload.size();
+        auto entry = json::Value::object();
+        entry.set("name", sec.name);
+        entry.set("bytes", std::uint64_t{sec.payload.size()});
+        entry.set("checksum",
+                  hex16(fnv1a(sec.payload.data(), sec.payload.size())));
+        sections.push(std::move(entry));
+    }
+    doc.set("payload_bytes", payload_bytes);
+    doc.set("sections", std::move(sections));
+
+    // The "meta" section stores a human-readable JSON summary written
+    // by the saving run; surface it as structured members (falling
+    // back to the raw string if it ever fails to parse).
+    if (const Section *meta = ck.find("meta")) {
+        Deserializer d(meta->payload.data(), meta->payload.size());
+        const std::string text = d.getString();
+        if (auto parsed = json::Value::parse(text))
+            doc.set("meta", std::move(*parsed));
+        else
+            doc.set("meta", text);
+    }
+    return doc;
+}
+
 Checkpoint
 Checkpoint::loadFile(const std::string &path)
 {

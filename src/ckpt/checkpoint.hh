@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "ckpt/serializer.hh"
+#include "common/json.hh"
 
 namespace tdc {
 namespace ckpt {
@@ -95,6 +96,25 @@ class Checkpoint
     std::uint64_t fingerprint_ = 0;
     std::vector<Section> sections_;
 };
+
+/** Schema tag of the machine-readable checkpoint summary. */
+inline constexpr const char *checkpointInfoSchema = "tdc-ckpt-info-v1";
+
+/** Formats a u64 as a fixed-width lower-case hex string (no 0x). */
+std::string hex16(std::uint64_t v);
+
+/**
+ * Machine-readable summary of a decoded checkpoint: header fields, the
+ * per-section size/checksum table and the embedded "meta" JSON. One
+ * format shared by `tdc_ckpt --json` and the sweep service's
+ * warm-cache integrity/status paths, so scripts parse a single shape:
+ *
+ *   { "schema": "tdc-ckpt-info-v1", "path": ..., "format_version": 1,
+ *     "fingerprint": "<hex16>", "payload_bytes": N,
+ *     "sections": [ { "name", "bytes", "checksum": "<hex16>" }, ... ],
+ *     "meta": { ... } }
+ */
+json::Value infoJson(const Checkpoint &ck, const std::string &path);
 
 } // namespace ckpt
 } // namespace tdc

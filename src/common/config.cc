@@ -13,6 +13,12 @@ Config::set(const std::string &key, const std::string &value)
 }
 
 void
+Config::set(const std::string &key, const char *value)
+{
+    entries_[key] = value;
+}
+
+void
 Config::set(const std::string &key, std::uint64_t value)
 {
     entries_[key] = tdc::format("{}", value);
@@ -68,6 +74,10 @@ knownDottedKeys()
         "obs.stats_interval", "obs.timeseries", "obs.summary_max",
         // check.*: invariant auditor (src/check/invariant_auditor.cc)
         "check.audit", "check.interval",
+        // serve.*: resident sweep service (src/serve/service.cc)
+        "serve.root", "serve.jobs", "serve.warm_cache",
+        "serve.result_cache", "serve.warm_cache_bytes",
+        "serve.poll_ms",
     };
     return keys;
 }

@@ -28,6 +28,9 @@ class Config
 
     /** Sets or overwrites a key. */
     void set(const std::string &key, const std::string &value);
+    /** Keeps string literals out of the bool overload (a bare
+     *  `const char*` converts to bool before std::string). */
+    void set(const std::string &key, const char *value);
     void set(const std::string &key, std::uint64_t value);
     void set(const std::string &key, double value);
     void set(const std::string &key, bool value);
@@ -71,9 +74,10 @@ class Config
 /**
  * The registry of dotted component-override keys every driver shares:
  * "l3.*" organization parameters (src/dramcache/org_factory.cc),
- * "obs.*" observability knobs (src/obs/observability.cc) and "check.*"
- * invariant-auditor knobs (src/check/invariant_auditor.cc). A new
- * dotted key must be added here to be accepted by checkKnown().
+ * "obs.*" observability knobs (src/obs/observability.cc), "check.*"
+ * invariant-auditor knobs (src/check/invariant_auditor.cc) and
+ * "serve.*" sweep-service knobs (src/serve/service.cc). A new dotted
+ * key must be added here to be accepted by checkKnown().
  */
 bool isKnownDottedKey(std::string_view key);
 

@@ -172,21 +172,6 @@ parseJob(const json::Value &obj, const BaseSpec &base)
     return job;
 }
 
-/** Job labels contain '/'; make them safe as a path component. */
-std::string
-sanitizeLabel(const std::string &label)
-{
-    std::string out = label;
-    for (char &c : out) {
-        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
-                        || (c >= '0' && c <= '9') || c == '.'
-                        || c == '_' || c == '-';
-        if (!ok)
-            c = '_';
-    }
-    return out;
-}
-
 /** Replaces every "{label}" occurrence in s. */
 std::string
 substituteLabel(std::string s, const std::string &label)
@@ -199,6 +184,57 @@ substituteLabel(std::string s, const std::string &label)
 }
 
 } // namespace
+
+std::string
+sanitizeJobLabel(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                        || (c >= '0' && c <= '9') || c == '.'
+                        || c == '_' || c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+SystemConfig
+warmSystemConfig(const JobSpec &job)
+{
+    SystemConfig cfg = job.toSystemConfig();
+    Config raw;
+    for (const auto &[key, value] : cfg.raw.entries()) {
+        if (key.rfind("obs.", 0) == 0)
+            continue;
+        raw.set(key, value);
+    }
+    cfg.raw = std::move(raw);
+    cfg.obs = {};
+    return cfg;
+}
+
+SweepManifest
+shardSlice(const SweepManifest &m, unsigned index, unsigned count)
+{
+    if (count == 0)
+        throw ManifestError("shard count must be >= 1");
+    if (index >= count)
+        throw ManifestError(
+            format("shard index {} out of range (count {})", index,
+                   count));
+    SweepManifest slice;
+    slice.name = m.name;
+    slice.timeoutSeconds = m.timeoutSeconds;
+    for (std::size_t i = index; i < m.jobs.size();
+         i += static_cast<std::size_t>(count))
+        slice.jobs.push_back(m.jobs[i]);
+    if (slice.jobs.empty())
+        throw ManifestError(
+            format("shard {}/{} of manifest '{}' is empty ({} jobs)",
+                   index, count, m.name, m.jobs.size()));
+    return slice;
+}
 
 SystemConfig
 JobSpec::toSystemConfig() const
@@ -215,7 +251,7 @@ JobSpec::toSystemConfig() const
     // in an obs.* path expands to this job's (sanitized) label, so one
     // manifest-level override gives every job its own trace/time-series
     // file and parallel workers never share a sink (DESIGN.md 7).
-    const std::string safe = sanitizeLabel(label);
+    const std::string safe = sanitizeJobLabel(label);
     for (const char *key : {"obs.trace_out", "obs.timeseries"}) {
         if (cfg.raw.has(key))
             cfg.raw.set(key,

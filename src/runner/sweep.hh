@@ -111,6 +111,32 @@ struct SweepManifest
     void validate() const;
 };
 
+/** A job label reduced to filesystem-safe characters ([a-zA-Z0-9._-],
+ *  everything else mapped to '_'); used for per-job obs file names and
+ *  the sweep service's spool-file names. */
+std::string sanitizeJobLabel(const std::string &label);
+
+/**
+ * The configuration a shared warm System is built from: the job's
+ * config with observability outputs stripped. Observers add no timed
+ * state (probes fire into unattached points otherwise), so the warm
+ * state is identical -- and the warm System must not claim the measure
+ * jobs' trace/time-series files. Used by --warm-once sharing and the
+ * sweep service's cross-invocation warm-checkpoint cache.
+ */
+SystemConfig warmSystemConfig(const JobSpec &job);
+
+/**
+ * The deterministic shard `index` of `count`: jobs whose manifest
+ * position i satisfies i % count == index, in manifest order, with
+ * the name and timeout preserved. Every job lands in exactly one
+ * shard, so merging the per-shard reports in manifest order
+ * reconstructs the single-machine report byte for byte. Throws
+ * ManifestError on count == 0, index >= count, or an empty slice.
+ */
+SweepManifest shardSlice(const SweepManifest &m, unsigned index,
+                         unsigned count);
+
 } // namespace runner
 } // namespace tdc
 

@@ -54,28 +54,6 @@ progressLine(const JobResult &r, unsigned done, unsigned total)
 }
 
 /**
- * The configuration a shared warm System is built from: the job's
- * config with observability outputs stripped. Observers add no timed
- * state (probes fire into unattached points otherwise), so the warm
- * state is identical -- and the warm System must not claim the measure
- * jobs' trace/time-series files.
- */
-SystemConfig
-warmConfigFor(const JobSpec &job)
-{
-    SystemConfig cfg = job.toSystemConfig();
-    Config raw;
-    for (const auto &[key, value] : cfg.raw.entries()) {
-        if (key.rfind("obs.", 0) == 0)
-            continue;
-        raw.set(key, value);
-    }
-    cfg.raw = std::move(raw);
-    cfg.obs = {};
-    return cfg;
-}
-
-/**
  * One design point, including the retry loop. When `warm` is non-null
  * the first attempt restores the shared warm checkpoint and only runs
  * the measurement leg; the retry attempt (and the null-warm path) runs
@@ -250,7 +228,7 @@ SweepRunner::run(const SweepManifest &manifest) const
                 const auto t0 = Clock::now();
                 try {
                     ScopedFatalCapture capture;
-                    System sys(warmConfigFor(job));
+                    System sys(warmSystemConfig(job));
                     sys.warmup();
                     g.ckpt = std::make_shared<const ckpt::Checkpoint>(
                         sys.makeCheckpoint());

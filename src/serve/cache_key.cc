@@ -1,0 +1,54 @@
+#include "serve/cache_key.hh"
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "common/logging.hh"
+
+namespace tdc {
+namespace serve {
+
+std::uint64_t
+jobConfigHash(const runner::JobSpec &spec)
+{
+    // The compact dump of the job's canonical JSON form is a stable,
+    // order-fixed string over every field (JobSpec::toJson emits
+    // members in declaration order and raw overrides sorted by key).
+    // A schema-version salt invalidates every key if the spec encoding
+    // ever changes shape.
+    std::string s = "tdc-job-config-v1|";
+    s += spec.toJson().dump(-1);
+    return ckpt::fnv1a(s);
+}
+
+std::uint64_t
+binaryHash()
+{
+    static std::once_flag once;
+    static std::uint64_t hash = 0;
+    std::call_once(once, [] {
+        std::FILE *f = std::fopen("/proc/self/exe", "rb");
+        if (f == nullptr) {
+            warn("cannot read /proc/self/exe; binary-keyed caches "
+                 "share one generation");
+            return;
+        }
+        std::uint64_t h = 14695981039346656037ULL;
+        std::vector<unsigned char> buf(1 << 20);
+        std::size_t got;
+        while ((got = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
+            for (std::size_t i = 0; i < got; ++i) {
+                h ^= buf[i];
+                h *= 1099511628211ULL;
+            }
+        }
+        std::fclose(f);
+        hash = h;
+    });
+    return hash;
+}
+
+} // namespace serve
+} // namespace tdc

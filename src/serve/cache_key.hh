@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cache keys for the resident sweep service.
+ *
+ * The service's two persistent caches are content-addressed:
+ *
+ *  - the warm-checkpoint cache is keyed by warmFingerprint(config) --
+ *    every field that shapes the state at the warmup/measure boundary;
+ *  - the result cache is keyed by jobConfigHash(spec) -- every field
+ *    of the design point, including measure-only budgets and the
+ *    label (a label can appear in per-job observability paths, and a
+ *    stored report embeds the full config, so two jobs differing only
+ *    in label must not share a report).
+ *
+ * Both keys are paired with binaryHash(), a digest of the running
+ * executable: a rebuilt simulator may produce different (better!)
+ * numbers, so cached artifacts from an older binary must never
+ * satisfy a lookup from a newer one. Stale entries age out of the
+ * size-capped caches via LRU eviction.
+ */
+
+#ifndef TDC_SERVE_CACHE_KEY_HH
+#define TDC_SERVE_CACHE_KEY_HH
+
+#include <cstdint>
+
+#include "runner/sweep.hh"
+
+namespace tdc {
+namespace serve {
+
+/**
+ * FNV-1a digest of the canonical JSON serialization of a design
+ * point. Any change to org, workloads, sizes, budgets, raw overrides
+ * or the label changes the hash, so the result cache re-simulates
+ * exactly the cells that changed.
+ */
+std::uint64_t jobConfigHash(const runner::JobSpec &spec);
+
+/**
+ * FNV-1a digest of this process's executable image (/proc/self/exe),
+ * computed once and cached. Falls back to 0 with a warning when the
+ * image cannot be read (non-Linux), which keys all artifacts into one
+ * shared generation.
+ */
+std::uint64_t binaryHash();
+
+} // namespace serve
+} // namespace tdc
+
+#endif // TDC_SERVE_CACHE_KEY_HH

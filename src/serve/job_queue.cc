@@ -1,0 +1,300 @@
+#include "serve/job_queue.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "ckpt/checkpoint.hh"
+#include "common/format.hh"
+#include "common/logging.hh"
+#include "serve/cache_key.hh"
+
+namespace fs = std::filesystem;
+
+namespace tdc {
+namespace serve {
+
+namespace {
+
+constexpr const char *states[] = {"pending", "claimed", "done",
+                                  "failed"};
+
+fs::path
+stateDir(const std::string &dir, const std::string &state)
+{
+    return fs::path(dir) / state;
+}
+
+/**
+ * Publishes a document atomically: write + flush into tmp/, then a
+ * same-filesystem rename to the destination. Readers (and a daemon
+ * resuming after a crash) never observe a half-written job file.
+ */
+void
+atomicPublish(const std::string &dir, const std::string &file,
+              const json::Value &doc, const std::string &state)
+{
+    const fs::path tmp = fs::path(dir) / "tmp" / file;
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            fatal("job queue: cannot write '{}'", tmp.string());
+        doc.write(out);
+        out << "\n";
+        out.flush();
+        if (!out)
+            fatal("job queue: short write to '{}'", tmp.string());
+    }
+    const fs::path dest = stateDir(dir, state) / file;
+    std::error_code ec;
+    fs::rename(tmp, dest, ec);
+    if (ec)
+        fatal("job queue: cannot publish '{}' to {}: {}", file, state,
+              ec.message());
+}
+
+/** Sorted file names (not paths) in one state directory. */
+std::vector<std::string>
+listState(const std::string &dir, const std::string &state)
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto &entry :
+         fs::directory_iterator(stateDir(dir, state), ec)) {
+        if (entry.is_regular_file())
+            names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace
+
+JobQueue::JobQueue(const std::string &root)
+    : dir_((fs::path(root) / "queue").string())
+{
+    std::error_code ec;
+    for (const char *state : states)
+        fs::create_directories(stateDir(dir_, state), ec);
+    fs::create_directories(fs::path(dir_) / "tmp", ec);
+    if (ec)
+        fatal("job queue: cannot create spool under '{}': {}", dir_,
+              ec.message());
+}
+
+std::string
+JobQueue::jobId(const runner::JobSpec &spec)
+{
+    return format("{}-{}", runner::sanitizeJobLabel(spec.label),
+                  ckpt::hex16(jobConfigHash(spec)));
+}
+
+unsigned
+JobQueue::enqueue(const runner::SweepManifest &m)
+{
+    m.validate();
+    unsigned spooled = 0;
+    for (const auto &spec : m.jobs) {
+        const std::string id = jobId(spec);
+        const std::string file = id + ".json";
+        std::error_code ec;
+        if (fs::exists(stateDir(dir_, "pending") / file, ec)
+            || fs::exists(stateDir(dir_, "claimed") / file, ec))
+            continue; // already in flight
+        // A finished record is superseded: this enqueue asks for the
+        // cell to be produced again (cheaply, via the result cache).
+        fs::remove(stateDir(dir_, "done") / file, ec);
+        fs::remove(stateDir(dir_, "failed") / file, ec);
+
+        auto doc = json::Value::object();
+        doc.set("schema", jobQueueSchema);
+        doc.set("id", id);
+        doc.set("label", spec.label);
+        doc.set("config_hash",
+                ckpt::hex16(jobConfigHash(spec)));
+        doc.set("binary_hash", ckpt::hex16(binaryHash()));
+        doc.set("manifest", m.name);
+        doc.set("timeout_seconds", m.timeoutSeconds);
+        doc.set("spec", spec.toJson());
+        atomicPublish(dir_, file, doc, "pending");
+        ++spooled;
+    }
+    return spooled;
+}
+
+unsigned
+JobQueue::recover()
+{
+    unsigned requeued = 0;
+    for (const std::string &file : listState(dir_, "claimed")) {
+        std::error_code ec;
+        const bool finished =
+            fs::exists(stateDir(dir_, "done") / file, ec)
+            || fs::exists(stateDir(dir_, "failed") / file, ec);
+        if (finished) {
+            // Crash between publishing the outcome and unlinking the
+            // claim: the work is done, drop the stale claim.
+            fs::remove(stateDir(dir_, "claimed") / file, ec);
+            continue;
+        }
+        fs::rename(stateDir(dir_, "claimed") / file,
+                   stateDir(dir_, "pending") / file, ec);
+        if (ec) {
+            warn("job queue: cannot requeue '{}': {}", file,
+                 ec.message());
+            continue;
+        }
+        ++requeued;
+    }
+    return requeued;
+}
+
+std::optional<QueueJob>
+JobQueue::claim()
+{
+    for (;;) {
+        const auto names = listState(dir_, "pending");
+        if (names.empty())
+            return std::nullopt;
+        const std::string &file = names.front();
+        const fs::path claimed = stateDir(dir_, "claimed") / file;
+        std::error_code ec;
+        fs::rename(stateDir(dir_, "pending") / file, claimed, ec);
+        if (ec)
+            continue; // raced with another claimer; rescan
+
+        std::string err;
+        const auto doc = json::tryReadFile(claimed.string(), &err);
+        QueueJob job;
+        job.id = file.substr(0, file.size() - 5); // strip ".json"
+        if (doc && doc->isObject()) {
+            try {
+                const json::Value *spec = doc->find("spec");
+                if (spec == nullptr)
+                    throw runner::ManifestError(
+                        "job file has no 'spec'");
+                // Reuse the manifest parser for one explicit job.
+                auto wrapper = json::Value::object();
+                wrapper.set("schema", runner::sweepManifestSchema);
+                auto jobs = json::Value::array();
+                jobs.push(*spec);
+                wrapper.set("jobs", std::move(jobs));
+                auto mini = runner::SweepManifest::fromJson(wrapper);
+                job.spec = mini.jobs.at(0);
+                if (const json::Value *t =
+                        doc->find("timeout_seconds"))
+                    job.timeoutSeconds = t->asDouble();
+                if (const json::Value *mn = doc->find("manifest");
+                    mn != nullptr && mn->isString())
+                    job.manifestName = mn->asString();
+                job.configHash = jobConfigHash(job.spec);
+                return job;
+            } catch (const std::exception &e) {
+                err = e.what();
+            }
+        }
+        // Unparseable job file: fail it (with the reason recorded)
+        // and keep draining the rest of the spool.
+        warn("job queue: corrupt job file '{}': {}", file, err);
+        auto outcome = json::Value::object();
+        outcome.set("status", "failed");
+        outcome.set("attempts", 0);
+        outcome.set("error", format("corrupt job file: {}", err));
+        fail(job, outcome);
+    }
+}
+
+void
+JobQueue::finish(const QueueJob &job, const json::Value &outcome,
+                 const std::string &state)
+{
+    const std::string file = job.id + ".json";
+    const fs::path claimed = stateDir(dir_, "claimed") / file;
+
+    // Re-publish the claimed document with the outcome embedded; a
+    // missing/corrupt claim (failed parse path) degrades to a stub.
+    json::Value doc;
+    if (auto read = json::tryReadFile(claimed.string());
+        read && read->isObject()) {
+        doc = std::move(*read);
+    } else {
+        doc = json::Value::object();
+        doc.set("schema", jobQueueSchema);
+        doc.set("id", job.id);
+        doc.set("label", job.spec.label);
+    }
+    doc.set("outcome", outcome);
+    atomicPublish(dir_, file, doc, state);
+    std::error_code ec;
+    fs::remove(claimed, ec);
+}
+
+void
+JobQueue::complete(const QueueJob &job, const json::Value &outcome)
+{
+    finish(job, outcome, "done");
+}
+
+void
+JobQueue::fail(const QueueJob &job, const json::Value &outcome)
+{
+    finish(job, outcome, "failed");
+}
+
+std::optional<json::Value>
+JobQueue::outcomeOf(const std::string &id) const
+{
+    for (const char *state : {"done", "failed"}) {
+        const fs::path p = stateDir(dir_, state) / (id + ".json");
+        std::error_code ec;
+        if (!fs::exists(p, ec))
+            continue;
+        if (auto doc = json::tryReadFile(p.string());
+            doc && doc->isObject()) {
+            if (const json::Value *outcome = doc->find("outcome"))
+                return *outcome;
+        }
+    }
+    return std::nullopt;
+}
+
+std::size_t
+JobQueue::pendingCount() const
+{
+    return listState(dir_, "pending").size();
+}
+
+std::size_t
+JobQueue::claimedCount() const
+{
+    return listState(dir_, "claimed").size();
+}
+
+std::size_t
+JobQueue::doneCount() const
+{
+    return listState(dir_, "done").size();
+}
+
+std::size_t
+JobQueue::failedCount() const
+{
+    return listState(dir_, "failed").size();
+}
+
+json::Value
+JobQueue::statusJson() const
+{
+    auto v = json::Value::object();
+    v.set("schema", jobQueueSchema);
+    v.set("dir", dir_);
+    v.set("pending", std::uint64_t{pendingCount()});
+    v.set("claimed", std::uint64_t{claimedCount()});
+    v.set("done", std::uint64_t{doneCount()});
+    v.set("failed", std::uint64_t{failedCount()});
+    return v;
+}
+
+} // namespace serve
+} // namespace tdc

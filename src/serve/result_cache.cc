@@ -1,0 +1,135 @@
+#include "serve/result_cache.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "common/format.hh"
+#include "common/logging.hh"
+#include "serve/cache_key.hh"
+
+namespace fs = std::filesystem;
+
+namespace tdc {
+namespace serve {
+
+ResultCache::ResultCache(const std::string &root)
+    : dir_((fs::path(root) / "results").string())
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        fatal("result cache: cannot create '{}': {}", dir_,
+              ec.message());
+}
+
+std::string
+ResultCache::entryPath(std::uint64_t config_hash) const
+{
+    return (fs::path(dir_)
+            / format("rc-{}-{}.json", ckpt::hex16(config_hash),
+                     ckpt::hex16(binaryHash())))
+        .string();
+}
+
+std::optional<CachedResult>
+ResultCache::lookup(std::uint64_t config_hash)
+{
+    const std::string path = entryPath(config_hash);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+
+    std::string err;
+    auto doc = json::tryReadFile(path, &err);
+    if (doc && doc->isObject()) {
+        const json::Value *schema = doc->find("schema");
+        const json::Value *label = doc->find("label");
+        const json::Value *report = doc->find("report");
+        if (schema != nullptr && schema->isString()
+            && schema->asString() == resultCacheSchema
+            && label != nullptr && label->isString()
+            && report != nullptr && report->isObject()) {
+            CachedResult entry;
+            entry.label = label->asString();
+            if (const json::Value *a = doc->find("attempts");
+                a != nullptr && a->isNumber())
+                entry.attempts =
+                    static_cast<unsigned>(a->asDouble());
+            entry.report = *report;
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.hits;
+            return entry;
+        }
+        err = "missing or mistyped schema/label/report";
+    }
+    warn("result cache: dropping corrupt entry '{}': {}", path, err);
+    fs::remove(path, ec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corruptDropped;
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+ResultCache::store(std::uint64_t config_hash, const CachedResult &entry)
+{
+    const std::string path = entryPath(config_hash);
+    const std::string tmp = path + ".tmp";
+
+    auto doc = json::Value::object();
+    doc.set("schema", resultCacheSchema);
+    doc.set("config_hash", ckpt::hex16(config_hash));
+    doc.set("binary_hash", ckpt::hex16(binaryHash()));
+    doc.set("label", entry.label);
+    doc.set("attempts", std::uint64_t{entry.attempts});
+    doc.set("report", entry.report);
+
+    json::writeFile(doc, tmp);
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("result cache: cannot publish '{}': {}", path,
+             ec.message());
+        fs::remove(tmp, ec);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stored;
+}
+
+json::Value
+ResultCache::statusJson() const
+{
+    auto v = json::Value::object();
+    v.set("dir", dir_);
+    std::uint64_t total = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> files;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir_, ec)) {
+        if (e.is_regular_file())
+            files.emplace_back(e.path().filename().string(),
+                               e.file_size());
+    }
+    std::sort(files.begin(), files.end());
+    auto entries = json::Value::array();
+    for (const auto &[name, bytes] : files) {
+        total += bytes;
+        auto entry = json::Value::object();
+        entry.set("file", name);
+        entry.set("bytes", bytes);
+        entries.push(std::move(entry));
+    }
+    v.set("bytes", total);
+    v.set("entries", std::move(entries));
+    return v;
+}
+
+} // namespace serve
+} // namespace tdc

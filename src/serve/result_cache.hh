@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Incremental result cache (`tdc-result-cache-v1`).
+ *
+ * One JSON file per finished design point, content-addressed by
+ *
+ *     <root>/results/rc-<config-hash>-<binary-hash>.json
+ *
+ * where the config hash covers the job's entire canonical JSON form
+ * (so any manifest edit changes the key) and the binary hash covers
+ * the simulator executable (so a rebuilt binary never replays stale
+ * results). Only successful runs are cached: the stored entry embeds
+ * the job's tdc-run-report-v1 document verbatim, which is everything
+ * aggregateReport() needs to reproduce the job's slot in a sweep
+ * report byte-for-byte. Failures and timeouts are never cached --
+ * they re-run on the next drain.
+ *
+ * Entries publish via write-to-temp + atomic rename; corrupt or
+ * schema-mismatched entries are deleted on lookup and report a miss.
+ */
+
+#ifndef TDC_SERVE_RESULT_CACHE_HH
+#define TDC_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/json.hh"
+
+namespace tdc {
+namespace serve {
+
+/** Schema tag stamped into every cached result entry. */
+inline constexpr const char *resultCacheSchema = "tdc-result-cache-v1";
+
+/** A decoded cache entry: enough to replay one "ok" sweep slot. */
+struct CachedResult
+{
+    std::string label;
+    unsigned attempts = 1;
+    json::Value report; //!< tdc-run-report-v1, byte-preserved
+};
+
+class ResultCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t corruptDropped = 0;
+        std::uint64_t stored = 0;
+    };
+
+    /** Opens (creating if needed) <root>/results. */
+    explicit ResultCache(const std::string &root);
+
+    /**
+     * Lookup by job config hash (the binary hash is implicit -- this
+     * process's). A hit requires a parseable entry with the expected
+     * schema and an embedded report; anything else deletes the file
+     * and reports a miss.
+     */
+    std::optional<CachedResult> lookup(std::uint64_t config_hash);
+
+    /** Publishes one successful run's slot under its config hash. */
+    void store(std::uint64_t config_hash, const CachedResult &entry);
+
+    /** Snapshot of the hit/miss/store counters (thread-safe). */
+    Stats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+    /** Entry table (file, bytes) plus totals, for --status. */
+    json::Value statusJson() const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string entryPath(std::uint64_t config_hash) const;
+
+    std::string dir_;
+
+    mutable std::mutex mutex_;
+    Stats stats_;
+};
+
+} // namespace serve
+} // namespace tdc
+
+#endif // TDC_SERVE_RESULT_CACHE_HH

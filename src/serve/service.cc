@@ -1,0 +1,512 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "common/format.hh"
+#include "common/logging.hh"
+#include "runner/sweep_runner.hh"
+#include "runner/thread_pool.hh"
+#include "serve/cache_key.hh"
+#include "sys/report.hh"
+#include "sys/system.hh"
+
+namespace fs = std::filesystem;
+
+namespace tdc {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Serializes progress lines (independent of the logging mutex). */
+std::mutex &
+progressMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void
+progressLine(const std::string &line, bool enabled)
+{
+    if (!enabled)
+        return;
+    std::lock_guard<std::mutex> lock(progressMutex());
+    std::cerr << line << "\n";
+}
+
+/**
+ * One served design point. Mirrors SweepRunner's retry contract
+ * exactly -- attempt 1 restores the warm checkpoint and runs only the
+ * measurement leg, a failed attempt retries with a full warmup +
+ * measure run, a timeout is post-hoc and never retried -- so the
+ * resulting tdc-run-report-v1 is byte-identical to what a direct
+ * tdc_sweep run of the same job produces. Additionally accounts the
+ * instructions actually simulated into `warm_insts` / `meas_insts`.
+ */
+runner::JobResult
+runServed(const runner::JobSpec &job, double timeout_s,
+          const ckpt::Checkpoint *warm, std::uint64_t &warm_insts,
+          std::uint64_t &meas_insts)
+{
+    runner::JobResult r;
+    r.label = job.label;
+
+    ScopedLogLabel log_label(job.label);
+    for (unsigned attempt = 1; attempt <= 2; ++attempt) {
+        r.attempts = attempt;
+        const auto t0 = Clock::now();
+        try {
+            ScopedFatalCapture capture;
+            const SystemConfig cfg = job.toSystemConfig();
+            System sys(cfg);
+            RunResult rr;
+            std::uint64_t warmed = 0;
+            if (warm != nullptr && attempt == 1) {
+                sys.restoreCheckpoint(*warm);
+                rr = sys.measure();
+            } else {
+                warmed = std::uint64_t{sys.activeCores()}
+                         * cfg.warmupInsts;
+                rr = sys.run();
+            }
+            r.wallSeconds = secondsSince(t0);
+            if (timeout_s > 0.0 && r.wallSeconds > timeout_s) {
+                r.status = runner::JobResult::Status::TimedOut;
+                r.error = format(
+                    "wall time {:.2f}s exceeded timeout {:.2f}s",
+                    r.wallSeconds, timeout_s);
+                warm_insts += warmed;
+                meas_insts += rr.totalInsts;
+                return r; // retrying would blow the budget again
+            }
+            r.result = std::move(rr);
+            r.kips = r.wallSeconds > 0.0
+                         ? static_cast<double>(r.result.totalInsts)
+                               / r.wallSeconds / 1000.0
+                         : 0.0;
+            r.report = makeRunReport(cfg, r.result);
+            r.status = runner::JobResult::Status::Ok;
+            r.error.clear();
+            warm_insts += warmed;
+            meas_insts += r.result.totalInsts;
+            return r;
+        } catch (const std::exception &e) {
+            r.wallSeconds = secondsSince(t0);
+            r.status = runner::JobResult::Status::Failed;
+            r.error = e.what();
+        } catch (...) {
+            r.wallSeconds = secondsSince(t0);
+            r.status = runner::JobResult::Status::Failed;
+            r.error = "unknown exception";
+        }
+    }
+    return r;
+}
+
+unsigned
+workerCount(unsigned requested, std::size_t n)
+{
+    unsigned workers = requested != 0
+                           ? requested
+                           : runner::ThreadPool::defaultConcurrency();
+    if (n > 0 && workers > n)
+        workers = static_cast<unsigned>(n);
+    return std::max(workers, 1u);
+}
+
+} // namespace
+
+ServeConfig
+ServeConfig::fromConfig(const Config &cfg)
+{
+    ServeConfig sc;
+    sc.root = cfg.getString("serve.root", sc.root);
+    sc.jobs = static_cast<unsigned>(cfg.getU64("serve.jobs", sc.jobs));
+    sc.useWarmCache = cfg.getBool("serve.warm_cache", sc.useWarmCache);
+    sc.useResultCache =
+        cfg.getBool("serve.result_cache", sc.useResultCache);
+    sc.warmCacheBytes =
+        cfg.getU64("serve.warm_cache_bytes", sc.warmCacheBytes);
+    sc.pollMs =
+        static_cast<unsigned>(cfg.getU64("serve.poll_ms", sc.pollMs));
+    return sc;
+}
+
+json::Value
+DrainStats::toJson() const
+{
+    auto v = json::Value::object();
+    v.set("schema", "tdc-drain-v1");
+    v.set("jobs", jobs);
+    v.set("ok", ok);
+    v.set("failed", failed);
+    v.set("timed_out", timedOut);
+    v.set("result_cache_hits", resultCacheHits);
+    v.set("warm_cache_hits", warmCacheHits);
+    v.set("warm_cache_misses", warmCacheMisses);
+    v.set("warmup_insts_simulated", warmupInstsSimulated);
+    v.set("measure_insts_simulated", measureInstsSimulated);
+    v.set("wall_seconds", wallSeconds);
+    return v;
+}
+
+std::string
+DrainStats::summaryLine() const
+{
+    return format(
+        "[served] drained {} job(s): {} ok, {} failed, {} timeout; "
+        "result-cache hits {}, warm hits {}, warm misses {}; "
+        "warmup insts simulated {}, measure insts simulated {}",
+        jobs, ok, failed, timedOut, resultCacheHits, warmCacheHits,
+        warmCacheMisses, warmupInstsSimulated, measureInstsSimulated);
+}
+
+SweepService::SweepService(const ServeConfig &cfg)
+    : cfg_(cfg), queue_(cfg.root), warm_(cfg.root, cfg.warmCacheBytes),
+      results_(cfg.root)
+{
+}
+
+unsigned
+SweepService::enqueue(const runner::SweepManifest &m)
+{
+    return queue_.enqueue(m);
+}
+
+DrainStats
+SweepService::drainOnce()
+{
+    const auto t0 = Clock::now();
+    DrainStats st;
+    std::mutex stats_mutex;
+
+    queue_.recover();
+    std::vector<QueueJob> claimed;
+    while (auto job = queue_.claim())
+        claimed.push_back(std::move(*job));
+    st.jobs = claimed.size();
+
+    // Phase 1: result-cache replay. A cell whose (config hash, binary
+    // hash) already has a stored run report completes without
+    // simulating anything.
+    std::vector<QueueJob> toRun;
+    for (auto &job : claimed) {
+        if (cfg_.useResultCache) {
+            if (auto hit = results_.lookup(job.configHash)) {
+                ++st.resultCacheHits;
+                ++st.ok;
+                auto outcome = json::Value::object();
+                outcome.set("status", "ok");
+                outcome.set("attempts",
+                            std::uint64_t{hit->attempts});
+                outcome.set("cached", true);
+                queue_.complete(job, outcome);
+                progressLine(format("[served] cached  {:<28}",
+                                    job.spec.label),
+                             cfg_.progress);
+                continue;
+            }
+        }
+        toRun.push_back(std::move(job));
+    }
+
+    // Phase 2: warm phase, grouped by warm fingerprint. Each group
+    // restores its persisted checkpoint (zero warmup instructions) or
+    // warms once, publishes the checkpoint to the cache and shares it
+    // across the group, exactly like --warm-once within a pass.
+    struct WarmGroup
+    {
+        std::uint64_t fp = 0;
+        unsigned firstJob = 0;
+        std::vector<unsigned> jobs;
+        std::shared_ptr<const ckpt::Checkpoint> ckpt;
+    };
+    std::vector<WarmGroup> groups;
+    {
+        std::map<std::uint64_t, unsigned> index;
+        for (unsigned i = 0;
+             i < static_cast<unsigned>(toRun.size()); ++i) {
+            const std::uint64_t fp =
+                warmFingerprint(toRun[i].spec.toSystemConfig());
+            auto [it, fresh] = index.emplace(
+                fp, static_cast<unsigned>(groups.size()));
+            if (fresh)
+                groups.push_back(WarmGroup{fp, i, {}, nullptr});
+            groups[it->second].jobs.push_back(i);
+        }
+    }
+    if (!groups.empty()) {
+        runner::ThreadPool pool(
+            workerCount(cfg_.jobs, groups.size()));
+        std::vector<std::future<void>> pending;
+        pending.reserve(groups.size());
+        for (auto &g : groups) {
+            pending.push_back(pool.submit([&] {
+                const runner::JobSpec &job = toRun[g.firstJob].spec;
+                ScopedLogLabel log_label("warm " + job.label);
+                if (cfg_.useWarmCache) {
+                    if (auto hit = warm_.lookup(g.fp)) {
+                        g.ckpt = std::move(hit);
+                        {
+                            std::lock_guard<std::mutex> lock(
+                                stats_mutex);
+                            ++st.warmCacheHits;
+                        }
+                        progressLine(
+                            format("[served] warm hit {:<28} shared "
+                                   "by {} job(s)",
+                                   job.label, g.jobs.size()),
+                            cfg_.progress);
+                        return;
+                    }
+                }
+                const auto wt0 = Clock::now();
+                try {
+                    ScopedFatalCapture capture;
+                    System sys(runner::warmSystemConfig(job));
+                    sys.warmup();
+                    const std::uint64_t warmed =
+                        std::uint64_t{sys.activeCores()}
+                        * sys.config().warmupInsts;
+                    auto ck =
+                        std::make_shared<const ckpt::Checkpoint>(
+                            sys.makeCheckpoint());
+                    if (cfg_.useWarmCache)
+                        warm_.store(*ck, g.fp);
+                    g.ckpt = std::move(ck);
+                    {
+                        std::lock_guard<std::mutex> lock(stats_mutex);
+                        ++st.warmCacheMisses;
+                        st.warmupInstsSimulated += warmed;
+                    }
+                    progressLine(
+                        format("[served] warm     {:<28} {:.2f}s  "
+                               "shared by {} job(s)",
+                               job.label, secondsSince(wt0),
+                               g.jobs.size()),
+                        cfg_.progress);
+                } catch (const std::exception &e) {
+                    // Leave ckpt null: the group's jobs fall back to
+                    // full warmup+measure runs.
+                    {
+                        std::lock_guard<std::mutex> lock(stats_mutex);
+                        ++st.warmCacheMisses;
+                    }
+                    warn("warm run for '{}' failed ({}); its {} "
+                         "job(s) run unshared",
+                         job.label, e.what(), g.jobs.size());
+                }
+            }));
+        }
+        for (auto &f : pending)
+            f.get();
+    }
+    std::vector<const ckpt::Checkpoint *> warm(toRun.size(), nullptr);
+    for (const auto &g : groups) {
+        for (unsigned i : g.jobs)
+            warm[i] = g.ckpt.get();
+    }
+
+    // Phase 3: measurement leg per job, retry/timeout contract
+    // identical to SweepRunner. Fresh results always go to the result
+    // cache (disabling the cache only disables replay, not capture).
+    if (!toRun.empty()) {
+        runner::ThreadPool pool(workerCount(cfg_.jobs, toRun.size()));
+        std::vector<std::future<void>> pending;
+        pending.reserve(toRun.size());
+        for (unsigned i = 0;
+             i < static_cast<unsigned>(toRun.size()); ++i) {
+            pending.push_back(pool.submit([&, i] {
+                const QueueJob &job = toRun[i];
+                std::uint64_t warm_insts = 0, meas_insts = 0;
+                runner::JobResult r =
+                    runServed(job.spec, job.timeoutSeconds, warm[i],
+                              warm_insts, meas_insts);
+                {
+                    std::lock_guard<std::mutex> lock(stats_mutex);
+                    st.warmupInstsSimulated += warm_insts;
+                    st.measureInstsSimulated += meas_insts;
+                    if (r.ok())
+                        ++st.ok;
+                    else if (r.status
+                             == runner::JobResult::Status::TimedOut)
+                        ++st.timedOut;
+                    else
+                        ++st.failed;
+                }
+                auto outcome = json::Value::object();
+                outcome.set("status",
+                            std::string(statusName(r.status)));
+                outcome.set("attempts", std::uint64_t{r.attempts});
+                if (r.ok()) {
+                    CachedResult entry;
+                    entry.label = r.label;
+                    entry.attempts = r.attempts;
+                    entry.report = r.report;
+                    results_.store(job.configHash, entry);
+                    outcome.set("cached", false);
+                    queue_.complete(job, outcome);
+                } else {
+                    outcome.set("error", r.error);
+                    queue_.fail(job, outcome);
+                }
+                std::string line =
+                    format("[served] {:<7} {:<28} {:.2f}s",
+                           statusName(r.status), r.label,
+                           r.wallSeconds);
+                if (!r.ok())
+                    line += format("  {}", r.error);
+                progressLine(line, cfg_.progress);
+            }));
+        }
+        // get() rethrows service bugs; job failures live in outcomes.
+        for (auto &f : pending)
+            f.get();
+    }
+
+    st.wallSeconds = secondsSince(t0);
+    json::writeFile(st.toJson(),
+                    (fs::path(cfg_.root) / "last-drain.json")
+                        .string());
+    {
+        std::lock_guard<std::mutex> lock(progressMutex());
+        std::cout << st.summaryLine() << "\n";
+    }
+    return st;
+}
+
+void
+SweepService::watch(unsigned max_passes)
+{
+    const fs::path stop = fs::path(cfg_.root) / "stop";
+    unsigned passes = 0;
+    for (;;) {
+        std::error_code ec;
+        if (fs::exists(stop, ec)) {
+            fs::remove(stop, ec);
+            inform("stop requested; leaving watch mode");
+            return;
+        }
+        if (queue_.pendingCount() > 0 || queue_.claimedCount() > 0) {
+            drainOnce();
+            if (max_passes != 0 && ++passes >= max_passes)
+                return;
+            continue;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(cfg_.pollMs));
+    }
+}
+
+json::Value
+SweepService::reportFor(const runner::SweepManifest &m)
+{
+    m.validate();
+    std::vector<runner::JobResult> results;
+    results.reserve(m.jobs.size());
+    for (const auto &spec : m.jobs) {
+        runner::JobResult r;
+        r.label = spec.label;
+        if (auto hit = results_.lookup(jobConfigHash(spec))) {
+            r.status = runner::JobResult::Status::Ok;
+            r.attempts = hit->attempts;
+            r.report = std::move(hit->report);
+            results.push_back(std::move(r));
+            continue;
+        }
+        r.status = runner::JobResult::Status::Failed;
+        r.attempts = 0;
+        r.error = "no stored result for this job";
+        if (auto outcome = queue_.outcomeOf(JobQueue::jobId(spec));
+            outcome && outcome->isObject()) {
+            if (const json::Value *a = outcome->find("attempts");
+                a != nullptr && a->isNumber())
+                r.attempts = static_cast<unsigned>(a->asDouble());
+            if (const json::Value *e = outcome->find("error");
+                e != nullptr && e->isString())
+                r.error = e->asString();
+            if (const json::Value *s = outcome->find("status");
+                s != nullptr && s->isString()
+                && s->asString() == "timeout")
+                r.status = runner::JobResult::Status::TimedOut;
+        }
+        results.push_back(std::move(r));
+    }
+    return runner::SweepRunner::aggregateReport(m, results);
+}
+
+json::Value
+SweepService::statusJson() const
+{
+    auto v = json::Value::object();
+    v.set("schema", "tdc-serve-status-v1");
+    v.set("root", cfg_.root);
+    v.set("queue", queue_.statusJson());
+    v.set("warm_cache", warm_.statusJson());
+    v.set("result_cache", results_.statusJson());
+    return v;
+}
+
+json::Value
+mergeShardReports(const runner::SweepManifest &m,
+                  const std::vector<json::Value> &shardReports)
+{
+    m.validate();
+    // Index every shard entry by label; a design point must come from
+    // exactly one shard.
+    std::map<std::string, const json::Value *> byLabel;
+    for (const auto &shard : shardReports) {
+        const json::Value *schema = shard.find("schema");
+        if (schema == nullptr || !schema->isString()
+            || schema->asString() != runner::sweepReportSchema)
+            fatal("shard report is not a {} document",
+                  runner::sweepReportSchema);
+        const json::Value *jobs = shard.find("jobs");
+        if (jobs == nullptr || !jobs->isArray())
+            fatal("shard report has no 'jobs' array");
+        for (const json::Value &entry : jobs->items()) {
+            const json::Value *label = entry.find("label");
+            if (label == nullptr || !label->isString())
+                fatal("shard report entry has no label");
+            if (!byLabel.emplace(label->asString(), &entry).second)
+                fatal("job '{}' appears in more than one shard "
+                      "report",
+                      label->asString());
+        }
+    }
+
+    auto doc = json::Value::object();
+    doc.set("schema", runner::sweepReportSchema);
+    doc.set("name", m.name);
+    auto jobs = json::Value::array();
+    for (const auto &spec : m.jobs) {
+        auto it = byLabel.find(spec.label);
+        if (it == byLabel.end())
+            fatal("job '{}' is missing from every shard report",
+                  spec.label);
+        jobs.push(*it->second);
+    }
+    doc.set("jobs", std::move(jobs));
+    return doc;
+}
+
+} // namespace serve
+} // namespace tdc

@@ -1,0 +1,159 @@
+#include "serve/warm_cache.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include "common/format.hh"
+#include "common/logging.hh"
+#include "serve/cache_key.hh"
+
+namespace fs = std::filesystem;
+
+namespace tdc {
+namespace serve {
+
+WarmCache::WarmCache(const std::string &root,
+                     std::uint64_t capacityBytes)
+    : dir_((fs::path(root) / "warm").string()),
+      capacityBytes_(capacityBytes)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        fatal("warm cache: cannot create '{}': {}", dir_,
+              ec.message());
+}
+
+std::string
+WarmCache::entryPath(std::uint64_t warm_fp) const
+{
+    return (fs::path(dir_)
+            / format("wc-{}-{}.ckpt", ckpt::hex16(warm_fp),
+                     ckpt::hex16(binaryHash())))
+        .string();
+}
+
+std::shared_ptr<const ckpt::Checkpoint>
+WarmCache::lookup(std::uint64_t warm_fp)
+{
+    const std::string path = entryPath(warm_fp);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    try {
+        // Full tdc_ckpt --verify-grade decode: magic, format version
+        // and every per-section checksum, plus the content address
+        // itself (a renamed or stale-keyed file must not hit).
+        ScopedFatalCapture capture;
+        auto ck = std::make_shared<ckpt::Checkpoint>(
+            ckpt::Checkpoint::loadFile(path));
+        if (ck->fingerprint() != warm_fp)
+            fatal("entry fingerprint {:#x} does not match its key "
+                  "{:#x}",
+                  ck->fingerprint(), warm_fp);
+        ++stats_.hits;
+        // Refresh the LRU clock so hot fingerprints survive eviction.
+        fs::last_write_time(path,
+                            std::filesystem::file_time_type::clock::now(),
+                            ec);
+        return ck;
+    } catch (const std::exception &e) {
+        warn("warm cache: dropping corrupt entry '{}': {}", path,
+             e.what());
+        ++stats_.corruptDropped;
+        ++stats_.misses;
+        fs::remove(path, ec);
+        return nullptr;
+    }
+}
+
+void
+WarmCache::store(const ckpt::Checkpoint &ck, std::uint64_t warm_fp)
+{
+    tdc_assert(ck.fingerprint() == warm_fp,
+               "warm cache store under a mismatched fingerprint");
+    const std::string path = entryPath(warm_fp);
+    const std::string tmp = path + ".tmp";
+    ck.writeFile(tmp);
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("warm cache: cannot publish '{}': {}", path,
+             ec.message());
+        fs::remove(tmp, ec);
+        return;
+    }
+    evictOverCapacity();
+}
+
+void
+WarmCache::evictOverCapacity()
+{
+    struct Entry
+    {
+        fs::path path;
+        std::uint64_t bytes;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir_, ec)) {
+        if (!e.is_regular_file())
+            continue;
+        Entry entry{e.path(), e.file_size(), e.last_write_time()};
+        total += entry.bytes;
+        entries.push_back(std::move(entry));
+    }
+    if (total <= capacityBytes_)
+        return;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    for (const Entry &victim : entries) {
+        if (total <= capacityBytes_)
+            break;
+        fs::remove(victim.path, ec);
+        if (ec)
+            continue;
+        total -= victim.bytes;
+        ++stats_.evicted;
+    }
+}
+
+json::Value
+WarmCache::statusJson() const
+{
+    auto v = json::Value::object();
+    v.set("dir", dir_);
+    v.set("capacity_bytes", capacityBytes_);
+    std::uint64_t total = 0;
+    auto entries = json::Value::array();
+    std::vector<std::pair<std::string, std::uint64_t>> files;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir_, ec)) {
+        if (e.is_regular_file())
+            files.emplace_back(e.path().filename().string(),
+                               e.file_size());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto &[name, bytes] : files) {
+        total += bytes;
+        auto entry = json::Value::object();
+        entry.set("file", name);
+        entry.set("bytes", bytes);
+        entries.push(std::move(entry));
+    }
+    v.set("bytes", total);
+    v.set("entries", std::move(entries));
+    return v;
+}
+
+} // namespace serve
+} // namespace tdc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cross-invocation warm-checkpoint cache.
+ *
+ * PR 4's --warm-once shares warm state *within* one invocation; this
+ * cache makes it persistent. Entries are whole checkpoint container
+ * files (src/ckpt format, unchanged) named by content address:
+ *
+ *     <root>/warm/wc-<warm-fingerprint>-<binary-hash>.ckpt
+ *
+ * A lookup hit fully decodes the file -- magic, format version and
+ * every per-section checksum, the same validation `tdc_ckpt --verify`
+ * performs -- and additionally requires the embedded fingerprint to
+ * match the key; any defect deletes the file and reports a miss, so a
+ * corrupt cache entry can never poison a run. Stores publish via
+ * write-to-temp + atomic rename.
+ *
+ * Capacity is a byte budget over the directory; after every store the
+ * least-recently-used entries (filesystem mtime, refreshed on every
+ * hit) are evicted until the total fits. Eviction is safe by
+ * construction: a checkpoint is a cache of re-derivable warm state,
+ * so the worst case is a re-run warmup.
+ */
+
+#ifndef TDC_SERVE_WARM_CACHE_HH
+#define TDC_SERVE_WARM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ckpt/checkpoint.hh"
+#include "common/json.hh"
+
+namespace tdc {
+namespace serve {
+
+class WarmCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t corruptDropped = 0;
+        std::uint64_t evicted = 0;
+    };
+
+    /** Opens (creating if needed) <root>/warm with a byte budget. */
+    WarmCache(const std::string &root, std::uint64_t capacityBytes);
+
+    /**
+     * Integrity-checked lookup by warm fingerprint (the binary hash
+     * is implicit -- this process's). Returns the decoded checkpoint
+     * and refreshes the entry's LRU clock on a hit; nullptr on miss
+     * or on any integrity defect (the defective file is deleted).
+     */
+    std::shared_ptr<const ckpt::Checkpoint>
+    lookup(std::uint64_t warm_fp);
+
+    /** Publishes a checkpoint under its fingerprint, then enforces
+     *  the byte budget by LRU eviction. */
+    void store(const ckpt::Checkpoint &ck, std::uint64_t warm_fp);
+
+    /** Snapshot of the hit/miss/eviction counters (thread-safe). */
+    Stats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+    std::uint64_t capacityBytes() const { return capacityBytes_; }
+
+    /** Entry table (file, bytes) plus totals, for --status. */
+    json::Value statusJson() const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string entryPath(std::uint64_t warm_fp) const;
+    void evictOverCapacity();
+
+    std::string dir_;
+    std::uint64_t capacityBytes_;
+
+    /** Guards stats_ and eviction scans; the warm phase calls
+     *  lookup()/store() from multiple pool workers. */
+    mutable std::mutex mutex_;
+    Stats stats_;
+};
+
+} // namespace serve
+} // namespace tdc
+
+#endif // TDC_SERVE_WARM_CACHE_HH

@@ -1,5 +1,6 @@
 #include "trace/trace_file.hh"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -73,44 +74,82 @@ TraceWriter::close()
     closed_ = true;
 }
 
-FileTraceSource::FileTraceSource(const std::string &path)
+FileTraceSource::FileTraceSource(const std::string &path,
+                                 std::size_t buffer_records)
+    : path_(path), in_(path, std::ios::binary),
+      bufCap_(buffer_records > 0 ? buffer_records : 1)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
+    if (!in_)
         fatal("cannot open trace file '{}'", path);
     FileHeader h{};
-    in.read(reinterpret_cast<char *>(&h), sizeof(h));
-    if (!in || std::memcmp(h.magic, magic, sizeof(magic)) != 0)
+    in_.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!in_ || std::memcmp(h.magic, magic, sizeof(magic)) != 0)
         fatal("'{}' is not a TDC trace file", path);
     if (h.version != formatVersion)
         fatal("trace file '{}' has unsupported version {}", path,
               h.version);
 
-    FileRecord fr{};
-    while (in.read(reinterpret_cast<char *>(&fr), sizeof(fr))) {
-        TraceRecord rec;
-        rec.vaddr = fr.vaddr;
-        rec.nonMemInsts = fr.nonMemInsts;
-        rec.type = static_cast<AccessType>(fr.type);
-        rec.dependent = fr.dependent != 0;
-        records_.push_back(rec);
-    }
-    if (records_.empty())
+    // The record count comes from the file size, so replay needs a
+    // fixed-size buffer rather than the whole trace in memory. A
+    // trailing partial record is ignored, exactly as the old
+    // read-until-EOF loop did.
+    in_.seekg(0, std::ios::end);
+    const auto end = in_.tellg();
+    if (end < static_cast<std::streamoff>(sizeof(FileHeader)))
         fatal("trace file '{}' contains no records", path);
+    totalRecords_ = (static_cast<std::size_t>(end) - sizeof(FileHeader))
+                    / sizeof(FileRecord);
+    if (totalRecords_ == 0)
+        fatal("trace file '{}' contains no records", path);
+    in_.seekg(sizeof(FileHeader), std::ios::beg);
+    buf_.reserve(std::min(bufCap_, totalRecords_));
+}
+
+void
+FileTraceSource::fill()
+{
+    if (nextFileRecord_ == totalRecords_) {
+        // Wrap: the source loops forever over the file's records.
+        in_.clear();
+        in_.seekg(sizeof(FileHeader), std::ios::beg);
+        nextFileRecord_ = 0;
+    }
+    const std::size_t want =
+        std::min(bufCap_, totalRecords_ - nextFileRecord_);
+    buf_.resize(want);
+    std::vector<FileRecord> raw(want);
+    in_.read(reinterpret_cast<char *>(raw.data()),
+             static_cast<std::streamsize>(want * sizeof(FileRecord)));
+    if (static_cast<std::size_t>(in_.gcount())
+        != want * sizeof(FileRecord))
+        fatal("trace file '{}' shrank while being replayed", path_);
+    for (std::size_t i = 0; i < want; ++i) {
+        TraceRecord &rec = buf_[i];
+        rec.vaddr = raw[i].vaddr;
+        rec.nonMemInsts = raw[i].nonMemInsts;
+        rec.type = static_cast<AccessType>(raw[i].type);
+        rec.dependent = raw[i].dependent != 0;
+    }
+    nextFileRecord_ += want;
+    bufPos_ = 0;
 }
 
 TraceRecord
 FileTraceSource::next()
 {
-    const TraceRecord rec = records_[pos_];
-    pos_ = (pos_ + 1) % records_.size();
-    return rec;
+    if (bufPos_ == buf_.size())
+        fill();
+    return buf_[bufPos_++];
 }
 
 void
 FileTraceSource::reset()
 {
-    pos_ = 0;
+    in_.clear();
+    in_.seekg(sizeof(FileHeader), std::ios::beg);
+    nextFileRecord_ = 0;
+    buf_.clear();
+    bufPos_ = 0;
 }
 
 void

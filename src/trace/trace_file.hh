@@ -48,20 +48,37 @@ class TraceWriter
     bool closed_ = false;
 };
 
-/** Replays a trace file; loops when it reaches the end. */
+/**
+ * Replays a trace file; loops when it reaches the end.
+ *
+ * Records are streamed from disk through a bounded read buffer
+ * (`buffer_records` at a time), so a multi-GB trace costs a fixed
+ * amount of memory instead of being loaded whole. reset() rewinds to
+ * the first record and refills from the file, so the replayed stream
+ * is byte-for-byte the same on every pass.
+ */
 class FileTraceSource : public TraceSource
 {
   public:
-    explicit FileTraceSource(const std::string &path);
+    explicit FileTraceSource(const std::string &path,
+                             std::size_t buffer_records = 4096);
 
     TraceRecord next() override;
     void reset() override;
 
-    std::size_t records() const { return records_.size(); }
+    std::size_t records() const { return totalRecords_; }
 
   private:
-    std::vector<TraceRecord> records_;
-    std::size_t pos_ = 0;
+    /** Reads the next chunk, wrapping to the first record at EOF. */
+    void fill();
+
+    std::string path_;
+    std::ifstream in_;
+    std::size_t totalRecords_ = 0;
+    std::size_t nextFileRecord_ = 0; //!< next record index to read
+    std::vector<TraceRecord> buf_;
+    std::size_t bufPos_ = 0;
+    std::size_t bufCap_;
 };
 
 /** Captures `count` records from any source into a file. */

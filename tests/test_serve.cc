@@ -1,0 +1,611 @@
+/**
+ * @file
+ * Tests for the resident sweep service (src/serve): content-addressed
+ * cache keys, the persistent job queue's atomic state machine and
+ * crash recovery, the cross-invocation warm-checkpoint cache
+ * (integrity checks, LRU eviction), the incremental result cache, and
+ * the service-level contracts -- a drained queue's reassembled report
+ * is byte-identical to a direct tdc_sweep run, a second invocation
+ * restores persisted warm state instead of re-warming, and sharded
+ * drains merge back into the exact single-machine document.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/format.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "runner/sweep.hh"
+#include "runner/sweep_runner.hh"
+#include "serve/cache_key.hh"
+#include "serve/job_queue.hh"
+#include "serve/result_cache.hh"
+#include "serve/service.hh"
+#include "serve/warm_cache.hh"
+#include "sys/system.hh"
+
+namespace fs = std::filesystem;
+
+using namespace tdc;
+using namespace tdc::serve;
+using runner::JobSpec;
+using runner::SweepManifest;
+using runner::SweepRunner;
+
+namespace {
+
+/** A clean per-test service root under the gtest temp dir. */
+std::string
+freshRoot(const std::string &leaf)
+{
+    const fs::path p =
+        fs::path(::testing::TempDir()) / ("tdc_serve_" + leaf);
+    fs::remove_all(p);
+    fs::create_directories(p);
+    return p.string();
+}
+
+/** 2 orgs x 2 workloads at a small budget: four distinct cells. */
+SweepManifest
+tinyManifest()
+{
+    return SweepManifest::fromJson(*json::Value::parse(R"({
+        "name": "serve-tiny",
+        "base": { "insts_per_core": 12000, "warmup_insts": 3000,
+                  "l3_size_bytes": 67108864 },
+        "axes": { "org": ["ctlb", "bi"],
+                  "workload": ["libquantum", "milc"] }
+    })"));
+}
+
+/**
+ * Two jobs differing only in measurement budget: one warm group
+ * (instsPerCore is excluded from the warm fingerprint), two cells.
+ */
+SweepManifest
+warmPairManifest()
+{
+    return SweepManifest::fromJson(*json::Value::parse(R"({
+        "name": "serve-warm-pair",
+        "jobs": [
+            { "label": "short", "org": "ctlb",
+              "workload": "libquantum", "l3_size_bytes": 67108864,
+              "insts_per_core": 12000, "warmup_insts": 6000 },
+            { "label": "long", "org": "ctlb",
+              "workload": "libquantum", "l3_size_bytes": 67108864,
+              "insts_per_core": 20000, "warmup_insts": 6000 }
+        ]
+    })"));
+}
+
+/** The report a direct single-machine tdc_sweep run would emit. */
+std::string
+directReportDump(const SweepManifest &m, unsigned jobs)
+{
+    runner::SweepOptions opt;
+    opt.jobs = jobs;
+    opt.progress = false;
+    return SweepRunner::aggregateReport(m, SweepRunner(opt).run(m))
+        .dump();
+}
+
+ServeConfig
+quietConfig(const std::string &root)
+{
+    ServeConfig sc;
+    sc.root = root;
+    sc.jobs = 2;
+    sc.progress = false;
+    return sc;
+}
+
+/** A small but structurally real checkpoint with a chosen key. */
+ckpt::Checkpoint
+fakeCheckpoint(std::uint64_t fp, std::size_t pad_bytes = 64)
+{
+    ckpt::Checkpoint ck;
+    ck.setFingerprint(fp);
+    ckpt::Serializer meta;
+    meta.putString("{\"fake\":true}");
+    ck.addSection("meta", std::move(meta));
+    ckpt::Serializer body;
+    for (std::size_t i = 0; i < pad_bytes; ++i)
+        body.putU64(fp + i);
+    ck.addSection("body", std::move(body));
+    return ck;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Cache keys
+// ---------------------------------------------------------------------
+
+TEST(CacheKey, JobConfigHashSeparatesCells)
+{
+    const auto m = tinyManifest();
+    JobSpec a = m.jobs[0];
+    EXPECT_EQ(jobConfigHash(a), jobConfigHash(m.jobs[0]));
+
+    std::vector<std::uint64_t> hashes;
+    for (const auto &job : m.jobs)
+        hashes.push_back(jobConfigHash(job));
+    std::sort(hashes.begin(), hashes.end());
+    EXPECT_EQ(std::unique(hashes.begin(), hashes.end()),
+              hashes.end());
+
+    // Every field participates, including the label (labels can leak
+    // into per-job obs paths embedded in reports).
+    JobSpec renamed = m.jobs[0];
+    renamed.label = "renamed";
+    EXPECT_NE(jobConfigHash(renamed), jobConfigHash(m.jobs[0]));
+    JobSpec longer = m.jobs[0];
+    longer.instsPerCore += 1;
+    EXPECT_NE(jobConfigHash(longer), jobConfigHash(m.jobs[0]));
+}
+
+TEST(CacheKey, BinaryHashIsStableAndNonZero)
+{
+    EXPECT_NE(binaryHash(), 0u);
+    EXPECT_EQ(binaryHash(), binaryHash());
+}
+
+// ---------------------------------------------------------------------
+// Job queue
+// ---------------------------------------------------------------------
+
+TEST(JobQueue, LifecycleWalksTheSpoolStates)
+{
+    const auto root = freshRoot("queue_lifecycle");
+    const auto m = tinyManifest();
+    JobQueue q(root);
+
+    EXPECT_EQ(q.enqueue(m), m.jobs.size());
+    EXPECT_EQ(q.pendingCount(), m.jobs.size());
+    // Re-enqueueing in-flight jobs is a no-op.
+    EXPECT_EQ(q.enqueue(m), 0u);
+    EXPECT_EQ(q.pendingCount(), m.jobs.size());
+
+    auto job = q.claim();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(q.pendingCount(), m.jobs.size() - 1);
+    EXPECT_EQ(q.claimedCount(), 1u);
+    EXPECT_EQ(job->configHash, jobConfigHash(job->spec));
+    EXPECT_EQ(job->manifestName, "serve-tiny");
+
+    auto outcome = json::Value::object();
+    outcome.set("status", "ok");
+    outcome.set("attempts", std::uint64_t{1});
+    q.complete(*job, outcome);
+    EXPECT_EQ(q.claimedCount(), 0u);
+    EXPECT_EQ(q.doneCount(), 1u);
+
+    const auto stored = q.outcomeOf(job->id);
+    ASSERT_TRUE(stored.has_value());
+    EXPECT_EQ(stored->find("status")->asString(), "ok");
+
+    // A finished job re-enqueues (superseding the outcome record).
+    EXPECT_EQ(q.enqueue(m), 1u);
+    EXPECT_EQ(q.doneCount(), 0u);
+    EXPECT_EQ(q.pendingCount(), m.jobs.size());
+}
+
+TEST(JobQueue, RecoverRequeuesOrphanedClaims)
+{
+    const auto root = freshRoot("queue_recover");
+    const auto m = tinyManifest();
+    {
+        JobQueue q(root);
+        q.enqueue(m);
+        ASSERT_TRUE(q.claim().has_value());
+        ASSERT_TRUE(q.claim().has_value());
+        // "Crash": the queue object goes away with claims held.
+    }
+    JobQueue q(root);
+    EXPECT_EQ(q.claimedCount(), 2u);
+    EXPECT_EQ(q.recover(), 2u);
+    EXPECT_EQ(q.claimedCount(), 0u);
+    EXPECT_EQ(q.pendingCount(), m.jobs.size());
+}
+
+TEST(JobQueue, RecoverDropsClaimWhoseOutcomeWasPublished)
+{
+    const auto root = freshRoot("queue_recover_done");
+    const auto m = tinyManifest();
+    JobQueue q(root);
+    q.enqueue(m);
+    auto job = q.claim();
+    ASSERT_TRUE(job.has_value());
+
+    // Simulate a crash in the window between publishing the outcome
+    // and unlinking the claim: complete normally, then resurrect the
+    // claim file.
+    const fs::path claimed =
+        fs::path(q.dir()) / "claimed" / (job->id + ".json");
+    const fs::path done =
+        fs::path(q.dir()) / "done" / (job->id + ".json");
+    auto outcome = json::Value::object();
+    outcome.set("status", "ok");
+    q.complete(*job, outcome);
+    fs::copy_file(done, claimed);
+
+    EXPECT_EQ(q.recover(), 0u); // dropped, not requeued
+    EXPECT_EQ(q.claimedCount(), 0u);
+    EXPECT_EQ(q.doneCount(), 1u);
+    EXPECT_EQ(q.pendingCount(), m.jobs.size() - 1);
+}
+
+TEST(JobQueue, CorruptJobFileFailsWithReasonAndDrainContinues)
+{
+    const auto root = freshRoot("queue_corrupt");
+    JobQueue q(root);
+    {
+        std::ofstream bad(fs::path(q.dir()) / "pending"
+                          / "aaa-bogus.json");
+        bad << "this is not json";
+    }
+    const auto m = warmPairManifest();
+    q.enqueue(m);
+
+    // The corrupt file sorts first; claim() must fail it and hand out
+    // the first real job instead of getting stuck.
+    auto job = q.claim();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->spec.label, "long"); // sorted spool order
+    EXPECT_EQ(q.failedCount(), 1u);
+    const auto outcome = q.outcomeOf("aaa-bogus");
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_NE(outcome->find("error")->asString().find(
+                  "corrupt job file"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Warm cache
+// ---------------------------------------------------------------------
+
+TEST(WarmCache, StoreLookupRoundTripAndLruTouch)
+{
+    const auto root = freshRoot("warm_roundtrip");
+    WarmCache cache(root, 64ULL << 20);
+
+    EXPECT_EQ(cache.lookup(0x1234), nullptr);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    const auto ck = fakeCheckpoint(0x1234);
+    cache.store(ck, 0x1234);
+    const auto hit = cache.lookup(0x1234);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->fingerprint(), 0x1234u);
+    EXPECT_EQ(hit->require("body").payload,
+              ck.require("body").payload);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(WarmCache, CorruptEntryIsDeletedAndMisses)
+{
+    const auto root = freshRoot("warm_corrupt");
+    WarmCache cache(root, 64ULL << 20);
+    cache.store(fakeCheckpoint(0xbeef), 0xbeef);
+
+    // Flip a payload byte: the per-section checksum must catch it.
+    fs::path entry;
+    for (const auto &e : fs::directory_iterator(cache.dir()))
+        entry = e.path();
+    ASSERT_FALSE(entry.empty());
+    {
+        std::fstream f(entry, std::ios::in | std::ios::out
+                                  | std::ios::binary);
+        f.seekp(-1, std::ios::end);
+        f.put('\xff');
+    }
+
+    EXPECT_EQ(cache.lookup(0xbeef), nullptr);
+    EXPECT_EQ(cache.stats().corruptDropped, 1u);
+    EXPECT_FALSE(fs::exists(entry));
+}
+
+TEST(WarmCache, MismatchedFingerprintNeverHits)
+{
+    const auto root = freshRoot("warm_fp_mismatch");
+    WarmCache cache(root, 64ULL << 20);
+    cache.store(fakeCheckpoint(0xa), 0xa);
+
+    // Rename the entry so its content address claims fingerprint 0xb:
+    // the embedded fingerprint check must reject it.
+    fs::path entry;
+    for (const auto &e : fs::directory_iterator(cache.dir()))
+        entry = e.path();
+    const std::string renamed = entry.string();
+    const std::string from = ckpt::hex16(0xa), to = ckpt::hex16(0xb);
+    std::string target = renamed;
+    target.replace(target.find(from), from.size(), to);
+    fs::rename(entry, target);
+
+    EXPECT_EQ(cache.lookup(0xb), nullptr);
+    EXPECT_EQ(cache.stats().corruptDropped, 1u);
+    EXPECT_FALSE(fs::exists(target));
+}
+
+TEST(WarmCache, EvictsLeastRecentlyUsedPastByteBudget)
+{
+    const auto root = freshRoot("warm_lru");
+    // Budget fits roughly two of the three entries.
+    const auto probe = fakeCheckpoint(1).encode().size();
+    WarmCache cache(root, probe * 5 / 2);
+
+    cache.store(fakeCheckpoint(1), 1);
+    cache.store(fakeCheckpoint(2), 2);
+    // Make entry 1 the most recently used, then overflow the budget.
+    ASSERT_NE(cache.lookup(1), nullptr);
+    // Push entry 2's clock firmly into the past so the LRU order is
+    // unambiguous even on coarse-mtime filesystems.
+    for (const auto &e : fs::directory_iterator(cache.dir())) {
+        if (e.path().string().find(ckpt::hex16(2))
+            != std::string::npos)
+            fs::last_write_time(
+                e.path(), fs::file_time_type::clock::now()
+                              - std::chrono::hours(1));
+    }
+    cache.store(fakeCheckpoint(3), 3);
+
+    EXPECT_EQ(cache.stats().evicted, 1u);
+    EXPECT_NE(cache.lookup(1), nullptr); // recently used: kept
+    EXPECT_NE(cache.lookup(3), nullptr); // just stored: kept
+    EXPECT_EQ(cache.lookup(2), nullptr); // LRU victim
+}
+
+// ---------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------
+
+TEST(ResultCache, RoundTripAndCorruptDrop)
+{
+    const auto root = freshRoot("result_cache");
+    ResultCache cache(root);
+
+    EXPECT_FALSE(cache.lookup(7).has_value());
+
+    CachedResult entry;
+    entry.label = "cell-a";
+    entry.attempts = 2;
+    entry.report = *json::Value::parse(
+        R"({"schema":"tdc-run-report-v1","result":{"sum_ipc":1.5}})");
+    cache.store(7, entry);
+
+    auto hit = cache.lookup(7);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->label, "cell-a");
+    EXPECT_EQ(hit->attempts, 2u);
+    EXPECT_EQ(hit->report.dump(), entry.report.dump());
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // A different config hash is a different cell.
+    EXPECT_FALSE(cache.lookup(8).has_value());
+
+    // Corrupt the stored entry: dropped, not replayed.
+    fs::path file;
+    for (const auto &e : fs::directory_iterator(cache.dir()))
+        file = e.path();
+    {
+        std::ofstream f(file, std::ios::trunc);
+        f << "{\"schema\":\"wrong\"}";
+    }
+    EXPECT_FALSE(cache.lookup(7).has_value());
+    EXPECT_EQ(cache.stats().corruptDropped, 1u);
+    EXPECT_FALSE(fs::exists(file));
+}
+
+// ---------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------
+
+TEST(SweepService, DrainedReportIsByteIdenticalToDirectSweep)
+{
+    const auto root = freshRoot("svc_direct_equiv");
+    const auto m = tinyManifest();
+    const auto direct = directReportDump(m, 1);
+
+    SweepService svc(quietConfig(root));
+    EXPECT_EQ(svc.enqueue(m), m.jobs.size());
+    const auto st = svc.drainOnce();
+    EXPECT_EQ(st.jobs, m.jobs.size());
+    EXPECT_EQ(st.ok, m.jobs.size());
+    EXPECT_EQ(st.failed + st.timedOut, 0u);
+    EXPECT_EQ(st.resultCacheHits, 0u);
+    EXPECT_GT(st.warmupInstsSimulated, 0u);
+    EXPECT_GT(st.measureInstsSimulated, 0u);
+
+    EXPECT_EQ(svc.reportFor(m).dump(), direct);
+    EXPECT_TRUE(
+        fs::exists(fs::path(root) / "last-drain.json"));
+}
+
+TEST(SweepService, SecondDrainReplaysEveryCellFromTheResultCache)
+{
+    const auto root = freshRoot("svc_result_replay");
+    const auto m = tinyManifest();
+
+    SweepService svc(quietConfig(root));
+    svc.enqueue(m);
+    svc.drainOnce();
+    const auto first = svc.reportFor(m).dump();
+
+    svc.enqueue(m);
+    const auto st = svc.drainOnce();
+    EXPECT_EQ(st.jobs, m.jobs.size());
+    EXPECT_EQ(st.resultCacheHits, m.jobs.size());
+    EXPECT_EQ(st.ok, m.jobs.size());
+    EXPECT_EQ(st.warmupInstsSimulated, 0u);
+    EXPECT_EQ(st.measureInstsSimulated, 0u);
+    EXPECT_EQ(svc.reportFor(m).dump(), first);
+}
+
+TEST(SweepService, WarmCheckpointIsReusedAcrossInvocations)
+{
+    const auto root = freshRoot("svc_warm_reuse");
+    const auto m = warmPairManifest();
+    const auto direct = directReportDump(m, 2);
+
+    // Invocation 1: cold caches -- one warm run for the shared group.
+    {
+        SweepService svc(quietConfig(root));
+        svc.enqueue(m);
+        const auto st = svc.drainOnce();
+        EXPECT_EQ(st.ok, 2u);
+        EXPECT_EQ(st.warmCacheHits, 0u);
+        EXPECT_EQ(st.warmCacheMisses, 1u);
+        EXPECT_GT(st.warmupInstsSimulated, 0u);
+        EXPECT_EQ(svc.reportFor(m).dump(), direct);
+    }
+
+    // Invocation 2 (fresh process state simulated by a fresh service
+    // over the same root), result replay disabled: both cells
+    // re-measure from the persisted checkpoint and simulate zero
+    // warmup instructions.
+    {
+        auto cfg = quietConfig(root);
+        cfg.useResultCache = false;
+        SweepService svc(cfg);
+        svc.enqueue(m);
+        const auto st = svc.drainOnce();
+        EXPECT_EQ(st.ok, 2u);
+        EXPECT_EQ(st.resultCacheHits, 0u);
+        EXPECT_EQ(st.warmCacheHits, 1u);
+        EXPECT_EQ(st.warmCacheMisses, 0u);
+        EXPECT_EQ(st.warmupInstsSimulated, 0u);
+        EXPECT_GT(st.measureInstsSimulated, 0u);
+        // Restored measurement is byte-identical to the direct run.
+        EXPECT_EQ(svc.reportFor(m).dump(), direct);
+    }
+}
+
+TEST(SweepService, FailedJobIsReportedInItsSlotAndNotCached)
+{
+    const auto root = freshRoot("svc_failure");
+    // A spec that parses cleanly (so it spools and claims) but
+    // fatal()s inside System construction: a bogus override value.
+    auto m = warmPairManifest();
+    m.jobs[0].raw.set("l3.policy", "no-such-policy");
+
+    SweepService svc(quietConfig(root));
+    svc.enqueue(m);
+    const auto st = svc.drainOnce();
+    EXPECT_EQ(st.ok, 1u);
+    EXPECT_EQ(st.failed, 1u);
+
+    const auto report = svc.reportFor(m);
+    const auto &jobs = *report.find("jobs");
+    EXPECT_EQ(jobs.at(0).find("status")->asString(), "failed");
+    EXPECT_EQ(jobs.at(0).find("attempts")->asUint(),
+              2u); // one automatic retry
+    EXPECT_EQ(jobs.at(1).find("status")->asString(), "ok");
+
+    // Failures are not cached: re-enqueueing re-runs only the broken
+    // cell.
+    svc.enqueue(m);
+    const auto st2 = svc.drainOnce();
+    EXPECT_EQ(st2.resultCacheHits, 1u);
+    EXPECT_EQ(st2.failed, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Shard / merge
+// ---------------------------------------------------------------------
+
+TEST(ShardSlice, PartitionsDeterministicallyAndValidates)
+{
+    const auto m = tinyManifest();
+    std::vector<std::string> seen;
+    for (unsigned i = 0; i < 3; ++i) {
+        const auto s = runner::shardSlice(m, i, 3);
+        EXPECT_EQ(s.name, m.name);
+        for (const auto &job : s.jobs)
+            seen.push_back(job.label);
+    }
+    std::vector<std::string> all;
+    for (const auto &job : m.jobs)
+        all.push_back(job.label);
+    std::sort(seen.begin(), seen.end());
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(seen, all);
+
+    EXPECT_THROW(runner::shardSlice(m, 0, 0), runner::ManifestError);
+    EXPECT_THROW(runner::shardSlice(m, 3, 3), runner::ManifestError);
+    // More shards than jobs: the tail shard would be empty.
+    EXPECT_THROW(runner::shardSlice(m, 4, 5), runner::ManifestError);
+}
+
+TEST(ShardMerge, ShardedDrainsMergeByteIdenticalToDirectRun)
+{
+    const auto m = tinyManifest();
+    const auto direct = directReportDump(m, 1);
+    EXPECT_EQ(directReportDump(m, 8), direct); // -j invariance
+
+    for (unsigned shards : {1u, 2u, 3u}) {
+        std::vector<json::Value> shardReports;
+        for (unsigned i = 0; i < shards; ++i) {
+            const auto slice = runner::shardSlice(m, i, shards);
+            SweepService svc(quietConfig(freshRoot(
+                format("shard_{}_{}", shards, i))));
+            svc.enqueue(slice);
+            const auto st = svc.drainOnce();
+            EXPECT_EQ(st.ok, slice.jobs.size());
+            shardReports.push_back(svc.reportFor(slice));
+        }
+        EXPECT_EQ(mergeShardReports(m, shardReports).dump(), direct)
+            << shards << " shard(s)";
+    }
+}
+
+TEST(ShardMerge, RejectsDuplicateAndMissingJobs)
+{
+    const auto m = warmPairManifest();
+    auto entry = json::Value::object();
+    entry.set("label", "short");
+    entry.set("status", "ok");
+    auto shard = json::Value::object();
+    shard.set("schema", runner::sweepReportSchema);
+    shard.set("name", m.name);
+    auto jobs = json::Value::array();
+    jobs.push(std::move(entry));
+    shard.set("jobs", std::move(jobs));
+
+    ScopedFatalCapture capture;
+    // "long" appears in no shard.
+    EXPECT_THROW(mergeShardReports(m, {shard}), FatalError);
+    // "short" appears in two shards.
+    EXPECT_THROW(mergeShardReports(m, {shard, shard}), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// ServeConfig
+// ---------------------------------------------------------------------
+
+TEST(ServeConfig, ReadsDottedOverrides)
+{
+    Config cfg;
+    ASSERT_TRUE(cfg.parseAssignment("serve.root=/tmp/elsewhere"));
+    ASSERT_TRUE(cfg.parseAssignment("serve.jobs=3"));
+    ASSERT_TRUE(cfg.parseAssignment("serve.warm_cache=false"));
+    ASSERT_TRUE(cfg.parseAssignment("serve.result_cache=false"));
+    ASSERT_TRUE(cfg.parseAssignment("serve.warm_cache_bytes=1024"));
+    ASSERT_TRUE(cfg.parseAssignment("serve.poll_ms=7"));
+    cfg.checkKnown({}, "test"); // all serve.* keys are registered
+
+    const auto sc = ServeConfig::fromConfig(cfg);
+    EXPECT_EQ(sc.root, "/tmp/elsewhere");
+    EXPECT_EQ(sc.jobs, 3u);
+    EXPECT_FALSE(sc.useWarmCache);
+    EXPECT_FALSE(sc.useResultCache);
+    EXPECT_EQ(sc.warmCacheBytes, 1024u);
+    EXPECT_EQ(sc.pollMs, 7u);
+}

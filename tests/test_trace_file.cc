@@ -4,7 +4,9 @@
 
 #include <cstdio>
 #include <unistd.h>
+#include <cstdint>
 #include <filesystem>
+#include <vector>
 
 #include "trace/synthetic.hh"
 #include "trace/trace_file.hh"
@@ -115,6 +117,53 @@ TEST_F(TraceFileTest, CaptureFromSyntheticMatchesGenerator)
         ASSERT_EQ(a.type, b.type) << i;
         ASSERT_EQ(a.dependent, b.dependent) << i;
     }
+}
+
+TEST_F(TraceFileTest, StreamsTraceLargerThanBuffer)
+{
+    // 10'000 records against a 256-record read buffer: replay must
+    // stream through multiple refills and wrap mid-buffer without ever
+    // holding the whole trace in memory.
+    constexpr std::size_t n = 10'000;
+    constexpr std::size_t buffer = 256;
+    static_assert(n % buffer != 0, "exercise a partial final chunk");
+    {
+        TraceWriter w(path);
+        for (std::size_t i = 0; i < n; ++i)
+            w.write(rec(0x1000 + 64 * i, i % 7,
+                        i % 3 ? AccessType::Load : AccessType::Store,
+                        i % 2));
+    }
+    FileTraceSource src(path, buffer);
+    ASSERT_EQ(src.records(), n);
+    for (std::size_t i = 0; i < 2 * n + buffer / 2; ++i) {
+        const std::size_t j = i % n;
+        const TraceRecord r = src.next();
+        ASSERT_EQ(r.vaddr, 0x1000 + 64 * j) << i;
+        ASSERT_EQ(r.nonMemInsts, j % 7) << i;
+        ASSERT_EQ(r.type,
+                  j % 3 ? AccessType::Load : AccessType::Store)
+            << i;
+        ASSERT_EQ(r.dependent, j % 2 == 1) << i;
+    }
+}
+
+TEST_F(TraceFileTest, ResetIsDeterministicAcrossBufferRefills)
+{
+    constexpr std::size_t n = 1000;
+    {
+        TraceWriter w(path);
+        for (std::size_t i = 0; i < n; ++i)
+            w.write(rec(i, 0, AccessType::Load, false));
+    }
+    FileTraceSource src(path, 64);
+    std::vector<std::uint64_t> first;
+    for (std::size_t i = 0; i < n + 37; ++i)
+        first.push_back(src.next().vaddr);
+    // reset() from any mid-buffer position restarts the exact stream.
+    src.reset();
+    for (std::size_t i = 0; i < n + 37; ++i)
+        ASSERT_EQ(src.next().vaddr, first[i]) << i;
 }
 
 TEST_F(TraceFileTest, RejectsGarbage)

@@ -2,13 +2,18 @@
  * @file
  * tdc_ckpt: warm-state checkpoint inspector.
  *
- *   tdc_ckpt --ckpt=<path> [--list] [--verify]
+ *   tdc_ckpt --ckpt=<path> [--list] [--verify] [--json]
  *
  *   --list    (default) print the header (format version, config
  *             fingerprint), the per-section sizes and the "meta"
  *             summary the saving run embedded
  *   --verify  fully decode the file, re-checking magic, version and
  *             every section checksum; prints one verdict line
+ *   --json    print the same information as one tdc-ckpt-info-v1
+ *             JSON document (section table, checksums, fingerprint,
+ *             embedded meta) -- the exact format the sweep service's
+ *             warm-cache status/integrity path emits, so scripts
+ *             parse a single shape
  *
  * Exit status is non-zero for a missing, truncated, corrupt or
  * version-skewed file (decoding fatal()s), so the tool doubles as a
@@ -30,16 +35,19 @@ int
 main(int argc, char **argv)
 {
     Config args;
-    bool list = false, verify = false;
+    bool list = false, verify = false, json_out = false;
     for (int i = 1; i < argc; ++i) {
         std::string_view tok(argv[i]);
         if (tok == "--list") {
             list = true;
         } else if (tok == "--verify") {
             verify = true;
+        } else if (tok == "--json") {
+            json_out = true;
         } else if (!args.parseAssignment(tok)) {
             fatal("tdc_ckpt: unrecognized argument '{}' (usage: "
-                  "tdc_ckpt --ckpt=<path> [--list] [--verify])",
+                  "tdc_ckpt --ckpt=<path> [--list] [--verify] "
+                  "[--json])",
                   tok);
         }
     }
@@ -47,7 +55,7 @@ main(int argc, char **argv)
     const std::string path = args.getString("ckpt", "");
     if (path.empty())
         fatal("tdc_ckpt: --ckpt=<path> is required");
-    if (!list && !verify)
+    if (!list && !verify && !json_out)
         list = true;
 
     // loadFile() validates magic, format version and every section's
@@ -65,7 +73,12 @@ main(int argc, char **argv)
             ck.sections().size(), bytes);
     }
 
-    if (list) {
+    if (json_out) {
+        ckpt::infoJson(ck, path).write(std::cout);
+        std::cout << "\n";
+    }
+
+    if (list && !json_out) {
         std::cout << format("checkpoint            : {}\n", path);
         std::cout << format("format version        : {}\n",
                             ckpt::checkpointFormatVersion);

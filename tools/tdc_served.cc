@@ -1,0 +1,267 @@
+/**
+ * @file
+ * tdc_served: the resident sweep service (DESIGN.md 10).
+ *
+ *   tdc_served --root=<dir> --enqueue --manifest=<path>
+ *       spool a manifest's jobs into the persistent queue and exit
+ *
+ *   tdc_served --root=<dir> --once [--manifest=<path>] [--out=<path>]
+ *       recover orphaned claims, drain the queue to empty, exit.
+ *       With --manifest the jobs are enqueued first; with --out the
+ *       manifest's tdc-sweep-report-v1 document is reassembled from
+ *       stored state after the drain (byte-identical to tdc_sweep).
+ *
+ *   tdc_served --root=<dir> --watch [--manifest=<path>]
+ *       long-running mode: drain whenever jobs are pending, poll
+ *       otherwise. Touch <root>/stop to shut down cleanly.
+ *
+ *   tdc_served --root=<dir> --report --manifest=<path> [--out=<path>]
+ *       reassemble a manifest's report from stored state only
+ *
+ *   tdc_served --merge --manifest=<path> --shards=<r0.json,r1.json,...>
+ *              --out=<path>
+ *       recombine per-shard reports into the document a direct
+ *       single-machine run would produce, byte for byte
+ *
+ *   tdc_served --root=<dir> --status
+ *       print queue/cache state as JSON
+ *
+ *   Common options:
+ *     --shard=i/N        deterministic manifest slice (stride i, i+N,
+ *                        ...); applies before enqueueing
+ *     --jobs=N           worker threads (default: cores)
+ *     --passes=N         watch mode: exit after N drain passes
+ *     --no-progress      suppress per-completion stderr lines
+ *     --no-warm-cache    never restore persisted warm checkpoints
+ *     --no-result-cache  never replay stored run reports (fresh runs
+ *                        are still captured)
+ *     serve.<key>=<v>    dotted overrides (serve.root,
+ *                        serve.warm_cache_bytes, ...)
+ *
+ * Exit status of a drain is non-zero if any job failed or timed out.
+ */
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/format.hh"
+#include "common/json.hh"
+#include "runner/sweep.hh"
+#include "serve/service.hh"
+
+using namespace tdc;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : csv) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** Parses "--shard=i/N" and slices the manifest deterministically. */
+runner::SweepManifest
+applyShard(const runner::SweepManifest &m, const std::string &spec)
+{
+    const auto slash = spec.find('/');
+    unsigned index = 0, count = 0;
+    try {
+        if (slash == std::string::npos)
+            throw std::invalid_argument("no '/'");
+        index = static_cast<unsigned>(
+            std::stoul(spec.substr(0, slash)));
+        count = static_cast<unsigned>(
+            std::stoul(spec.substr(slash + 1)));
+    } catch (const std::exception &) {
+        fatal("tdc_served: --shard wants i/N (e.g. 0/4), got '{}'",
+              spec);
+    }
+    return runner::shardSlice(m, index, count);
+}
+
+/** Non-zero exit when any report slot is not "ok". */
+int
+reportExitStatus(const json::Value &report)
+{
+    const json::Value *jobs = report.find("jobs");
+    if (jobs == nullptr || !jobs->isArray())
+        return 1;
+    for (const json::Value &entry : jobs->items()) {
+        const json::Value *status = entry.find("status");
+        if (status == nullptr || !status->isString()
+            || status->asString() != "ok")
+            return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config args;
+    bool enqueue = false, once = false, watch = false, merge = false,
+         status = false, report = false;
+    bool no_progress = false, no_warm = false, no_result = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view tok(argv[i]);
+        if (tok == "--enqueue") {
+            enqueue = true;
+        } else if (tok == "--once") {
+            once = true;
+        } else if (tok == "--watch") {
+            watch = true;
+        } else if (tok == "--merge") {
+            merge = true;
+        } else if (tok == "--status") {
+            status = true;
+        } else if (tok == "--report") {
+            report = true;
+        } else if (tok == "--no-progress") {
+            no_progress = true;
+        } else if (tok == "--no-warm-cache") {
+            no_warm = true;
+        } else if (tok == "--no-result-cache") {
+            no_result = true;
+        } else if (!args.parseAssignment(tok)) {
+            fatal("tdc_served: unrecognized argument '{}' (every "
+                  "other option is key=value; see "
+                  "tools/tdc_served.cc)",
+                  tok);
+        }
+    }
+    args.checkKnown({"root", "manifest", "shard", "shards", "out",
+                     "jobs", "passes"},
+                    "tdc_served");
+
+    serve::ServeConfig sc = serve::ServeConfig::fromConfig(args);
+    sc.root = args.getString("root", sc.root);
+    sc.jobs =
+        static_cast<unsigned>(args.getU64("jobs", sc.jobs));
+    if (no_progress)
+        sc.progress = false;
+    if (no_warm)
+        sc.useWarmCache = false;
+    if (no_result)
+        sc.useResultCache = false;
+
+    const int modes = int{enqueue} + int{once} + int{watch}
+                      + int{merge} + int{status} + int{report};
+    if (modes != 1)
+        fatal("tdc_served: pick exactly one of --enqueue, --once, "
+              "--watch, --merge, --report, --status");
+
+    std::optional<runner::SweepManifest> manifest;
+    if (args.has("manifest")) {
+        try {
+            manifest = runner::SweepManifest::load(
+                args.getString("manifest", ""));
+            if (args.has("shard"))
+                manifest = applyShard(*manifest,
+                                      args.getString("shard", ""));
+        } catch (const runner::ManifestError &e) {
+            fatal("{}", e.what());
+        }
+    }
+
+    if (merge) {
+        if (!manifest)
+            fatal("tdc_served: --merge needs --manifest=<path> (job "
+                  "order and sweep name come from it)");
+        const auto paths = splitList(args.getString("shards", ""));
+        if (paths.empty())
+            fatal("tdc_served: --merge needs "
+                  "--shards=<r0.json,r1.json,...>");
+        std::vector<json::Value> shards;
+        for (const auto &path : paths) {
+            std::string err;
+            auto doc = json::tryReadFile(path, &err);
+            if (!doc)
+                fatal("tdc_served: cannot read shard report '{}': {}",
+                      path, err);
+            shards.push_back(std::move(*doc));
+        }
+        const auto merged =
+            serve::mergeShardReports(*manifest, shards);
+        if (args.has("out")) {
+            json::writeFile(merged, args.getString("out", ""));
+            std::cout << format(
+                "[served] merged {} shard report(s) into {}\n",
+                shards.size(), args.getString("out", ""));
+        } else {
+            merged.write(std::cout);
+            std::cout << "\n";
+        }
+        return reportExitStatus(merged);
+    }
+
+    serve::SweepService service(sc);
+
+    if (status) {
+        service.statusJson().write(std::cout);
+        std::cout << "\n";
+        return 0;
+    }
+
+    if (enqueue && !manifest)
+        fatal("tdc_served: --enqueue needs --manifest=<path>");
+    if (manifest && !report) {
+        const unsigned fresh = service.enqueue(*manifest);
+        std::cout << format(
+            "[served] enqueued {} new job(s) of {} in manifest "
+            "'{}'\n",
+            fresh, manifest->jobs.size(), manifest->name);
+    }
+    if (enqueue)
+        return 0;
+
+    if (once || watch) {
+        serve::DrainStats st;
+        if (once)
+            st = service.drainOnce();
+        else
+            service.watch(static_cast<unsigned>(
+                args.getU64("passes", 0)));
+        if (args.has("out")) {
+            if (!manifest)
+                fatal("tdc_served: --out needs --manifest=<path> to "
+                      "know which jobs the report covers");
+            json::writeFile(service.reportFor(*manifest),
+                            args.getString("out", ""));
+            std::cout << format("[served] report written to {}\n",
+                                args.getString("out", ""));
+        }
+        return once && (st.failed + st.timedOut) > 0 ? 1 : 0;
+    }
+
+    // --report: reassemble from stored state without draining.
+    if (!manifest)
+        fatal("tdc_served: --report needs --manifest=<path>");
+    const auto doc = service.reportFor(*manifest);
+    if (args.has("out")) {
+        json::writeFile(doc, args.getString("out", ""));
+        std::cout << format("[served] report written to {}\n",
+                            args.getString("out", ""));
+    } else {
+        doc.write(std::cout);
+        std::cout << "\n";
+    }
+    return reportExitStatus(doc);
+}
