@@ -1,12 +1,62 @@
 #include "ckpt/checkpoint.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 
 namespace tdc {
 namespace ckpt {
+
+namespace {
+
+/** Checkpoint-container I/O metrics (DESIGN.md 11 catalog). */
+struct CkptMetrics
+{
+    metrics::Counter &saves;
+    metrics::Counter &savedBytes;
+    metrics::Counter &restores;
+    metrics::Counter &loadedBytes;
+    metrics::Histogram &saveSeconds;
+    metrics::Histogram &loadSeconds;
+};
+
+CkptMetrics &
+ckptMetrics()
+{
+    auto &r = metrics::registry();
+    static CkptMetrics m{
+        r.counter("tdc_ckpt_saves_total",
+                  "Checkpoint containers written to disk"),
+        r.counter("tdc_ckpt_saved_bytes_total",
+                  "Encoded checkpoint bytes written to disk"),
+        r.counter("tdc_ckpt_loads_total",
+                  "Checkpoint containers decoded from disk"),
+        r.counter("tdc_ckpt_loaded_bytes_total",
+                  "Encoded checkpoint bytes read from disk"),
+        r.histogram("tdc_ckpt_save_seconds",
+                    "Wall time to encode and write one container",
+                    {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                     0.25, 0.5, 1.0, 2.5}),
+        r.histogram("tdc_ckpt_load_seconds",
+                    "Wall time to read and decode one container",
+                    {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                     0.25, 0.5, 1.0, 2.5}),
+    };
+    return m;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 std::uint64_t
 fnv1a(const std::uint8_t *data, std::size_t n)
@@ -117,6 +167,7 @@ Checkpoint::decode(const std::uint8_t *data, std::size_t size)
 void
 Checkpoint::writeFile(const std::string &path) const
 {
+    const auto t0 = std::chrono::steady_clock::now();
     const std::vector<std::uint8_t> bytes = encode();
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
@@ -126,6 +177,10 @@ Checkpoint::writeFile(const std::string &path) const
     const int rc = std::fclose(f);
     if (written != bytes.size() || rc != 0)
         fatal("checkpoint: short write to '{}'", path);
+    CkptMetrics &m = ckptMetrics();
+    m.saves.inc();
+    m.savedBytes.inc(bytes.size());
+    m.saveSeconds.observe(secondsSince(t0));
 }
 
 std::string
@@ -180,6 +235,7 @@ infoJson(const Checkpoint &ck, const std::string &path)
 Checkpoint
 Checkpoint::loadFile(const std::string &path)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         fatal("checkpoint: cannot open '{}'", path);
@@ -192,7 +248,12 @@ Checkpoint::loadFile(const std::string &path)
     std::fclose(f);
     if (got != bytes.size())
         fatal("checkpoint: short read from '{}'", path);
-    return decode(bytes.data(), bytes.size());
+    Checkpoint ck = decode(bytes.data(), bytes.size());
+    CkptMetrics &m = ckptMetrics();
+    m.restores.inc();
+    m.loadedBytes.inc(bytes.size());
+    m.loadSeconds.observe(secondsSince(t0));
+    return ck;
 }
 
 } // namespace ckpt

@@ -77,7 +77,10 @@ knownDottedKeys()
         // serve.*: resident sweep service (src/serve/service.cc)
         "serve.root", "serve.jobs", "serve.warm_cache",
         "serve.result_cache", "serve.warm_cache_bytes",
-        "serve.poll_ms",
+        "serve.poll_ms", "serve.metrics_out",
+        // log.*: leveled logging + structured event log
+        // (src/common/event_log.cc)
+        "log.level", "log.jsonl",
     };
     return keys;
 }

@@ -1,0 +1,143 @@
+#include "common/event_log.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <mutex>
+
+namespace tdc {
+
+namespace {
+
+struct Sink
+{
+    std::mutex mutex;
+    std::ofstream out;
+    bool open = false;
+};
+
+Sink &
+sink()
+{
+    static Sink s;
+    return s;
+}
+
+std::string
+isoTimestamp()
+{
+    using namespace std::chrono;
+    const auto now = system_clock::now();
+    const std::time_t secs = system_clock::to_time_t(now);
+    const auto ms = duration_cast<milliseconds>(
+                        now.time_since_epoch())
+                        .count()
+                    % 1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec,
+                  static_cast<int>(ms));
+    return buf;
+}
+
+void
+writeRecord(LogLevel level, std::string_view event,
+            std::string_view label, const json::Value *fields)
+{
+    auto rec = json::Value::object();
+    rec.set("ts", isoTimestamp());
+    rec.set("level", logLevelName(level));
+    rec.set("event", event);
+    if (!label.empty())
+        rec.set("label", label);
+    if (fields != nullptr && fields->isObject()) {
+        for (const auto &[key, value] : fields->members())
+            rec.set(key, value);
+    }
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.open)
+        return;
+    rec.write(s.out, -1);
+    s.out << "\n";
+    s.out.flush();
+}
+
+/** Mirrors every stderr sink line into the JSONL stream. */
+void
+mirrorEmit(LogLevel level, std::string_view label,
+           std::string_view msg)
+{
+    auto fields = json::Value::object();
+    fields.set("msg", msg);
+    writeRecord(level, "log", label, &fields);
+}
+
+} // namespace
+
+void
+openEventLog(const std::string &path)
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.open)
+        s.out.close();
+    s.out.open(path, std::ios::app);
+    if (!s.out)
+        fatal("event log: cannot open '{}' for appending", path);
+    s.open = true;
+    detail::setEventMirror(&mirrorEmit);
+}
+
+void
+closeEventLog()
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    detail::setEventMirror(nullptr);
+    if (s.open) {
+        s.out.close();
+        s.open = false;
+    }
+}
+
+bool
+eventLogOpen()
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.open;
+}
+
+void
+logEvent(LogLevel level, std::string_view event, json::Value fields)
+{
+    if (detail::eventMirror() == nullptr)
+        return; // no sink attached: one pointer load, no work
+    if (level < logLevel())
+        return;
+    writeRecord(level, event, currentLogLabel(), &fields);
+}
+
+void
+applyLogSettings(const Config &cfg)
+{
+    if (cfg.has("log.level")) {
+        const std::string name = cfg.getString("log.level", "info");
+        const auto parsed = parseLogLevel(name);
+        if (!parsed)
+            fatal("log.level wants debug|info|warn|error|off, got "
+                  "'{}'",
+                  name);
+        setLogLevel(*parsed);
+    }
+    if (cfg.has("log.jsonl"))
+        openEventLog(cfg.getString("log.jsonl", ""));
+}
+
+} // namespace tdc

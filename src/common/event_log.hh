@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Structured JSONL event log for the service/runner layers.
+ *
+ * The human-readable stderr sinks (common/logging.hh) are fine for a
+ * terminal; a resident service also needs machine-parseable history.
+ * When a sink is attached (openEventLog), every event -- and a mirror
+ * of every warn/inform/fatal line -- is appended as one compact JSON
+ * object per line:
+ *
+ *   {"ts":"2026-08-07T12:34:56.123Z","level":"info",
+ *    "event":"job_done","label":"ctlb/mcf",...}
+ *
+ * "label" is the calling thread's ScopedLogLabel -- the per-job
+ * correlation id sweep workers already install -- so one grep pulls a
+ * job's full history out of an interleaved service run. Events below
+ * the process log level (logLevel()) are dropped. With no sink
+ * attached logEvent() is one relaxed pointer load -- the serve layer
+ * can emit events unconditionally.
+ *
+ * Wiring: tools call applyLogSettings(config) after argument parsing;
+ * it applies "log.level" / "log.jsonl" (falling back to the
+ * TDC_LOG_LEVEL environment variable when the key is absent, matching
+ * the check.* precedence convention).
+ */
+
+#ifndef TDC_COMMON_EVENT_LOG_HH
+#define TDC_COMMON_EVENT_LOG_HH
+
+#include <string>
+#include <string_view>
+
+#include "common/config.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace tdc {
+
+/** Attaches (creating/appending) the JSONL sink; fatal on I/O error.
+ *  Also installs the mirror that copies stderr sink lines in. */
+void openEventLog(const std::string &path);
+
+/** Flushes and detaches the sink (idempotent). */
+void closeEventLog();
+
+/** True while a sink is attached. */
+bool eventLogOpen();
+
+/**
+ * Appends one structured record: {ts, level, event, label?, ...fields}.
+ * `fields` must be an object (or null for none); its members are
+ * inlined after the standard ones. No-op when no sink is attached or
+ * `level` is below the process threshold.
+ */
+void logEvent(LogLevel level, std::string_view event,
+              json::Value fields = json::Value());
+
+/**
+ * Applies "log.level" and "log.jsonl" from a parsed Config: level
+ * from the key when present, else from TDC_LOG_LEVEL (the lazy
+ * default), and opens the JSONL sink when "log.jsonl" names a path.
+ */
+void applyLogSettings(const Config &cfg);
+
+} // namespace tdc
+
+#endif // TDC_COMMON_EVENT_LOG_HH

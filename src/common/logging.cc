@@ -1,6 +1,9 @@
 #include "common/logging.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <ctime>
 #include <exception>
 #include <mutex>
 #include <utility>
@@ -36,7 +39,101 @@ labelPrefix()
     return "[" + t_logLabel + "] ";
 }
 
+/** Millisecond-resolution UTC timestamp, RFC 3339 shaped. */
+std::string
+timestamp()
+{
+    using namespace std::chrono;
+    const auto now = system_clock::now();
+    const std::time_t secs = system_clock::to_time_t(now);
+    const auto ms = duration_cast<milliseconds>(
+                        now.time_since_epoch())
+                        .count()
+                    % 1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec,
+                  static_cast<int>(ms));
+    return buf;
+}
+
+/** Encodes a level so atomic load/store needs no enum atomics. */
+std::atomic<int> g_level{-1}; // -1: not yet initialized
+
+LogLevel
+initialLevel()
+{
+    if (const char *env = std::getenv("TDC_LOG_LEVEL");
+        env != nullptr && *env != '\0') {
+        if (auto parsed = parseLogLevel(env))
+            return *parsed;
+        // Can't warn() here (re-entrant); a plain line will do.
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::cerr << "ignoring malformed TDC_LOG_LEVEL='" << env
+                  << "'\n";
+    }
+    return LogLevel::Info;
+}
+
 } // namespace
+
+LogLevel
+logLevel()
+{
+    int v = g_level.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = static_cast<int>(initialLevel());
+        int expected = -1;
+        if (!g_level.compare_exchange_strong(expected, v))
+            v = expected;
+    }
+    return static_cast<LogLevel>(v);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+std::optional<LogLevel>
+parseLogLevel(std::string_view name)
+{
+    if (name == "debug")
+        return LogLevel::Debug;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "warn" || name == "warning")
+        return LogLevel::Warn;
+    if (name == "error")
+        return LogLevel::Error;
+    if (name == "off" || name == "none")
+        return LogLevel::Off;
+    return std::nullopt;
+}
+
+std::string_view
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Off: return "off";
+    }
+    return "?";
+}
+
+const std::string &
+currentLogLabel()
+{
+    return t_logLabel;
+}
 
 ScopedLogLabel::ScopedLogLabel(std::string label)
     : prev_(std::exchange(t_logLabel, std::move(label)))
@@ -60,13 +157,31 @@ ScopedFatalCapture::~ScopedFatalCapture()
 
 namespace detail {
 
+namespace {
+std::atomic<EventMirrorFn> g_eventMirror{nullptr};
+} // namespace
+
+EventMirrorFn
+eventMirror()
+{
+    return g_eventMirror.load(std::memory_order_acquire);
+}
+
+void
+setEventMirror(EventMirrorFn fn)
+{
+    g_eventMirror.store(fn, std::memory_order_release);
+}
+
 void
 terminatePanic(std::string_view msg, const char *file, int line)
 {
+    if (auto *mirror = eventMirror())
+        mirror(LogLevel::Error, t_logLabel, msg);
     {
         std::lock_guard<std::mutex> lock(sinkMutex());
-        std::cerr << labelPrefix() << "panic: " << msg << " (" << file
-                  << ":" << line << ")\n";
+        std::cerr << timestamp() << " panic: " << labelPrefix() << msg
+                  << " (" << file << ":" << line << ")\n";
         std::cerr.flush();
     }
     std::abort();
@@ -77,19 +192,25 @@ terminateFatal(std::string_view msg)
 {
     if (t_captureFatal)
         throw FatalError(std::string(msg));
+    if (auto *mirror = eventMirror())
+        mirror(LogLevel::Error, t_logLabel, msg);
     {
         std::lock_guard<std::mutex> lock(sinkMutex());
-        std::cerr << labelPrefix() << "fatal: " << msg << "\n";
+        std::cerr << timestamp() << " fatal: " << labelPrefix() << msg
+                  << "\n";
         std::cerr.flush();
     }
     std::exit(1);
 }
 
 void
-emit(std::string_view level, std::string_view msg)
+emit(LogLevel level, std::string_view msg)
 {
+    if (auto *mirror = eventMirror())
+        mirror(level, t_logLabel, msg);
     std::lock_guard<std::mutex> lock(sinkMutex());
-    std::cerr << labelPrefix() << level << ": " << msg << "\n";
+    std::cerr << timestamp() << " " << logLevelName(level) << ": "
+              << labelPrefix() << msg << "\n";
 }
 
 } // namespace detail

@@ -6,6 +6,14 @@
  * fatal()  -- user error: bad configuration or arguments; clean exit(1).
  * warn()   -- suspicious but survivable condition.
  * inform() -- plain status output.
+ * logDebug() -- chatty diagnostics, suppressed by default.
+ *
+ * Every sink line carries a UTC timestamp and a severity tag
+ * ("2026-08-07T12:34:56.123Z info: ..."), and a process-wide level
+ * threshold filters debug/info/warn output: set it with
+ * setLogLevel(), the TDC_LOG_LEVEL environment variable, or the
+ * "log.level" config key (see common/event_log.hh for the precedence
+ * helper). fatal()/panic() are never filtered.
  *
  * All sinks are safe to use from concurrent sweep workers: emission is
  * serialized by a process-wide mutex, and a worker can install a
@@ -13,6 +21,10 @@
  * attributable. A worker can also convert fatal() into a catchable
  * FatalError (ScopedFatalCapture) so a misconfigured design point
  * fails its own job instead of exiting the whole sweep.
+ *
+ * A structured JSONL mirror of every emitted line is available via
+ * common/event_log.hh; this header stays free of JSON so json.hh can
+ * depend on it for tdc_assert.
  */
 
 #ifndef TDC_COMMON_LOGGING_HH
@@ -21,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -29,12 +42,40 @@
 
 namespace tdc {
 
+/** Severity levels, ordered; Off suppresses everything non-fatal. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3,
+                      Off = 4 };
+
+/** The current threshold. Defaults to Info; the first read honours
+ *  TDC_LOG_LEVEL from the environment unless setLogLevel() ran. */
+LogLevel logLevel();
+
+/** Pins the threshold (overrides the environment). */
+void setLogLevel(LogLevel level);
+
+/** "debug"/"info"/"warn"/"error"/"off" -> level; nullopt otherwise. */
+std::optional<LogLevel> parseLogLevel(std::string_view name);
+
+/** The level's canonical lower-case name. */
+std::string_view logLevelName(LogLevel level);
+
+/** The calling thread's ScopedLogLabel text ("" outside a scope);
+ *  doubles as the correlation id attached to structured events. */
+const std::string &currentLogLabel();
+
 namespace detail {
 
 [[noreturn]] void terminatePanic(std::string_view msg, const char *file,
                                  int line);
 [[noreturn]] void terminateFatal(std::string_view msg);
-void emit(std::string_view level, std::string_view msg);
+void emit(LogLevel level, std::string_view msg);
+
+/** Installed by the structured event log so every sink line is
+ *  mirrored as a JSONL record; nullptr when no sink is attached. */
+using EventMirrorFn = void (*)(LogLevel level, std::string_view label,
+                               std::string_view msg);
+EventMirrorFn eventMirror();
+void setEventMirror(EventMirrorFn fn);
 
 } // namespace detail
 
@@ -108,7 +149,8 @@ template <typename... Args>
 void
 warn(std::string_view fmt, const Args&... args)
 {
-    detail::emit("warn", format(fmt, args...));
+    if (logLevel() <= LogLevel::Warn)
+        detail::emit(LogLevel::Warn, format(fmt, args...));
 }
 
 /** Prints a status message to stderr. */
@@ -116,7 +158,17 @@ template <typename... Args>
 void
 inform(std::string_view fmt, const Args&... args)
 {
-    detail::emit("info", format(fmt, args...));
+    if (logLevel() <= LogLevel::Info)
+        detail::emit(LogLevel::Info, format(fmt, args...));
+}
+
+/** Prints a debug diagnostic to stderr (off by default). */
+template <typename... Args>
+void
+logDebug(std::string_view fmt, const Args&... args)
+{
+    if (logLevel() <= LogLevel::Debug)
+        detail::emit(LogLevel::Debug, format(fmt, args...));
 }
 
 } // namespace tdc

@@ -1,0 +1,218 @@
+#include "metrics/registry.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/format.hh"
+#include "common/logging.hh"
+
+namespace tdc {
+namespace metrics {
+
+namespace detail {
+
+unsigned
+threadSlot()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kCells;
+    return slot;
+}
+
+} // namespace detail
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)),
+      buckets_(new std::atomic<std::uint64_t>[edges_.size()])
+{
+    if (edges_.empty())
+        fatal("histogram needs at least one bucket edge");
+    for (std::size_t i = 1; i < edges_.size(); ++i) {
+        if (!(edges_[i - 1] < edges_[i]))
+            fatal("histogram edges must be strictly increasing "
+                  "({} then {})",
+                  edges_[i - 1], edges_[i]);
+    }
+    for (std::size_t i = 0; i < edges_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double v)
+{
+    const auto it =
+        std::lower_bound(edges_.begin(), edges_.end(), v);
+    if (it == edges_.end())
+        inf_.fetch_add(1, std::memory_order_relaxed);
+    else
+        buckets_[static_cast<std::size_t>(it - edges_.begin())]
+            .fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> out(edges_.size());
+    for (std::size_t i = 0; i < edges_.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+Registry::checkName(const std::string &name) const
+{
+    auto ok_first = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+               || c == '_' || c == ':';
+    };
+    if (name.empty() || !ok_first(name.front()))
+        fatal("bad metric name '{}'", name);
+    for (char c : name) {
+        if (!ok_first(c) && !(c >= '0' && c <= '9'))
+            fatal("bad metric name '{}'", name);
+    }
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help)
+{
+    checkName(name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (gauges_.count(name) != 0 || histograms_.count(name) != 0)
+        fatal("metric '{}' already registered with another kind",
+              name);
+    auto &e = counters_[name];
+    if (!e.c) {
+        e.help = help;
+        e.c = std::make_unique<Counter>();
+    }
+    return *e.c;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help)
+{
+    checkName(name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (counters_.count(name) != 0 || histograms_.count(name) != 0)
+        fatal("metric '{}' already registered with another kind",
+              name);
+    auto &e = gauges_[name];
+    if (!e.g) {
+        e.help = help;
+        e.g = std::make_unique<Gauge>();
+    }
+    return *e.g;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    const std::vector<double> &edges)
+{
+    checkName(name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (counters_.count(name) != 0 || gauges_.count(name) != 0)
+        fatal("metric '{}' already registered with another kind",
+              name);
+    auto &e = histograms_[name];
+    if (!e.h) {
+        e.help = help;
+        e.h = std::make_unique<Histogram>(edges);
+    } else if (e.h->edges() != edges) {
+        fatal("histogram '{}' re-registered with different edges",
+              name);
+    }
+    return *e.h;
+}
+
+json::Value
+Registry::toJson(std::uint64_t unix_ms) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto doc = json::Value::object();
+    doc.set("schema", metricsSchema);
+    doc.set("unix_ms", unix_ms);
+
+    auto counters = json::Value::object();
+    for (const auto &[name, e] : counters_)
+        counters.set(name, e.c->value());
+    doc.set("counters", std::move(counters));
+
+    auto gauges = json::Value::object();
+    for (const auto &[name, e] : gauges_) {
+        const std::int64_t v = e.g->value();
+        // json::Value has no signed integer kind; negative levels
+        // degrade to doubles (exact up to 2^53, far beyond any queue
+        // depth or byte count this registry tracks).
+        if (v >= 0)
+            gauges.set(name, static_cast<std::uint64_t>(v));
+        else
+            gauges.set(name, static_cast<double>(v));
+    }
+    doc.set("gauges", std::move(gauges));
+
+    auto histograms = json::Value::object();
+    for (const auto &[name, e] : histograms_) {
+        auto h = json::Value::object();
+        auto le = json::Value::array();
+        for (double edge : e.h->edges())
+            le.push(edge);
+        h.set("le", std::move(le));
+        auto counts = json::Value::array();
+        for (std::uint64_t c : e.h->bucketCounts())
+            counts.push(c);
+        h.set("counts", std::move(counts));
+        h.set("inf", e.h->infCount());
+        h.set("count", e.h->count());
+        h.set("sum", e.h->sum());
+        histograms.set(name, std::move(h));
+    }
+    doc.set("histograms", std::move(histograms));
+    return doc;
+}
+
+std::string
+Registry::prometheusText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    for (const auto &[name, e] : counters_) {
+        os << "# HELP " << name << " " << e.help << "\n";
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << e.c->value() << "\n";
+    }
+    for (const auto &[name, e] : gauges_) {
+        os << "# HELP " << name << " " << e.help << "\n";
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << e.g->value() << "\n";
+    }
+    for (const auto &[name, e] : histograms_) {
+        os << "# HELP " << name << " " << e.help << "\n";
+        os << "# TYPE " << name << " histogram\n";
+        const auto counts = e.h->bucketCounts();
+        const auto &edges = e.h->edges();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            cumulative += counts[i];
+            os << name << "_bucket{le=\"" << format("{}", edges[i])
+               << "\"} " << cumulative << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << e.h->count() << "\n";
+        os << name << "_sum " << format("{}", e.h->sum()) << "\n";
+        os << name << "_count " << e.h->count() << "\n";
+    }
+    return os.str();
+}
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace metrics
+} // namespace tdc

@@ -11,8 +11,10 @@
 #include <memory>
 #include <mutex>
 
+#include "common/event_log.hh"
 #include "common/format.hh"
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 #include "runner/thread_pool.hh"
 #include "sys/report.hh"
 
@@ -29,14 +31,39 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/** Serializes progress lines (independent of the logging mutex). */
-std::mutex &
-progressMutex()
+/** Direct-runner metrics (DESIGN.md 11 catalog). */
+struct RunnerMetrics
 {
-    static std::mutex m;
+    metrics::Counter &jobs;
+    metrics::Counter &failures;
+    metrics::Counter &timeouts;
+    metrics::Counter &retries;
+    metrics::Histogram &jobWall;
+};
+
+RunnerMetrics &
+runnerMetrics()
+{
+    auto &r = metrics::registry();
+    static RunnerMetrics m{
+        r.counter("tdc_runner_jobs_total",
+                  "Design points completed by the direct runner"),
+        r.counter("tdc_runner_jobs_failed_total",
+                  "Direct-runner jobs that failed"),
+        r.counter("tdc_runner_jobs_timeout_total",
+                  "Direct-runner jobs that exceeded their budget"),
+        r.counter("tdc_runner_job_retries_total",
+                  "Extra attempts beyond each job's first"),
+        r.histogram("tdc_runner_job_wall_seconds",
+                    "Per-job wall time in the direct runner",
+                    {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+                     10.0, 30.0, 60.0, 120.0, 300.0}),
+    };
     return m;
 }
 
+/** Per-completion progress, via the timestamped leveled sink (and
+ *  the JSONL mirror when a sink is attached). */
 void
 progressLine(const JobResult &r, unsigned done, unsigned total)
 {
@@ -49,8 +76,7 @@ progressLine(const JobResult &r, unsigned done, unsigned total)
         line += format(" (attempt {})", r.attempts);
     if (!r.ok())
         line += format("  {}", r.error);
-    std::lock_guard<std::mutex> lock(progressMutex());
-    std::cerr << line << "\n";
+    inform("{}", line);
 }
 
 /**
@@ -233,12 +259,10 @@ SweepRunner::run(const SweepManifest &manifest) const
                     g.ckpt = std::make_shared<const ckpt::Checkpoint>(
                         sys.makeCheckpoint());
                     if (progress) {
-                        std::lock_guard<std::mutex> lock(
-                            progressMutex());
-                        std::cerr << format(
-                            "[sweep] warm    {:<28} {:.2f}s  shared by "
-                            "{} job(s)\n",
-                            job.label, secondsSince(t0), g.jobs.size());
+                        inform("[sweep] warm    {:<28} {:.2f}s  "
+                               "shared by {} job(s)",
+                               job.label, secondsSince(t0),
+                               g.jobs.size());
                     }
                 } catch (const std::exception &e) {
                     // Leave ckpt null: the group's jobs fall back to
@@ -265,6 +289,31 @@ SweepRunner::run(const SweepManifest &manifest) const
             pending.push_back(pool.submit([&, i] {
                 results[i] = runOne(manifest.jobs[i], timeout_s, retry,
                                     repeat, warm[i]);
+                const JobResult &r = results[i];
+                RunnerMetrics &rm = runnerMetrics();
+                rm.jobs.inc();
+                if (r.status == JobResult::Status::Failed)
+                    rm.failures.inc();
+                else if (r.status == JobResult::Status::TimedOut)
+                    rm.timeouts.inc();
+                if (r.attempts > 1)
+                    rm.retries.inc(r.attempts - 1);
+                rm.jobWall.observe(r.wallSeconds);
+                {
+                    auto fields = json::Value::object();
+                    fields.set("label", r.label);
+                    fields.set("status",
+                               std::string(statusName(r.status)));
+                    fields.set("attempts",
+                               std::uint64_t{r.attempts});
+                    fields.set("wall_seconds", r.wallSeconds);
+                    if (r.ok())
+                        fields.set("kips", r.kips);
+                    else
+                        fields.set("error", r.error);
+                    logEvent(r.ok() ? LogLevel::Info : LogLevel::Warn,
+                             "sweep_job_done", std::move(fields));
+                }
                 const unsigned d = ++done;
                 if (progress)
                     progressLine(results[i], d, n);

@@ -8,6 +8,7 @@
 #include "ckpt/checkpoint.hh"
 #include "common/format.hh"
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 #include "serve/cache_key.hh"
 
 namespace fs = std::filesystem;
@@ -19,6 +20,44 @@ namespace {
 
 constexpr const char *states[] = {"pending", "claimed", "done",
                                   "failed"};
+
+/** Queue metrics (DESIGN.md 11 catalog). */
+struct QueueMetrics
+{
+    metrics::Counter &enqueued;
+    metrics::Counter &recovered;
+    metrics::Counter &corrupt;
+    metrics::Counter &gcPasses;
+    metrics::Counter &gcRemoved;
+    metrics::Gauge &pending;
+    metrics::Gauge &claimed;
+    metrics::Gauge &done;
+    metrics::Gauge &failed;
+};
+
+QueueMetrics &
+queueMetrics()
+{
+    auto &r = metrics::registry();
+    static QueueMetrics m{
+        r.counter("tdc_queue_enqueued_total",
+                  "Job files newly spooled into pending/"),
+        r.counter("tdc_queue_recovered_total",
+                  "Orphaned claims requeued by recover()"),
+        r.counter("tdc_queue_corrupt_jobs_total",
+                  "Unparseable job files moved to failed/"),
+        r.counter("tdc_gc_passes_total",
+                  "Retention sweeps over done/ and failed/"),
+        r.counter("tdc_gc_removed_total",
+                  "Spool records removed by retention sweeps"),
+        r.gauge("tdc_queue_pending", "Jobs waiting in pending/"),
+        r.gauge("tdc_queue_claimed", "Jobs owned by a running drain"),
+        r.gauge("tdc_queue_done", "Completed job records in done/"),
+        r.gauge("tdc_queue_failed",
+                "Failed or timed-out job records in failed/"),
+    };
+    return m;
+}
 
 fs::path
 stateDir(const std::string &dir, const std::string &state)
@@ -120,6 +159,7 @@ JobQueue::enqueue(const runner::SweepManifest &m)
         atomicPublish(dir_, file, doc, "pending");
         ++spooled;
     }
+    queueMetrics().enqueued.inc(spooled);
     return spooled;
 }
 
@@ -147,6 +187,7 @@ JobQueue::recover()
         }
         ++requeued;
     }
+    queueMetrics().recovered.inc(requeued);
     return requeued;
 }
 
@@ -197,6 +238,7 @@ JobQueue::claim()
         // Unparseable job file: fail it (with the reason recorded)
         // and keep draining the rest of the spool.
         warn("job queue: corrupt job file '{}': {}", file, err);
+        queueMetrics().corrupt.inc();
         auto outcome = json::Value::object();
         outcome.set("status", "failed");
         outcome.set("attempts", 0);
@@ -259,6 +301,49 @@ JobQueue::outcomeOf(const std::string &id) const
     return std::nullopt;
 }
 
+unsigned
+JobQueue::gc(std::size_t keep)
+{
+    struct Record
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        std::string name;
+    };
+    unsigned removed = 0;
+    for (const char *state : {"done", "failed"}) {
+        std::vector<Record> records;
+        std::error_code ec;
+        for (const auto &entry :
+             fs::directory_iterator(stateDir(dir_, state), ec)) {
+            if (!entry.is_regular_file())
+                continue;
+            records.push_back(Record{entry.path(),
+                                     entry.last_write_time(),
+                                     entry.path().filename().string()});
+        }
+        // Newest first; a deterministic name tie-break so same-mtime
+        // records (coarse filesystems) prune reproducibly.
+        std::sort(records.begin(), records.end(),
+                  [](const Record &a, const Record &b) {
+                      return a.mtime != b.mtime ? a.mtime > b.mtime
+                                                : a.name < b.name;
+                  });
+        for (std::size_t i = keep; i < records.size(); ++i) {
+            fs::remove(records[i].path, ec);
+            if (ec) {
+                warn("job queue: gc cannot remove '{}': {}",
+                     records[i].name, ec.message());
+                continue;
+            }
+            ++removed;
+        }
+    }
+    queueMetrics().gcPasses.inc();
+    queueMetrics().gcRemoved.inc(removed);
+    return removed;
+}
+
 std::size_t
 JobQueue::pendingCount() const
 {
@@ -294,6 +379,16 @@ JobQueue::statusJson() const
     v.set("done", std::uint64_t{doneCount()});
     v.set("failed", std::uint64_t{failedCount()});
     return v;
+}
+
+void
+JobQueue::updateGauges() const
+{
+    QueueMetrics &m = queueMetrics();
+    m.pending.set(static_cast<std::int64_t>(pendingCount()));
+    m.claimed.set(static_cast<std::int64_t>(claimedCount()));
+    m.done.set(static_cast<std::int64_t>(doneCount()));
+    m.failed.set(static_cast<std::int64_t>(failedCount()));
 }
 
 } // namespace serve

@@ -102,6 +102,14 @@ class JobQueue
      *  done/failed record), or nullopt when the job has neither. */
     std::optional<json::Value> outcomeOf(const std::string &id) const;
 
+    /**
+     * Retention sweep: keeps the `keep` most recent records (by
+     * mtime, newest first, ties by name) in each of done/ and
+     * failed/ and removes the rest. Returns the number of spool
+     * files removed. Bumps the tdc_gc_* metrics.
+     */
+    unsigned gc(std::size_t keep);
+
     std::size_t pendingCount() const;
     std::size_t claimedCount() const;
     std::size_t doneCount() const;
@@ -109,6 +117,9 @@ class JobQueue
 
     /** {pending, claimed, done, failed} counts for --status. */
     json::Value statusJson() const;
+
+    /** Refreshes the tdc_queue_* depth gauges from the spool. */
+    void updateGauges() const;
 
     const std::string &dir() const { return dir_; }
 

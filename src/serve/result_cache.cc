@@ -9,12 +9,49 @@
 #include "ckpt/checkpoint.hh"
 #include "common/format.hh"
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 #include "serve/cache_key.hh"
 
 namespace fs = std::filesystem;
 
 namespace tdc {
 namespace serve {
+
+namespace {
+
+/** Result-cache metrics (DESIGN.md 11 catalog). */
+struct ResultMetrics
+{
+    metrics::Counter &replays;
+    metrics::Counter &misses;
+    metrics::Counter &corrupt;
+    metrics::Counter &stores;
+    metrics::Gauge &residentBytes;
+    metrics::Gauge &entries;
+};
+
+ResultMetrics &
+resultMetrics()
+{
+    auto &r = metrics::registry();
+    static ResultMetrics m{
+        r.counter("tdc_result_cache_replays_total",
+                  "Finished cells replayed from the result cache"),
+        r.counter("tdc_result_cache_misses_total",
+                  "Result-cache lookups that found no usable entry"),
+        r.counter("tdc_result_cache_corrupt_total",
+                  "Entries dropped for schema or parse defects"),
+        r.counter("tdc_result_cache_stores_total",
+                  "Successful runs published to the result cache"),
+        r.gauge("tdc_result_cache_resident_bytes",
+                "Bytes currently resident in the result cache"),
+        r.gauge("tdc_result_cache_entries",
+                "Entries currently resident in the result cache"),
+    };
+    return m;
+}
+
+} // namespace
 
 ResultCache::ResultCache(const std::string &root)
     : dir_((fs::path(root) / "results").string())
@@ -36,15 +73,13 @@ ResultCache::entryPath(std::uint64_t config_hash) const
 }
 
 std::optional<CachedResult>
-ResultCache::lookup(std::uint64_t config_hash)
+ResultCache::read(std::uint64_t config_hash, bool &corrupt)
 {
+    corrupt = false;
     const std::string path = entryPath(config_hash);
     std::error_code ec;
-    if (!fs::exists(path, ec)) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.misses;
+    if (!fs::exists(path, ec))
         return std::nullopt;
-    }
 
     std::string err;
     auto doc = json::tryReadFile(path, &err);
@@ -63,18 +98,46 @@ ResultCache::lookup(std::uint64_t config_hash)
                 entry.attempts =
                     static_cast<unsigned>(a->asDouble());
             entry.report = *report;
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.hits;
             return entry;
         }
         err = "missing or mistyped schema/label/report";
     }
     warn("result cache: dropping corrupt entry '{}': {}", path, err);
     fs::remove(path, ec);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.corruptDropped;
-    ++stats_.misses;
+    corrupt = true;
     return std::nullopt;
+}
+
+std::optional<CachedResult>
+ResultCache::lookup(std::uint64_t config_hash)
+{
+    bool corrupt = false;
+    auto entry = read(config_hash, corrupt);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (entry) {
+            ++stats_.hits;
+        } else {
+            ++stats_.misses;
+            if (corrupt)
+                ++stats_.corruptDropped;
+        }
+    }
+    if (entry) {
+        resultMetrics().replays.inc();
+    } else {
+        resultMetrics().misses.inc();
+        if (corrupt)
+            resultMetrics().corrupt.inc();
+    }
+    return entry;
+}
+
+std::optional<CachedResult>
+ResultCache::peek(std::uint64_t config_hash)
+{
+    bool corrupt = false;
+    return read(config_hash, corrupt);
 }
 
 void
@@ -100,8 +163,27 @@ ResultCache::store(std::uint64_t config_hash, const CachedResult &entry)
         fs::remove(tmp, ec);
         return;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.stored;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.stored;
+    }
+    resultMetrics().stores.inc();
+}
+
+void
+ResultCache::updateGauges() const
+{
+    std::uint64_t total = 0, count = 0;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir_, ec)) {
+        if (!e.is_regular_file())
+            continue;
+        total += e.file_size();
+        ++count;
+    }
+    resultMetrics().residentBytes.set(
+        static_cast<std::int64_t>(total));
+    resultMetrics().entries.set(static_cast<std::int64_t>(count));
 }
 
 json::Value

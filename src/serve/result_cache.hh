@@ -65,6 +65,15 @@ class ResultCache
      */
     std::optional<CachedResult> lookup(std::uint64_t config_hash);
 
+    /**
+     * Same decode and integrity discipline as lookup(), but counts
+     * nothing -- neither Stats nor the tdc_result_cache_* metrics
+     * move. Report assembly replays finished cells through this so
+     * the drain's replay/simulate split stays the only thing the
+     * counters measure.
+     */
+    std::optional<CachedResult> peek(std::uint64_t config_hash);
+
     /** Publishes one successful run's slot under its config hash. */
     void store(std::uint64_t config_hash, const CachedResult &entry);
 
@@ -79,10 +88,18 @@ class ResultCache
     /** Entry table (file, bytes) plus totals, for --status. */
     json::Value statusJson() const;
 
+    /** Refreshes the tdc_result_cache_* residency gauges. */
+    void updateGauges() const;
+
     const std::string &dir() const { return dir_; }
 
   private:
     std::string entryPath(std::uint64_t config_hash) const;
+
+    /** Shared decode behind lookup()/peek(); `corrupt` reports
+     *  whether a defective entry was dropped. */
+    std::optional<CachedResult> read(std::uint64_t config_hash,
+                                     bool &corrupt);
 
     std::string dir_;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <map>
@@ -12,8 +13,10 @@
 #include <thread>
 #include <utility>
 
+#include "common/event_log.hh"
 #include "common/format.hh"
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 #include "runner/sweep_runner.hh"
 #include "runner/thread_pool.hh"
 #include "serve/cache_key.hh"
@@ -35,7 +38,7 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/** Serializes progress lines (independent of the logging mutex). */
+/** Serializes the stdout summary line against stderr progress. */
 std::mutex &
 progressMutex()
 {
@@ -43,13 +46,63 @@ progressMutex()
     return m;
 }
 
+/**
+ * Per-completion progress, routed through the leveled sink so every
+ * line carries a timestamp and severity and mirrors into the JSONL
+ * event log when one is attached. `enabled` is the --progress knob;
+ * TDC_LOG_LEVEL / log.level gates it a second time inside inform().
+ */
 void
 progressLine(const std::string &line, bool enabled)
 {
     if (!enabled)
         return;
-    std::lock_guard<std::mutex> lock(progressMutex());
-    std::cerr << line << "\n";
+    inform("{}", line);
+}
+
+/** Drain-loop metrics (DESIGN.md 11 catalog). */
+struct DrainMetrics
+{
+    metrics::Counter &passes;
+    metrics::Counter &jobsOk;
+    metrics::Counter &jobsFailed;
+    metrics::Counter &jobsTimeout;
+    metrics::Counter &retries;
+    metrics::Counter &warmupInsts;
+    metrics::Counter &measureInsts;
+    metrics::Histogram &jobWall;
+    metrics::Histogram &jobKips;
+};
+
+DrainMetrics &
+drainMetrics()
+{
+    auto &r = metrics::registry();
+    static DrainMetrics m{
+        r.counter("tdc_drain_passes_total",
+                  "Drain passes over the job spool"),
+        r.counter("tdc_jobs_ok_total",
+                  "Jobs completed ok (replayed or simulated)"),
+        r.counter("tdc_jobs_failed_total", "Jobs that failed"),
+        r.counter("tdc_jobs_timeout_total",
+                  "Jobs that exceeded their wall-time budget"),
+        r.counter("tdc_job_retries_total",
+                  "Extra attempts beyond each job's first"),
+        r.counter("tdc_warmup_insts_simulated_total",
+                  "Warmup instructions actually simulated"),
+        r.counter("tdc_measure_insts_simulated_total",
+                  "Measurement instructions actually simulated"),
+        r.histogram("tdc_job_wall_seconds",
+                    "Per-job wall time of simulated (non-replayed) "
+                    "jobs",
+                    {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+                     10.0, 30.0, 60.0, 120.0, 300.0}),
+        r.histogram("tdc_job_kips",
+                    "Per-job simulation throughput (kilo-insts/s)",
+                    {50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0,
+                     6400.0, 12800.0, 25600.0}),
+    };
+    return m;
 }
 
 /**
@@ -147,6 +200,7 @@ ServeConfig::fromConfig(const Config &cfg)
         cfg.getU64("serve.warm_cache_bytes", sc.warmCacheBytes);
     sc.pollMs =
         static_cast<unsigned>(cfg.getU64("serve.poll_ms", sc.pollMs));
+    sc.metricsOut = cfg.getString("serve.metrics_out", sc.metricsOut);
     return sc;
 }
 
@@ -188,7 +242,14 @@ SweepService::SweepService(const ServeConfig &cfg)
 unsigned
 SweepService::enqueue(const runner::SweepManifest &m)
 {
-    return queue_.enqueue(m);
+    const unsigned spooled = queue_.enqueue(m);
+    auto fields = json::Value::object();
+    fields.set("manifest", m.name);
+    fields.set("jobs", std::uint64_t{m.jobs.size()});
+    fields.set("spooled", std::uint64_t{spooled});
+    logEvent(LogLevel::Info, "enqueue", std::move(fields));
+    publishMetrics();
+    return spooled;
 }
 
 DrainStats
@@ -203,6 +264,14 @@ SweepService::drainOnce()
     while (auto job = queue_.claim())
         claimed.push_back(std::move(*job));
     st.jobs = claimed.size();
+
+    drainMetrics().passes.inc();
+    {
+        auto fields = json::Value::object();
+        fields.set("jobs", st.jobs);
+        logEvent(LogLevel::Info, "drain_start", std::move(fields));
+    }
+    publishMetrics();
 
     // Phase 1: result-cache replay. A cell whose (config hash, binary
     // hash) already has a stored run report completes without
@@ -219,6 +288,12 @@ SweepService::drainOnce()
                             std::uint64_t{hit->attempts});
                 outcome.set("cached", true);
                 queue_.complete(job, outcome);
+                drainMetrics().jobsOk.inc();
+                auto fields = json::Value::object();
+                fields.set("id", job.id);
+                fields.set("label", job.spec.label);
+                logEvent(LogLevel::Debug, "job_replayed",
+                         std::move(fields));
                 progressLine(format("[served] cached  {:<28}",
                                     job.spec.label),
                              cfg_.progress);
@@ -297,6 +372,7 @@ SweepService::drainOnce()
                         ++st.warmCacheMisses;
                         st.warmupInstsSimulated += warmed;
                     }
+                    drainMetrics().warmupInsts.inc(warmed);
                     progressLine(
                         format("[served] warm     {:<28} {:.2f}s  "
                                "shared by {} job(s)",
@@ -352,6 +428,37 @@ SweepService::drainOnce()
                     else
                         ++st.failed;
                 }
+                DrainMetrics &dm = drainMetrics();
+                dm.warmupInsts.inc(warm_insts);
+                dm.measureInsts.inc(meas_insts);
+                if (r.attempts > 1)
+                    dm.retries.inc(r.attempts - 1);
+                dm.jobWall.observe(r.wallSeconds);
+                if (r.ok()) {
+                    dm.jobsOk.inc();
+                    dm.jobKips.observe(r.kips);
+                } else if (r.status
+                           == runner::JobResult::Status::TimedOut) {
+                    dm.jobsTimeout.inc();
+                } else {
+                    dm.jobsFailed.inc();
+                }
+                {
+                    auto fields = json::Value::object();
+                    fields.set("id", job.id);
+                    fields.set("label", r.label);
+                    fields.set("status",
+                               std::string(statusName(r.status)));
+                    fields.set("attempts",
+                               std::uint64_t{r.attempts});
+                    fields.set("wall_seconds", r.wallSeconds);
+                    if (r.ok())
+                        fields.set("kips", r.kips);
+                    else
+                        fields.set("error", r.error);
+                    logEvent(r.ok() ? LogLevel::Info : LogLevel::Warn,
+                             "job_done", std::move(fields));
+                }
                 auto outcome = json::Value::object();
                 outcome.set("status",
                             std::string(statusName(r.status)));
@@ -386,6 +493,19 @@ SweepService::drainOnce()
     json::writeFile(st.toJson(),
                     (fs::path(cfg_.root) / "last-drain.json")
                         .string());
+    publishMetrics();
+    {
+        auto fields = json::Value::object();
+        fields.set("jobs", st.jobs);
+        fields.set("ok", st.ok);
+        fields.set("failed", st.failed);
+        fields.set("timed_out", st.timedOut);
+        fields.set("result_cache_hits", st.resultCacheHits);
+        fields.set("warm_cache_hits", st.warmCacheHits);
+        fields.set("warm_cache_misses", st.warmCacheMisses);
+        fields.set("wall_seconds", st.wallSeconds);
+        logEvent(LogLevel::Info, "drain_end", std::move(fields));
+    }
     {
         std::lock_guard<std::mutex> lock(progressMutex());
         std::cout << st.summaryLine() << "\n";
@@ -411,6 +531,7 @@ SweepService::watch(unsigned max_passes)
                 return;
             continue;
         }
+        publishMetrics();
         std::this_thread::sleep_for(
             std::chrono::milliseconds(cfg_.pollMs));
     }
@@ -425,7 +546,9 @@ SweepService::reportFor(const runner::SweepManifest &m)
     for (const auto &spec : m.jobs) {
         runner::JobResult r;
         r.label = spec.label;
-        if (auto hit = results_.lookup(jobConfigHash(spec))) {
+        // peek(): report assembly must not move the replay counters
+        // the drain split is measured by.
+        if (auto hit = results_.peek(jobConfigHash(spec))) {
             r.status = runner::JobResult::Status::Ok;
             r.attempts = hit->attempts;
             r.report = std::move(hit->report);
@@ -451,6 +574,50 @@ SweepService::reportFor(const runner::SweepManifest &m)
         results.push_back(std::move(r));
     }
     return runner::SweepRunner::aggregateReport(m, results);
+}
+
+void
+SweepService::publishMetrics() const
+{
+    queue_.updateGauges();
+    warm_.updateGauges();
+    results_.updateGauges();
+
+    const std::uint64_t unix_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    const auto doc = metrics::registry().toJson(unix_ms);
+
+    // Write-to-temp + rename: a scraper polling metrics.json never
+    // reads a torn snapshot.
+    const fs::path path = fs::path(cfg_.root) / "metrics.json";
+    const fs::path tmp = fs::path(cfg_.root) / "metrics.json.tmp";
+    json::writeFile(doc, tmp.string());
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("cannot publish '{}': {}", path.string(), ec.message());
+        fs::remove(tmp, ec);
+    }
+
+    if (cfg_.metricsOut.empty())
+        return;
+    const std::string ptmp = cfg_.metricsOut + ".tmp";
+    {
+        std::ofstream out(ptmp, std::ios::trunc);
+        out << metrics::registry().prometheusText();
+        out.flush();
+        if (!out) {
+            warn("cannot write metrics text to '{}'", ptmp);
+            return;
+        }
+    }
+    fs::rename(ptmp, cfg_.metricsOut, ec);
+    if (ec) {
+        warn("cannot publish '{}': {}", cfg_.metricsOut, ec.message());
+        fs::remove(ptmp, ec);
+    }
 }
 
 json::Value

@@ -65,6 +65,9 @@ struct ServeConfig
     /** Watch-mode poll interval. */
     unsigned pollMs = 500;
 
+    /** Optional Prometheus text exposition file; empty disables. */
+    std::string metricsOut;
+
     /** Applies serve.* dotted overrides from a parsed Config. */
     static ServeConfig fromConfig(const Config &cfg);
 };
@@ -129,6 +132,16 @@ class SweepService
 
     /** {queue, warm cache, result cache} state for --status. */
     json::Value statusJson() const;
+
+    /**
+     * Publishes one tdc-metrics-v1 snapshot: refreshes every gauge,
+     * writes <root>/metrics.json via write-to-temp + atomic rename
+     * (a concurrent reader never sees a torn file), and -- when
+     * ServeConfig::metricsOut is set -- mirrors the registry as
+     * Prometheus text exposition to that path. Called at drain
+     * start/end, after every enqueue and on each watch poll tick.
+     */
+    void publishMetrics() const;
 
     JobQueue &queue() { return queue_; }
     WarmCache &warmCache() { return warm_; }

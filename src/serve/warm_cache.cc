@@ -7,12 +7,55 @@
 
 #include "common/format.hh"
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 #include "serve/cache_key.hh"
 
 namespace fs = std::filesystem;
 
 namespace tdc {
 namespace serve {
+
+namespace {
+
+/** Warm-checkpoint-cache metrics (DESIGN.md 11 catalog). */
+struct WarmMetrics
+{
+    metrics::Counter &hits;
+    metrics::Counter &misses;
+    metrics::Counter &verifyFailures;
+    metrics::Counter &stores;
+    metrics::Counter &evictions;
+    metrics::Counter &evictedBytes;
+    metrics::Gauge &residentBytes;
+    metrics::Gauge &entries;
+};
+
+WarmMetrics &
+warmMetrics()
+{
+    auto &r = metrics::registry();
+    static WarmMetrics m{
+        r.counter("tdc_warm_cache_hits_total",
+                  "Warm checkpoints restored from the cache"),
+        r.counter("tdc_warm_cache_misses_total",
+                  "Warm-cache lookups that found no usable entry"),
+        r.counter("tdc_warm_cache_verify_failures_total",
+                  "Entries dropped for failing integrity checks"),
+        r.counter("tdc_warm_cache_stores_total",
+                  "Warm checkpoints published to the cache"),
+        r.counter("tdc_warm_cache_evictions_total",
+                  "Entries evicted past the byte budget"),
+        r.counter("tdc_warm_cache_evicted_bytes_total",
+                  "Bytes reclaimed by warm-cache eviction"),
+        r.gauge("tdc_warm_cache_resident_bytes",
+                "Bytes currently resident in the warm cache"),
+        r.gauge("tdc_warm_cache_entries",
+                "Entries currently resident in the warm cache"),
+    };
+    return m;
+}
+
+} // namespace
 
 WarmCache::WarmCache(const std::string &root,
                      std::uint64_t capacityBytes)
@@ -41,7 +84,11 @@ WarmCache::lookup(std::uint64_t warm_fp)
     const std::string path = entryPath(warm_fp);
     std::error_code ec;
     if (!fs::exists(path, ec)) {
-        ++stats_.misses;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.misses;
+        }
+        warmMetrics().misses.inc();
         return nullptr;
     }
     try {
@@ -55,7 +102,11 @@ WarmCache::lookup(std::uint64_t warm_fp)
             fatal("entry fingerprint {:#x} does not match its key "
                   "{:#x}",
                   ck->fingerprint(), warm_fp);
-        ++stats_.hits;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.hits;
+        }
+        warmMetrics().hits.inc();
         // Refresh the LRU clock so hot fingerprints survive eviction.
         fs::last_write_time(path,
                             std::filesystem::file_time_type::clock::now(),
@@ -64,8 +115,13 @@ WarmCache::lookup(std::uint64_t warm_fp)
     } catch (const std::exception &e) {
         warn("warm cache: dropping corrupt entry '{}': {}", path,
              e.what());
-        ++stats_.corruptDropped;
-        ++stats_.misses;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.corruptDropped;
+            ++stats_.misses;
+        }
+        warmMetrics().verifyFailures.inc();
+        warmMetrics().misses.inc();
         fs::remove(path, ec);
         return nullptr;
     }
@@ -87,6 +143,7 @@ WarmCache::store(const ckpt::Checkpoint &ck, std::uint64_t warm_fp)
         fs::remove(tmp, ec);
         return;
     }
+    warmMetrics().stores.inc();
     evictOverCapacity();
 }
 
@@ -123,8 +180,29 @@ WarmCache::evictOverCapacity()
         if (ec)
             continue;
         total -= victim.bytes;
-        ++stats_.evicted;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.evicted;
+        }
+        warmMetrics().evictions.inc();
+        warmMetrics().evictedBytes.inc(victim.bytes);
     }
+}
+
+void
+WarmCache::updateGauges() const
+{
+    std::uint64_t total = 0, count = 0;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(dir_, ec)) {
+        if (!e.is_regular_file())
+            continue;
+        total += e.file_size();
+        ++count;
+    }
+    warmMetrics().residentBytes.set(
+        static_cast<std::int64_t>(total));
+    warmMetrics().entries.set(static_cast<std::int64_t>(count));
 }
 
 json::Value

@@ -75,6 +75,9 @@ class WarmCache
     /** Entry table (file, bytes) plus totals, for --status. */
     json::Value statusJson() const;
 
+    /** Refreshes the tdc_warm_cache_* residency gauges. */
+    void updateGauges() const;
+
     const std::string &dir() const { return dir_; }
 
   private:

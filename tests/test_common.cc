@@ -1,11 +1,21 @@
-/** @file Tests for bit operations, units, config, stats and RNG. */
+/**
+ * @file Tests for bit operations, units, config, stats, RNG and the
+ * logging layer (levels, labels, JSONL event sink).
+ */
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/bitops.hh"
 #include "common/config.hh"
+#include "common/event_log.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/units.hh"
@@ -286,4 +296,88 @@ TEST(Random, ZipfCoversDomain)
     for (int i = 0; i < 5000; ++i)
         seen.insert(z.sample(r));
     EXPECT_EQ(seen.size(), 8u);
+}
+
+// -------------------------------------------------------------- logging
+
+TEST(Logging, LogLevelParseAndNameRoundTrip)
+{
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("error"), LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("off"), LogLevel::Off);
+    EXPECT_FALSE(parseLogLevel("verbose").has_value());
+    EXPECT_FALSE(parseLogLevel("").has_value());
+    EXPECT_EQ(logLevelName(LogLevel::Warn), "warn");
+    EXPECT_EQ(logLevelName(LogLevel::Debug), "debug");
+}
+
+TEST(Logging, ScopedLogLabelNestsAndRestores)
+{
+    EXPECT_EQ(currentLogLabel(), "");
+    {
+        ScopedLogLabel outer("job-a");
+        EXPECT_EQ(currentLogLabel(), "job-a");
+        {
+            ScopedLogLabel inner("job-b");
+            EXPECT_EQ(currentLogLabel(), "job-b");
+        }
+        EXPECT_EQ(currentLogLabel(), "job-a");
+    }
+    EXPECT_EQ(currentLogLabel(), "");
+}
+
+TEST(EventLog, WritesOneParseableRecordPerLine)
+{
+    namespace fs = std::filesystem;
+    const fs::path path =
+        fs::path(::testing::TempDir()) / "tdc_events_test.jsonl";
+    fs::remove(path);
+    const LogLevel prev = logLevel();
+    setLogLevel(LogLevel::Info);
+    openEventLog(path.string());
+    ASSERT_TRUE(eventLogOpen());
+
+    auto fields = json::Value::object();
+    fields.set("answer", std::uint64_t{42});
+    {
+        ScopedLogLabel label("cell-7");
+        logEvent(LogLevel::Info, "unit_test", std::move(fields));
+    }
+    logEvent(LogLevel::Debug, "dropped_below_threshold");
+    warn("mirrored into the event log");
+    closeEventLog();
+    setLogLevel(prev);
+    EXPECT_FALSE(eventLogOpen());
+    logEvent(LogLevel::Info, "after_close"); // no sink: dropped
+
+    std::ifstream in(path);
+    std::vector<json::Value> records;
+    std::string line;
+    while (std::getline(in, line)) {
+        auto rec = json::Value::parse(line);
+        ASSERT_TRUE(rec.has_value()) << line;
+        records.push_back(std::move(*rec));
+    }
+    ASSERT_EQ(records.size(), 2u);
+
+    // The structured event: standard fields, the thread's label, and
+    // the caller's payload inlined after them.
+    const json::Value &ev = records[0];
+    EXPECT_EQ(ev.find("event")->asString(), "unit_test");
+    EXPECT_EQ(ev.find("level")->asString(), "info");
+    EXPECT_EQ(ev.find("label")->asString(), "cell-7");
+    EXPECT_EQ(ev.find("answer")->asUint(), 42u);
+    const std::string ts = ev.find("ts")->asString();
+    ASSERT_EQ(ts.size(), 24u); // 2026-08-07T12:34:56.123Z
+    EXPECT_EQ(ts[10], 'T');
+    EXPECT_EQ(ts.back(), 'Z');
+
+    // The stderr mirror: warn/inform lines become "log" records.
+    const json::Value &mirror = records[1];
+    EXPECT_EQ(mirror.find("event")->asString(), "log");
+    EXPECT_EQ(mirror.find("level")->asString(), "warn");
+    EXPECT_NE(mirror.find("msg")->asString().find("mirrored"),
+              std::string::npos);
 }

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the telemetry registry (src/metrics): exact counter
+ * merging under concurrency, deterministic snapshot bytes, histogram
+ * bucket-edge semantics, gauge set/add and both exposition formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "metrics/registry.hh"
+
+using namespace tdc;
+using metrics::Registry;
+
+TEST(MetricsCounter, ConcurrentIncrementsSumExactly)
+{
+    Registry r;
+    metrics::Counter &c = r.counter("tdc_test_events_total", "events");
+
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kPerThread = 50000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                c.inc();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(MetricsCounter, BulkIncrement)
+{
+    Registry r;
+    metrics::Counter &c = r.counter("tdc_test_bytes_total", "bytes");
+    c.inc(100);
+    c.inc(23);
+    EXPECT_EQ(c.value(), 123u);
+}
+
+TEST(MetricsGauge, SetAndAdd)
+{
+    Registry r;
+    metrics::Gauge &g = r.gauge("tdc_test_depth", "depth");
+    EXPECT_EQ(g.value(), 0);
+    g.set(7);
+    EXPECT_EQ(g.value(), 7);
+    g.add(5);
+    EXPECT_EQ(g.value(), 12);
+    g.add(-20);
+    EXPECT_EQ(g.value(), -8);
+    g.set(3);
+    EXPECT_EQ(g.value(), 3);
+}
+
+TEST(MetricsHistogram, BucketEdgeSemantics)
+{
+    Registry r;
+    metrics::Histogram &h = r.histogram("tdc_test_wall_seconds",
+                                        "wall", {0.1, 1.0, 10.0});
+    // v <= edge counts into that bucket: boundary values land in the
+    // bucket they name, just-over values in the next.
+    h.observe(0.1);
+    h.observe(0.10001);
+    h.observe(1.0);
+    h.observe(5.0);
+    h.observe(10.0);
+    h.observe(10.5); // past the last edge -> +Inf
+    h.observe(0.0);  // below everything -> first bucket
+
+    const auto counts = h.bucketCounts();
+    ASSERT_EQ(counts.size(), 3u);
+    EXPECT_EQ(counts[0], 2u); // 0.0, 0.1
+    EXPECT_EQ(counts[1], 2u); // 0.10001, 1.0
+    EXPECT_EQ(counts[2], 2u); // 5.0, 10.0
+    EXPECT_EQ(h.infCount(), 1u);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_DOUBLE_EQ(h.sum(),
+                     0.1 + 0.10001 + 1.0 + 5.0 + 10.0 + 10.5 + 0.0);
+}
+
+TEST(MetricsHistogram, RejectsNonIncreasingEdges)
+{
+    Registry r;
+    ScopedFatalCapture capture;
+    EXPECT_THROW(r.histogram("tdc_test_bad", "bad", {1.0, 1.0}),
+                 FatalError);
+    EXPECT_THROW(r.histogram("tdc_test_bad2", "bad", {2.0, 1.0}),
+                 FatalError);
+    EXPECT_THROW(r.histogram("tdc_test_bad3", "bad", {}), FatalError);
+}
+
+TEST(MetricsRegistry, LookupIsIdempotentAndKindChecked)
+{
+    Registry r;
+    metrics::Counter &a = r.counter("tdc_test_total", "help");
+    metrics::Counter &b = r.counter("tdc_test_total", "help");
+    EXPECT_EQ(&a, &b);
+
+    ScopedFatalCapture capture;
+    // Same name under a different kind is a bug, not a new metric.
+    EXPECT_THROW(r.gauge("tdc_test_total", "help"), FatalError);
+    EXPECT_THROW(r.histogram("tdc_test_total", "help", {1.0}),
+                 FatalError);
+    // Malformed names are rejected up front.
+    EXPECT_THROW(r.counter("0starts_with_digit", "help"), FatalError);
+    EXPECT_THROW(r.counter("has-dash", "help"), FatalError);
+}
+
+namespace {
+
+/** Feeds `r` a fixed set of values using `threads` workers. */
+void
+feedRegistry(Registry &r, unsigned threads)
+{
+    metrics::Counter &jobs = r.counter("tdc_test_jobs_total", "jobs");
+    metrics::Gauge &depth = r.gauge("tdc_test_depth", "depth");
+    metrics::Histogram &wall =
+        r.histogram("tdc_test_wall_seconds", "wall", {0.5, 1.5});
+
+    std::vector<std::thread> pool;
+    std::atomic<unsigned> next{0};
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            // 60 deterministic observations split across workers.
+            for (;;) {
+                const unsigned i = next.fetch_add(1);
+                if (i >= 60)
+                    return;
+                jobs.inc(i);
+                wall.observe(static_cast<double>(i % 3));
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    depth.set(42);
+}
+
+} // namespace
+
+TEST(MetricsRegistry, SnapshotBytesIndependentOfConcurrency)
+{
+    Registry serial, parallel;
+    feedRegistry(serial, 1);
+    feedRegistry(parallel, 8);
+    // Same values, any interleaving: identical snapshot bytes (the
+    // timestamp is caller-supplied, so it can be pinned).
+    EXPECT_EQ(serial.toJson(12345).dump(),
+              parallel.toJson(12345).dump());
+    EXPECT_EQ(serial.prometheusText(), parallel.prometheusText());
+}
+
+TEST(MetricsRegistry, JsonSnapshotShape)
+{
+    Registry r;
+    r.counter("tdc_b_total", "b").inc(2);
+    r.counter("tdc_a_total", "a").inc(1);
+    r.gauge("tdc_neg", "negative gauge").set(-5);
+    r.histogram("tdc_h_seconds", "h", {1.0, 2.0}).observe(1.5);
+
+    const auto doc = r.toJson(999);
+    EXPECT_EQ(doc.find("schema")->asString(),
+              metrics::metricsSchema);
+    EXPECT_EQ(doc.find("unix_ms")->asUint(), 999u);
+
+    const json::Value *counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    // std::map iteration: names come out sorted regardless of
+    // registration order.
+    ASSERT_EQ(counters->members().size(), 2u);
+    EXPECT_EQ(counters->members()[0].first, "tdc_a_total");
+    EXPECT_EQ(counters->members()[1].first, "tdc_b_total");
+    EXPECT_EQ(counters->find("tdc_a_total")->asUint(), 1u);
+
+    // Negative gauges must survive the uint-biased JSON layer.
+    EXPECT_DOUBLE_EQ(doc.find("gauges")->find("tdc_neg")->asDouble(),
+                     -5.0);
+
+    const json::Value *h =
+        doc.find("histograms")->find("tdc_h_seconds");
+    ASSERT_NE(h, nullptr);
+    ASSERT_EQ(h->find("le")->items().size(), 2u);
+    EXPECT_EQ(h->find("counts")->items().at(0).asUint(), 0u);
+    EXPECT_EQ(h->find("counts")->items().at(1).asUint(), 1u);
+    EXPECT_EQ(h->find("inf")->asUint(), 0u);
+    EXPECT_EQ(h->find("count")->asUint(), 1u);
+    EXPECT_DOUBLE_EQ(h->find("sum")->asDouble(), 1.5);
+}
+
+TEST(MetricsRegistry, PrometheusTextShape)
+{
+    Registry r;
+    r.counter("tdc_a_total", "a counter").inc(3);
+    r.gauge("tdc_g", "a gauge").set(-2);
+    metrics::Histogram &h =
+        r.histogram("tdc_h_seconds", "a histogram", {1.0, 2.0});
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(9.0);
+
+    const std::string text = r.prometheusText();
+    EXPECT_NE(text.find("# HELP tdc_a_total a counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE tdc_a_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("tdc_a_total 3\n"), std::string::npos);
+    EXPECT_NE(text.find("tdc_g -2\n"), std::string::npos);
+    // Cumulative buckets: le="2" includes le="1"; +Inf equals count.
+    EXPECT_NE(text.find("tdc_h_seconds_bucket{le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("tdc_h_seconds_bucket{le=\"2\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("tdc_h_seconds_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("tdc_h_seconds_count 3\n"),
+              std::string::npos);
+}
+
+TEST(MetricsRegistry, GlobalRegistryIsAProcessSingleton)
+{
+    EXPECT_EQ(&metrics::registry(), &metrics::registry());
+    metrics::Counter &c =
+        metrics::registry().counter("tdc_test_singleton_total", "t");
+    c.inc();
+    EXPECT_GE(c.value(), 1u);
+}

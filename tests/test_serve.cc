@@ -23,6 +23,7 @@
 #include "common/format.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 #include "runner/sweep.hh"
 #include "runner/sweep_runner.hh"
 #include "serve/cache_key.hh"
@@ -121,6 +122,18 @@ fakeCheckpoint(std::uint64_t fp, std::size_t pad_bytes = 64)
         body.putU64(fp + i);
     ck.addSection("body", std::move(body));
     return ck;
+}
+
+/**
+ * Reads a counter out of a tdc-metrics-v1 snapshot, treating a metric
+ * that is not registered yet as zero (registration is lazy per
+ * subsystem, so a baseline snapshot may predate it).
+ */
+std::uint64_t
+counterValue(const json::Value &snap, const std::string &name)
+{
+    const json::Value *c = snap.find("counters")->find(name);
+    return c ? c->asUint() : 0;
 }
 
 } // namespace
@@ -268,6 +281,62 @@ TEST(JobQueue, CorruptJobFileFailsWithReasonAndDrainContinues)
               std::string::npos);
 }
 
+TEST(JobQueue, GcKeepsTheNewestRecordsPerState)
+{
+    const auto root = freshRoot("queue_gc");
+    const auto m = tinyManifest();
+    JobQueue q(root);
+    q.enqueue(m);
+
+    std::vector<std::string> done_ids;
+    while (auto job = q.claim()) {
+        auto outcome = json::Value::object();
+        outcome.set("status", "ok");
+        q.complete(*job, outcome);
+        done_ids.push_back(job->id);
+    }
+    ASSERT_EQ(done_ids.size(), m.jobs.size());
+    // Age everything except the last-completed record so the mtime
+    // ranking is unambiguous even on coarse-grained filesystems.
+    for (std::size_t i = 0; i + 1 < done_ids.size(); ++i)
+        fs::last_write_time(fs::path(q.dir()) / "done"
+                                / (done_ids[i] + ".json"),
+                            fs::file_time_type::clock::now()
+                                - std::chrono::hours(i + 1));
+
+    // Two corrupt spool files become failed records when claimed.
+    for (const char *name : {"aaa-bad1.json", "aaa-bad2.json"}) {
+        std::ofstream bad(fs::path(q.dir()) / "pending" / name);
+        bad << "not json";
+    }
+    EXPECT_FALSE(q.claim().has_value());
+    ASSERT_EQ(q.failedCount(), 2u);
+    fs::last_write_time(fs::path(q.dir()) / "failed" / "aaa-bad1.json",
+                        fs::file_time_type::clock::now()
+                            - std::chrono::hours(1));
+
+    const auto before = metrics::registry().toJson(0);
+    EXPECT_EQ(q.gc(1), done_ids.size() - 1 + 1);
+    EXPECT_EQ(q.doneCount(), 1u);
+    EXPECT_EQ(q.failedCount(), 1u);
+
+    // The newest record in each state survives, the rest are gone.
+    EXPECT_TRUE(q.outcomeOf(done_ids.back()).has_value());
+    EXPECT_FALSE(q.outcomeOf(done_ids.front()).has_value());
+    EXPECT_TRUE(
+        fs::exists(fs::path(q.dir()) / "failed" / "aaa-bad2.json"));
+    EXPECT_FALSE(
+        fs::exists(fs::path(q.dir()) / "failed" / "aaa-bad1.json"));
+
+    const auto after = metrics::registry().toJson(0);
+    EXPECT_EQ(counterValue(after, "tdc_gc_passes_total")
+                  - counterValue(before, "tdc_gc_passes_total"),
+              1u);
+    EXPECT_EQ(counterValue(after, "tdc_gc_removed_total")
+                  - counterValue(before, "tdc_gc_removed_total"),
+              done_ids.size());
+}
+
 // ---------------------------------------------------------------------
 // Warm cache
 // ---------------------------------------------------------------------
@@ -404,6 +473,36 @@ TEST(ResultCache, RoundTripAndCorruptDrop)
     EXPECT_FALSE(fs::exists(file));
 }
 
+TEST(ResultCache, PeekDecodesWithoutCountingAReplay)
+{
+    const auto root = freshRoot("result_peek");
+    ResultCache cache(root);
+
+    CachedResult entry;
+    entry.label = "cell-a";
+    entry.attempts = 1;
+    entry.report = *json::Value::parse(
+        R"({"schema":"tdc-run-report-v1","result":{"sum_ipc":1.0}})");
+    cache.store(9, entry);
+
+    const auto before = metrics::registry().toJson(0);
+    auto hit = cache.peek(9);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->label, "cell-a");
+    EXPECT_FALSE(cache.peek(12345).has_value());
+
+    // peek() feeds report reassembly, not the hit-rate telemetry: the
+    // drain's replay/simulate split stays the only thing the counters
+    // measure.
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    const auto after = metrics::registry().toJson(0);
+    EXPECT_EQ(counterValue(after, "tdc_result_cache_replays_total"),
+              counterValue(before, "tdc_result_cache_replays_total"));
+    EXPECT_EQ(counterValue(after, "tdc_result_cache_misses_total"),
+              counterValue(before, "tdc_result_cache_misses_total"));
+}
+
 // ---------------------------------------------------------------------
 // Service
 // ---------------------------------------------------------------------
@@ -515,6 +614,77 @@ TEST(SweepService, FailedJobIsReportedInItsSlotAndNotCached)
     const auto st2 = svc.drainOnce();
     EXPECT_EQ(st2.resultCacheHits, 1u);
     EXPECT_EQ(st2.failed, 1u);
+}
+
+TEST(SweepService, PublishedSnapshotMatchesTheReplaySimulateSplit)
+{
+    const auto root = freshRoot("svc_metrics");
+    const auto m = tinyManifest();
+    const std::string snap_path =
+        (fs::path(root) / "metrics.json").string();
+    SweepService svc(quietConfig(root));
+
+    const auto before = metrics::registry().toJson(0);
+    svc.enqueue(m);
+    const auto st = svc.drainOnce();
+    ASSERT_EQ(st.ok, m.jobs.size());
+    EXPECT_EQ(st.resultCacheHits, 0u);
+
+    // The drain publishes an atomically-renamed tdc-metrics-v1
+    // snapshot in the service root.
+    std::string err;
+    const auto snap = json::tryReadFile(snap_path, &err);
+    ASSERT_TRUE(snap.has_value()) << err;
+    EXPECT_EQ(snap->find("schema")->asString(),
+              metrics::metricsSchema);
+
+    // Counters are process-global; against the pre-drain baseline the
+    // published values must equal this drain's actual replay/simulate
+    // split exactly.
+    auto delta = [&](const char *name) {
+        return counterValue(*snap, name) - counterValue(before, name);
+    };
+    EXPECT_EQ(delta("tdc_drain_passes_total"), 1u);
+    EXPECT_EQ(delta("tdc_jobs_ok_total"), st.ok);
+    EXPECT_EQ(delta("tdc_jobs_failed_total"), 0u);
+    EXPECT_EQ(delta("tdc_result_cache_replays_total"),
+              st.resultCacheHits);
+    EXPECT_EQ(delta("tdc_warm_cache_hits_total"), st.warmCacheHits);
+    EXPECT_EQ(delta("tdc_warm_cache_misses_total"),
+              st.warmCacheMisses);
+    EXPECT_EQ(delta("tdc_warmup_insts_simulated_total"),
+              st.warmupInstsSimulated);
+    EXPECT_EQ(delta("tdc_measure_insts_simulated_total"),
+              st.measureInstsSimulated);
+
+    // Gauges reflect the spool state at publish time.
+    EXPECT_EQ(snap->find("gauges")->find("tdc_queue_done")->asUint(),
+              m.jobs.size());
+    EXPECT_EQ(
+        snap->find("gauges")->find("tdc_queue_pending")->asUint(),
+        0u);
+    EXPECT_EQ(snap->find("gauges")
+                  ->find("tdc_result_cache_entries")
+                  ->asUint(),
+              m.jobs.size());
+
+    // Second drain: every cell replays, so the snapshot moves by
+    // exactly the replay count and simulates nothing new.
+    svc.enqueue(m);
+    const auto st2 = svc.drainOnce();
+    EXPECT_EQ(st2.resultCacheHits, m.jobs.size());
+    const auto snap2 = json::tryReadFile(snap_path, &err);
+    ASSERT_TRUE(snap2.has_value()) << err;
+    auto delta2 = [&](const char *name) {
+        return counterValue(*snap2, name)
+               - counterValue(*snap, name);
+    };
+    EXPECT_EQ(delta2("tdc_drain_passes_total"), 1u);
+    EXPECT_EQ(delta2("tdc_result_cache_replays_total"),
+              st2.resultCacheHits);
+    EXPECT_EQ(delta2("tdc_jobs_ok_total"), st2.ok);
+    EXPECT_EQ(delta2("tdc_warmup_insts_simulated_total"), 0u);
+    EXPECT_EQ(delta2("tdc_measure_insts_simulated_total"), 0u);
 }
 
 // ---------------------------------------------------------------------

@@ -4,13 +4,17 @@
  *
  *   tdc_obs_check [--trace=<path>] [--timeseries=<path>]
  *                 [--min-events=<N>] [--min-rows=<N>]
+ *                 [--metrics=<path>] [--metrics-prev=<path>]
  *
  * Checks a Chrome trace-event file (parses as JSON, carries the
  * tdc-trace-v1 schema tag, timestamps are non-decreasing, optional
  * minimum event count) and/or a tdc-timeseries-v1 JSONL file (header
  * schema, every row parses, row numbers are dense from 0, delta/gauge
- * widths match the header's field lists). Exits non-zero with a
- * message on the first violation, so CI can gate on it.
+ * widths match the header's field lists) and/or a tdc-metrics-v1
+ * snapshot (exact top-level field set, name-sorted tables, coherent
+ * histograms; with --metrics-prev, counters and timestamps must be
+ * monotonic across the two snapshots). Exits non-zero with a message
+ * on the first violation, so CI can gate on it.
  */
 
 #include <fstream>
@@ -21,6 +25,7 @@
 #include "common/format.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "metrics/registry.hh"
 #include "obs/interval_sampler.hh"
 #include "obs/trace_writer.hh"
 
@@ -120,6 +125,198 @@ checkTimeseries(const std::string &path, std::uint64_t min_rows)
     std::cout << format("timeseries ok: {} ({} rows)\n", path, rows);
 }
 
+/** Object members must appear in strictly increasing name order --
+ *  the registry's determinism contract. */
+void
+checkSorted(const json::Value &table, const char *what,
+            const std::string &path)
+{
+    const auto &members = table.members();
+    for (std::size_t i = 1; i < members.size(); ++i) {
+        if (!(members[i - 1].first < members[i].first))
+            fatal("metrics {}: {} names not sorted ('{}' before "
+                  "'{}')",
+                  path, what, members[i - 1].first,
+                  members[i].first);
+    }
+}
+
+void
+checkHistogram(const std::string &name, const json::Value &h,
+               const std::string &path)
+{
+    static const char *fields[] = {"le", "counts", "inf", "count",
+                                   "sum"};
+    if (!h.isObject())
+        fatal("metrics {}: histogram '{}' is not an object", path,
+              name);
+    for (const auto &[key, value] : h.members()) {
+        (void)value;
+        bool known = false;
+        for (const char *f : fields)
+            known = known || key == f;
+        if (!known)
+            fatal("metrics {}: histogram '{}' has unknown field "
+                  "'{}'",
+                  path, name, key);
+    }
+    const json::Value *le = h.find("le");
+    const json::Value *counts = h.find("counts");
+    const json::Value *inf = h.find("inf");
+    const json::Value *count = h.find("count");
+    const json::Value *sum = h.find("sum");
+    if (le == nullptr || !le->isArray() || counts == nullptr
+        || !counts->isArray() || inf == nullptr || !inf->isUint()
+        || count == nullptr || !count->isUint() || sum == nullptr
+        || !sum->isNumber())
+        fatal("metrics {}: histogram '{}' lacks le/counts/inf/"
+              "count/sum",
+              path, name);
+    if (le->items().size() != counts->items().size())
+        fatal("metrics {}: histogram '{}' bucket width mismatch "
+              "({} edges, {} counts)",
+              path, name, le->items().size(), counts->items().size());
+    double prev_edge = 0.0;
+    bool first = true;
+    for (const auto &e : le->items()) {
+        if (!e.isNumber())
+            fatal("metrics {}: histogram '{}' has a non-numeric "
+                  "edge",
+                  path, name);
+        if (!first && e.asDouble() <= prev_edge)
+            fatal("metrics {}: histogram '{}' edges not strictly "
+                  "increasing",
+                  path, name);
+        prev_edge = e.asDouble();
+        first = false;
+    }
+    std::uint64_t total = inf->asUint();
+    for (const auto &c : counts->items()) {
+        if (!c.isUint())
+            fatal("metrics {}: histogram '{}' has a non-integer "
+                  "bucket count",
+                  path, name);
+        total += c.asUint();
+    }
+    if (total != count->asUint())
+        fatal("metrics {}: histogram '{}' bucket sum {} != count {}",
+              path, name, total, count->asUint());
+}
+
+/** Loads one snapshot and validates its structure. */
+json::Value
+loadMetrics(const std::string &path)
+{
+    std::string err;
+    auto doc = json::tryReadFile(path, &err);
+    if (!doc)
+        fatal("metrics {}: {}", path, err);
+    if (!doc->isObject())
+        fatal("metrics {}: not a JSON object", path);
+
+    static const char *fields[] = {"schema", "unix_ms", "counters",
+                                   "gauges", "histograms"};
+    for (const auto &[key, value] : doc->members()) {
+        (void)value;
+        bool known = false;
+        for (const char *f : fields)
+            known = known || key == f;
+        if (!known)
+            fatal("metrics {}: unknown top-level field '{}'", path,
+                  key);
+    }
+    const json::Value *schema = doc->find("schema");
+    if (schema == nullptr || !schema->isString()
+        || schema->asString() != metrics::metricsSchema)
+        fatal("metrics {}: missing or wrong schema (want {})", path,
+              metrics::metricsSchema);
+    const json::Value *ts = doc->find("unix_ms");
+    if (ts == nullptr || !ts->isUint())
+        fatal("metrics {}: missing or non-integer unix_ms", path);
+    const json::Value *counters = doc->find("counters");
+    const json::Value *gauges = doc->find("gauges");
+    const json::Value *histograms = doc->find("histograms");
+    if (counters == nullptr || !counters->isObject()
+        || gauges == nullptr || !gauges->isObject()
+        || histograms == nullptr || !histograms->isObject())
+        fatal("metrics {}: counters/gauges/histograms must all be "
+              "objects",
+              path);
+
+    checkSorted(*counters, "counter", path);
+    checkSorted(*gauges, "gauge", path);
+    checkSorted(*histograms, "histogram", path);
+    for (const auto &[name, value] : counters->members()) {
+        if (!value.isUint())
+            fatal("metrics {}: counter '{}' is not a non-negative "
+                  "integer",
+                  path, name);
+    }
+    for (const auto &[name, value] : gauges->members()) {
+        if (!value.isNumber())
+            fatal("metrics {}: gauge '{}' is not numeric", path,
+                  name);
+    }
+    for (const auto &[name, value] : histograms->members())
+        checkHistogram(name, value, path);
+    return std::move(*doc);
+}
+
+/**
+ * Structural validation of one tdc-metrics-v1 snapshot; with a
+ * predecessor snapshot from the same process, every shared counter
+ * (and every histogram count) must be monotonically non-decreasing
+ * and the timestamp must not move backwards.
+ */
+void
+checkMetrics(const std::string &path, const std::string &prev_path)
+{
+    const json::Value doc = loadMetrics(path);
+    std::uint64_t compared = 0;
+    if (!prev_path.empty()) {
+        const json::Value prev = loadMetrics(prev_path);
+        if (prev.find("unix_ms")->asUint()
+            > doc.find("unix_ms")->asUint())
+            fatal("metrics {}: unix_ms moved backwards vs {}", path,
+                  prev_path);
+        const json::Value *cur_c = doc.find("counters");
+        for (const auto &[name, was] :
+             prev.find("counters")->members()) {
+            const json::Value *now = cur_c->find(name);
+            if (now == nullptr)
+                fatal("metrics {}: counter '{}' vanished vs {}",
+                      path, name, prev_path);
+            if (now->asUint() < was.asUint())
+                fatal("metrics {}: counter '{}' went backwards "
+                      "({} -> {})",
+                      path, name, was.asUint(), now->asUint());
+            ++compared;
+        }
+        const json::Value *cur_h = doc.find("histograms");
+        for (const auto &[name, was] :
+             prev.find("histograms")->members()) {
+            const json::Value *now = cur_h->find(name);
+            if (now == nullptr)
+                fatal("metrics {}: histogram '{}' vanished vs {}",
+                      path, name, prev_path);
+            if (now->find("count")->asUint()
+                < was.find("count")->asUint())
+                fatal("metrics {}: histogram '{}' count went "
+                      "backwards",
+                      path, name);
+            ++compared;
+        }
+    }
+    std::cout << format(
+        "metrics ok: {} ({} counters, {} gauges, {} histograms",
+        path, doc.find("counters")->size(),
+        doc.find("gauges")->size(), doc.find("histograms")->size());
+    if (!prev_path.empty())
+        std::cout << format("; {} monotonic vs {}", compared,
+                            prev_path);
+    std::cout << ")\n";
+}
+
 } // namespace
 
 int
@@ -130,11 +327,15 @@ main(int argc, char **argv)
         if (!args.parseAssignment(argv[i]))
             fatal("tdc_obs_check: unrecognized argument '{}'", argv[i]);
     }
-    args.checkKnown({"trace", "timeseries", "min-events", "min-rows"},
+    args.checkKnown({"trace", "timeseries", "min-events", "min-rows",
+                     "metrics", "metrics-prev"},
                     "tdc_obs_check");
-    if (!args.has("trace") && !args.has("timeseries"))
-        fatal("tdc_obs_check: nothing to check (pass --trace= and/or "
-              "--timeseries=)");
+    if (!args.has("trace") && !args.has("timeseries")
+        && !args.has("metrics"))
+        fatal("tdc_obs_check: nothing to check (pass --trace=, "
+              "--timeseries= and/or --metrics=)");
+    if (args.has("metrics-prev") && !args.has("metrics"))
+        fatal("tdc_obs_check: --metrics-prev needs --metrics=");
 
     if (args.has("trace"))
         checkTrace(args.getString("trace", ""),
@@ -142,5 +343,8 @@ main(int argc, char **argv)
     if (args.has("timeseries"))
         checkTimeseries(args.getString("timeseries", ""),
                         args.getU64("min-rows", 1));
+    if (args.has("metrics"))
+        checkMetrics(args.getString("metrics", ""),
+                     args.getString("metrics-prev", ""));
     return 0;
 }

@@ -23,8 +23,14 @@
  *       recombine per-shard reports into the document a direct
  *       single-machine run would produce, byte for byte
  *
- *   tdc_served --root=<dir> --status
- *       print queue/cache state as JSON
+ *   tdc_served --root=<dir> --status [--json]
+ *       one-shot human summary of queue/cache state plus the last
+ *       published tdc-metrics-v1 snapshot; --json prints the raw
+ *       tdc-serve-status-v1 document instead
+ *
+ *   tdc_served --root=<dir> --gc=<keep>
+ *       retention sweep: keep the <keep> most recent records in each
+ *       of done/ and failed/, remove the rest, republish metrics
  *
  *   Common options:
  *     --shard=i/N        deterministic manifest slice (stride i, i+N,
@@ -35,18 +41,25 @@
  *     --no-warm-cache    never restore persisted warm checkpoints
  *     --no-result-cache  never replay stored run reports (fresh runs
  *                        are still captured)
+ *     --metrics-out=<p>  also publish Prometheus text exposition
+ *                        to <p> whenever metrics.json is republished
+ *     --log-out=<p>      append the structured JSONL event log to <p>
  *     serve.<key>=<v>    dotted overrides (serve.root,
  *                        serve.warm_cache_bytes, ...)
+ *     log.level=<lvl>    debug|info|warn|error|off (default: the
+ *                        TDC_LOG_LEVEL environment variable, or info)
  *
  * Exit status of a drain is non-zero if any job failed or timed out.
  */
 
+#include <filesystem>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/event_log.hh"
 #include "common/format.hh"
 #include "common/json.hh"
 #include "runner/sweep.hh"
@@ -95,6 +108,86 @@ applyShard(const runner::SweepManifest &m, const std::string &spec)
     return runner::shardSlice(m, index, count);
 }
 
+std::uint64_t
+numberAt(const json::Value &doc, const char *name)
+{
+    const json::Value *v = doc.find(name);
+    return v != nullptr && v->isNumber()
+               ? static_cast<std::uint64_t>(v->asDouble())
+               : 0;
+}
+
+/**
+ * Renders the one-shot human --status summary from the live spool
+ * counts plus (when a drain has published one) the last
+ * tdc-metrics-v1 snapshot in <root>/metrics.json.
+ */
+void
+printStatus(const serve::SweepService &service,
+            const std::string &root)
+{
+    const json::Value st = service.statusJson();
+    std::cout << format("[served] root {}\n", root);
+    if (const json::Value *q = st.find("queue")) {
+        std::cout << format(
+            "  queue         {} pending, {} claimed, {} done, {} "
+            "failed\n",
+            numberAt(*q, "pending"), numberAt(*q, "claimed"),
+            numberAt(*q, "done"), numberAt(*q, "failed"));
+    }
+    if (const json::Value *w = st.find("warm_cache")) {
+        const json::Value *entries = w->find("entries");
+        std::cout << format(
+            "  warm cache    {} entries, {} bytes (budget {})\n",
+            entries != nullptr && entries->isArray()
+                ? entries->items().size()
+                : 0,
+            numberAt(*w, "bytes"), numberAt(*w, "capacity_bytes"));
+    }
+    if (const json::Value *rc = st.find("result_cache")) {
+        const json::Value *entries = rc->find("entries");
+        std::cout << format(
+            "  result cache  {} entries, {} bytes\n",
+            entries != nullptr && entries->isArray()
+                ? entries->items().size()
+                : 0,
+            numberAt(*rc, "bytes"));
+    }
+
+    const std::string snap =
+        (std::filesystem::path(root) / "metrics.json").string();
+    const auto doc = json::tryReadFile(snap);
+    if (!doc || !doc->isObject()) {
+        std::cout << "  metrics       (no snapshot published yet)\n";
+        return;
+    }
+    const json::Value *counters = doc->find("counters");
+    if (counters == nullptr || !counters->isObject()) {
+        std::cout << format("  metrics       {} is malformed\n", snap);
+        return;
+    }
+    std::cout << format("  metrics       snapshot at unix_ms {}\n",
+                        numberAt(*doc, "unix_ms"));
+    std::cout << format(
+        "    drains {}; jobs ok {}, failed {}, timeout {}, "
+        "retries {}\n",
+        numberAt(*counters, "tdc_drain_passes_total"),
+        numberAt(*counters, "tdc_jobs_ok_total"),
+        numberAt(*counters, "tdc_jobs_failed_total"),
+        numberAt(*counters, "tdc_jobs_timeout_total"),
+        numberAt(*counters, "tdc_job_retries_total"));
+    std::cout << format(
+        "    result-cache replays {}, warm hits {}, warm misses "
+        "{}\n",
+        numberAt(*counters, "tdc_result_cache_replays_total"),
+        numberAt(*counters, "tdc_warm_cache_hits_total"),
+        numberAt(*counters, "tdc_warm_cache_misses_total"));
+    std::cout << format(
+        "    insts simulated: warmup {}, measure {}\n",
+        numberAt(*counters, "tdc_warmup_insts_simulated_total"),
+        numberAt(*counters, "tdc_measure_insts_simulated_total"));
+}
+
 /** Non-zero exit when any report slot is not "ok". */
 int
 reportExitStatus(const json::Value &report)
@@ -118,7 +211,7 @@ main(int argc, char **argv)
 {
     Config args;
     bool enqueue = false, once = false, watch = false, merge = false,
-         status = false, report = false;
+         status = false, report = false, raw_json = false;
     bool no_progress = false, no_warm = false, no_result = false;
     for (int i = 1; i < argc; ++i) {
         std::string_view tok(argv[i]);
@@ -134,6 +227,8 @@ main(int argc, char **argv)
             status = true;
         } else if (tok == "--report") {
             report = true;
+        } else if (tok == "--json") {
+            raw_json = true;
         } else if (tok == "--no-progress") {
             no_progress = true;
         } else if (tok == "--no-warm-cache") {
@@ -148,13 +243,18 @@ main(int argc, char **argv)
         }
     }
     args.checkKnown({"root", "manifest", "shard", "shards", "out",
-                     "jobs", "passes"},
+                     "jobs", "passes", "gc", "metrics-out",
+                     "log-out"},
                     "tdc_served");
+    applyLogSettings(args);
+    if (args.has("log-out"))
+        openEventLog(args.getString("log-out", ""));
 
     serve::ServeConfig sc = serve::ServeConfig::fromConfig(args);
     sc.root = args.getString("root", sc.root);
     sc.jobs =
         static_cast<unsigned>(args.getU64("jobs", sc.jobs));
+    sc.metricsOut = args.getString("metrics-out", sc.metricsOut);
     if (no_progress)
         sc.progress = false;
     if (no_warm)
@@ -162,11 +262,13 @@ main(int argc, char **argv)
     if (no_result)
         sc.useResultCache = false;
 
+    const bool gc = args.has("gc");
     const int modes = int{enqueue} + int{once} + int{watch}
-                      + int{merge} + int{status} + int{report};
+                      + int{merge} + int{status} + int{report}
+                      + int{gc};
     if (modes != 1)
         fatal("tdc_served: pick exactly one of --enqueue, --once, "
-              "--watch, --merge, --report, --status");
+              "--watch, --merge, --report, --status, --gc=<keep>");
 
     std::optional<runner::SweepManifest> manifest;
     if (args.has("manifest")) {
@@ -215,8 +317,27 @@ main(int argc, char **argv)
     serve::SweepService service(sc);
 
     if (status) {
-        service.statusJson().write(std::cout);
-        std::cout << "\n";
+        if (raw_json) {
+            service.statusJson().write(std::cout);
+            std::cout << "\n";
+        } else {
+            printStatus(service, sc.root);
+        }
+        return 0;
+    }
+
+    if (gc) {
+        const std::size_t keep =
+            static_cast<std::size_t>(args.getU64("gc", 0));
+        const unsigned removed = service.queue().gc(keep);
+        service.publishMetrics();
+        auto fields = json::Value::object();
+        fields.set("keep", std::uint64_t{keep});
+        fields.set("removed", std::uint64_t{removed});
+        logEvent(LogLevel::Info, "gc", std::move(fields));
+        std::cout << format(
+            "[served] gc kept {} record(s) per state, removed {}\n",
+            keep, removed);
         return 0;
     }
 

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * tdc_top: live terminal view over a serve root's tdc-metrics-v1
+ * snapshots (DESIGN.md 11).
+ *
+ *   tdc_top --root=<dir> [--interval-ms=N] [--frames=N] [--plain]
+ *
+ * Each frame re-reads <root>/metrics.json (the drain loop republishes
+ * it atomically on every pass and watch poll tick) and renders queue
+ * depth, cache hit rates and job totals. Consecutive snapshots are
+ * diffed to derive jobs/s and simulated-instruction throughput, so
+ * the view shows live rates without the service exporting any.
+ *
+ *   --root=<dir>       serve root to watch (default .tdc-serve)
+ *   --interval-ms=N    poll period between frames (default 1000)
+ *   --frames=N         render N frames then exit; 0 = until ^C
+ *                      (N=1 is the scripting/one-shot mode)
+ *   --plain            append frames instead of redrawing in place
+ *                      (no ANSI escapes; for logs and tests)
+ *
+ * A missing snapshot is not an error: the view says so and keeps
+ * polling, so tdc_top can be started before the service.
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/config.hh"
+#include "common/format.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "metrics/registry.hh"
+
+using namespace tdc;
+
+namespace {
+
+double
+numberAt(const json::Value *table, const char *name)
+{
+    if (table == nullptr)
+        return 0.0;
+    const json::Value *v = table->find(name);
+    return v != nullptr && v->isNumber() ? v->asDouble() : 0.0;
+}
+
+std::string
+ratioLine(double hits, double misses)
+{
+    const double total = hits + misses;
+    if (total <= 0.0)
+        return "-";
+    return format("{:.1f}%", 100.0 * hits / total);
+}
+
+/** Counter deltas between two snapshots, per second. */
+double
+ratePerSec(const json::Value *cur, const json::Value *prev,
+           const char *name, double dt_s)
+{
+    if (prev == nullptr || dt_s <= 0.0)
+        return 0.0;
+    const double d = numberAt(cur, name) - numberAt(prev, name);
+    return d > 0.0 ? d / dt_s : 0.0;
+}
+
+void
+renderFrame(const json::Value &doc, const json::Value *prev,
+            const std::string &root, bool plain)
+{
+    const json::Value *schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString()
+        || schema->asString() != metrics::metricsSchema) {
+        std::cout << format("[tdc_top] {}/metrics.json is not a {} "
+                            "document\n",
+                            root, metrics::metricsSchema);
+        return;
+    }
+    const json::Value *counters = doc.find("counters");
+    const json::Value *gauges = doc.find("gauges");
+    const json::Value *prev_counters =
+        prev != nullptr ? prev->find("counters") : nullptr;
+
+    const double now_ms = numberAt(&doc, "unix_ms");
+    const double prev_ms =
+        prev != nullptr ? numberAt(prev, "unix_ms") : 0.0;
+    const double dt_s = (now_ms - prev_ms) / 1000.0;
+
+    if (!plain)
+        std::cout << "\x1b[H\x1b[2J";
+    const double wall_ms = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    std::cout << format(
+        "tdc_top  {}  snapshot age {:.1f}s\n", root,
+        std::max(0.0, (wall_ms - now_ms) / 1000.0));
+    std::cout << format(
+        "queue    {:.0f} pending  {:.0f} claimed  {:.0f} done  "
+        "{:.0f} failed\n",
+        numberAt(gauges, "tdc_queue_pending"),
+        numberAt(gauges, "tdc_queue_claimed"),
+        numberAt(gauges, "tdc_queue_done"),
+        numberAt(gauges, "tdc_queue_failed"));
+    std::cout << format(
+        "jobs     {:.0f} ok  {:.0f} failed  {:.0f} timeout  "
+        "{:.0f} retries  ({:.0f} drains)\n",
+        numberAt(counters, "tdc_jobs_ok_total"),
+        numberAt(counters, "tdc_jobs_failed_total"),
+        numberAt(counters, "tdc_jobs_timeout_total"),
+        numberAt(counters, "tdc_job_retries_total"),
+        numberAt(counters, "tdc_drain_passes_total"));
+    std::cout << format(
+        "results  {:.0f} replays  {:.0f} misses  hit {}  "
+        "({:.0f} entries, {:.0f} bytes)\n",
+        numberAt(counters, "tdc_result_cache_replays_total"),
+        numberAt(counters, "tdc_result_cache_misses_total"),
+        ratioLine(
+            numberAt(counters, "tdc_result_cache_replays_total"),
+            numberAt(counters, "tdc_result_cache_misses_total")),
+        numberAt(gauges, "tdc_result_cache_entries"),
+        numberAt(gauges, "tdc_result_cache_resident_bytes"));
+    std::cout << format(
+        "warm     {:.0f} hits  {:.0f} misses  hit {}  "
+        "({:.0f} entries, {:.0f} bytes)\n",
+        numberAt(counters, "tdc_warm_cache_hits_total"),
+        numberAt(counters, "tdc_warm_cache_misses_total"),
+        ratioLine(numberAt(counters, "tdc_warm_cache_hits_total"),
+                  numberAt(counters, "tdc_warm_cache_misses_total")),
+        numberAt(gauges, "tdc_warm_cache_entries"),
+        numberAt(gauges, "tdc_warm_cache_resident_bytes"));
+
+    const double jobs_s =
+        ratePerSec(counters, prev_counters, "tdc_jobs_ok_total",
+                   dt_s)
+        + ratePerSec(counters, prev_counters, "tdc_jobs_failed_total",
+                     dt_s)
+        + ratePerSec(counters, prev_counters,
+                     "tdc_jobs_timeout_total", dt_s);
+    const double kinsts_s =
+        (ratePerSec(counters, prev_counters,
+                    "tdc_warmup_insts_simulated_total", dt_s)
+         + ratePerSec(counters, prev_counters,
+                      "tdc_measure_insts_simulated_total", dt_s))
+        / 1000.0;
+    if (prev != nullptr && dt_s > 0.0)
+        std::cout << format(
+            "rate     {:.2f} jobs/s  {:.0f} KIPS simulated\n",
+            jobs_s, kinsts_s);
+    else
+        std::cout << "rate     (one more snapshot needed)\n";
+    std::cout.flush();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config args;
+    bool plain = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view tok(argv[i]);
+        if (tok == "--plain") {
+            plain = true;
+        } else if (!args.parseAssignment(tok)) {
+            fatal("tdc_top: unrecognized argument '{}' (every other "
+                  "option is key=value; see tools/tdc_top.cc)",
+                  tok);
+        }
+    }
+    args.checkKnown({"root", "interval-ms", "frames"}, "tdc_top");
+
+    const std::string root = args.getString("root", ".tdc-serve");
+    const auto interval =
+        std::chrono::milliseconds(args.getU64("interval-ms", 1000));
+    const std::uint64_t frames = args.getU64("frames", 0);
+    const std::string snap =
+        (std::filesystem::path(root) / "metrics.json").string();
+
+    std::optional<json::Value> prev;
+    for (std::uint64_t frame = 0; frames == 0 || frame < frames;
+         ++frame) {
+        if (frame != 0)
+            std::this_thread::sleep_for(interval);
+        std::string err;
+        auto doc = json::tryReadFile(snap, &err);
+        if (!doc) {
+            if (!plain)
+                std::cout << "\x1b[H\x1b[2J";
+            std::cout << format(
+                "tdc_top  {}  waiting for {} ({})\n", root, snap,
+                err);
+            std::cout.flush();
+            continue;
+        }
+        renderFrame(*doc, prev ? &*prev : nullptr, root, plain);
+        prev = std::move(doc);
+    }
+    return 0;
+}
