@@ -5,7 +5,10 @@
 #include <vector>
 
 #include "ckpt/checkpoint.hh"
+#include "common/format.hh"
 #include "common/logging.hh"
+#include "trace/mtrace.hh"
+#include "trace/workloads.hh"
 
 namespace tdc {
 namespace serve {
@@ -20,6 +23,15 @@ jobConfigHash(const runner::JobSpec &spec)
     // ever changes shape.
     std::string s = "tdc-job-config-v1|";
     s += spec.toJson().dump(-1);
+    // A trace workload names a file; the report depends on the file's
+    // *content*. Fold the content hash in so overwriting a trace at
+    // the same path cannot satisfy a lookup with a stale report.
+    for (const std::string &w : spec.workloads) {
+        if (isTraceWorkload(w))
+            s += format("|trace:{}={}", w,
+                        ckpt::hex16(mtrace::traceContentHash(
+                            tracePathOf(w))));
+    }
     return ckpt::fnv1a(s);
 }
 

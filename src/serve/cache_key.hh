@@ -33,7 +33,9 @@ namespace serve {
  * FNV-1a digest of the canonical JSON serialization of a design
  * point. Any change to org, workloads, sizes, budgets, raw overrides
  * or the label changes the hash, so the result cache re-simulates
- * exactly the cells that changed.
+ * exactly the cells that changed. For `trace:` workloads the trace
+ * file's content hash is folded in too: the spec only names a path,
+ * but the report depends on the bytes behind it.
  */
 std::uint64_t jobConfigHash(const runner::JobSpec &spec);
 

@@ -6,6 +6,8 @@
 #include "common/units.hh"
 #include "dram/dram_params.hh"
 #include "dramcache/tagless_cache.hh"
+#include "trace/record.hh"
+#include "trace/replay.hh"
 
 namespace tdc {
 
@@ -196,14 +198,34 @@ System::buildWorkloads()
     tdc_assert(n == 1 || n == 4,
                "expected 1 workload or a 4-program mix, got {}", n);
 
+    // A sole trace workload dictates the machine shape from its file:
+    // one core per recorded stream, one shared page table if the
+    // recorded run shared one. (Trace entries inside a 4-program mix
+    // must be single-core; makeWorkloadSource enforces that.)
     unsigned hw_threads;
     bool shared_pt = false;
+    std::shared_ptr<const mtrace::MtraceReader> whole_trace;
     if (n == 1) {
         const WorkloadProfile &p = getWorkload(cfg_.workloads[0]);
-        hw_threads = p.multithreaded ? 4 : 1;
-        shared_pt = p.multithreaded;
+        if (p.kind == WorkloadKind::Trace) {
+            whole_trace = mtrace::acquireReader(p.tracePath);
+            hw_threads = whole_trace->coreCount();
+            shared_pt = whole_trace->sharedPageTable() && hw_threads > 1;
+        } else {
+            hw_threads = p.multithreaded ? 4 : 1;
+            shared_pt = p.multithreaded;
+        }
     } else {
         hw_threads = 4;
+    }
+
+    if (!cfg_.recordTracePath.empty()) {
+        std::string source = format("tdc_sim:org={}", toString(cfg_.org));
+        for (const std::string &w : cfg_.workloads)
+            source += format(",{}", w);
+        recorder_ = std::make_unique<mtrace::MtraceWriter>(
+            cfg_.recordTracePath, hw_threads, shared_pt,
+            std::move(source));
     }
 
     for (unsigned t = 0; t < hw_threads; ++t) {
@@ -220,7 +242,17 @@ System::buildWorkloads()
             pt = pageTables_.back().get();
         }
 
-        traces_.push_back(makeGenerator(prof, t));
+        std::unique_ptr<WorkloadSource> src;
+        if (whole_trace) {
+            src = std::make_unique<mtrace::ReplayTraceSource>(
+                whole_trace, t);
+        } else {
+            src = makeWorkloadSource(prof, t);
+        }
+        if (recorder_)
+            src = std::make_unique<mtrace::RecordingSource>(
+                std::move(src), *recorder_, t);
+        traces_.push_back(std::move(src));
         memSystems_.push_back(std::make_unique<MemorySystem>(
             format("core{}.mem", t), eq_, t, cfg_.coreParams, *cpuClk_,
             *pt, *org_));
@@ -228,6 +260,23 @@ System::buildWorkloads()
             format("core{}", t), eq_, t, cfg_.coreParams, *cpuClk_,
             *traces_.back(), *memSystems_.back()));
     }
+}
+
+std::uint64_t
+System::finishRecording()
+{
+    if (!recorder_)
+        return 0;
+    if (recorder_->closed())
+        return recorder_->totalRecords();
+    for (auto &t : traces_) {
+        auto *rs = dynamic_cast<mtrace::RecordingSource *>(t.get());
+        tdc_assert(rs != nullptr,
+                   "recording system has a non-recording source");
+        rs->pad(cfg_.recordPadRecords);
+    }
+    recorder_->close();
+    return recorder_->totalRecords();
 }
 
 namespace {

@@ -35,6 +35,10 @@
 
 namespace tdc {
 
+namespace mtrace {
+class MtraceWriter;
+} // namespace mtrace
+
 struct SystemConfig
 {
     OrgKind org = OrgKind::Tagless;
@@ -64,6 +68,17 @@ struct SystemConfig
 
     /** Extra low-level overrides (l3.policy, l3.alpha, ...). */
     Config raw;
+
+    /**
+     * Record mode: tee every core's workload stream to this
+     * tdc-mtrace-v1 file (empty disables). Pure observation -- results,
+     * reports and checkpoints are identical to the unrecorded run --
+     * so neither field enters warmFingerprint().
+     */
+    std::string recordTracePath;
+
+    /** Extra records appended per core after the run (wrap margin). */
+    std::uint64_t recordPadRecords = 4096;
 
     /**
      * Observability defaults; "obs.*" keys in `raw` override these, so
@@ -136,6 +151,15 @@ class System
     void saveCheckpoint(const std::string &path) const;
     void loadCheckpoint(const std::string &path);
 
+    /**
+     * Finishes record mode: pads every stream with recordPadRecords
+     * extra records and publishes the trace file. Returns the total
+     * records written, or 0 when not recording. Idempotent; called by
+     * tdc_sim after measure() (the destructor also closes, unpadded,
+     * as a backstop).
+     */
+    std::uint64_t finishRecording();
+
     /** Dumps the full hierarchical statistics tree. */
     void dumpStats(std::ostream &os) const;
 
@@ -207,7 +231,9 @@ class System
     std::unique_ptr<EnergyModel> energyModel_;
 
     std::vector<std::unique_ptr<PageTable>> pageTables_;
-    std::vector<std::unique_ptr<SyntheticTraceGen>> traces_;
+    /** Declared before traces_: RecordingSources reference it. */
+    std::unique_ptr<mtrace::MtraceWriter> recorder_;
+    std::vector<std::unique_ptr<WorkloadSource>> traces_;
     std::vector<std::unique_ptr<MemorySystem>> memSystems_;
     std::vector<std::unique_ptr<OooCore>> cores_;
 

@@ -17,6 +17,7 @@
 #include "common/json.hh"
 #include "dramcache/org_factory.hh"
 #include "sys/system.hh"
+#include "trace/mtrace.hh"
 
 namespace tdc {
 
@@ -30,8 +31,16 @@ warmFingerprint(const SystemConfig &cfg)
     s += format("org={};", std::string(cliName(cfg.org)));
     s += format("l3_bytes={};off_bytes={};", cfg.l3SizeBytes,
                 cfg.offPkgBytes);
-    for (const std::string &w : cfg.workloads)
+    for (const std::string &w : cfg.workloads) {
         s += format("workload={};", w);
+        // A trace workload's warm state is a function of the file's
+        // *content*, not its name: fold in the content hash so editing
+        // a trace in place invalidates checkpoints keyed on its path.
+        if (isTraceWorkload(w))
+            s += format("trace_hash={};",
+                        ckpt::hex16(
+                            mtrace::traceContentHash(tracePathOf(w))));
+    }
     s += format("warmup={};quantum={};", cfg.warmupInsts, cfg.quantum);
 
     const CoreParams &cp = cfg.coreParams;

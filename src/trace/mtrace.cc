@@ -1,0 +1,678 @@
+#include "trace/mtrace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define TDC_MTRACE_HAVE_MMAP 1
+#endif
+
+#include "ckpt/checkpoint.hh"
+#include "ckpt/serializer.hh"
+#include "common/format.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace tdc {
+namespace mtrace {
+
+namespace {
+
+constexpr std::uint8_t flagTypeMask = 0x03;
+constexpr std::uint8_t flagDependent = 0x04;
+constexpr std::uint8_t flagNegDelta = 0x08;
+constexpr std::uint8_t flagReserved = 0xF0;
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::string
+coreSectionName(unsigned core)
+{
+    return format("core{}", core);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+MtraceWriter::MtraceWriter(std::string path, unsigned cores,
+                           bool shared_page_table, std::string source,
+                           std::uint64_t block_records)
+    : path_(std::move(path)), sharedPt_(shared_page_table),
+      source_(std::move(source)),
+      blockRecords_(block_records > 0 ? block_records : 1),
+      streams_(cores)
+{
+    tdc_assert(cores >= 1, "mtrace writer needs at least one core");
+}
+
+MtraceWriter::~MtraceWriter()
+{
+    if (!closed_) {
+        try {
+            close();
+        } catch (...) {
+            // A FatalError (e.g. an empty stream) must not escape a
+            // destructor; the explicit close() path reports it.
+        }
+    }
+}
+
+void
+MtraceWriter::append(unsigned core, const TraceRecord &rec)
+{
+    tdc_assert(!closed_, "append after close");
+    tdc_assert(core < streams_.size(),
+               "mtrace writer: core {} out of range ({} streams)", core,
+               streams_.size());
+    Stream &s = streams_[core];
+
+    if (s.count % blockRecords_ == 0) {
+        // Block boundary: record the reference and restart the delta
+        // base, so this block decodes without its predecessors.
+        s.blocks.push_back({s.bytes.size(), s.count});
+        s.prev = 0;
+    }
+
+    std::uint8_t flags = static_cast<std::uint8_t>(rec.type);
+    if (rec.dependent)
+        flags |= flagDependent;
+    std::uint64_t delta;
+    if (rec.vaddr >= s.prev) {
+        delta = rec.vaddr - s.prev;
+    } else {
+        delta = s.prev - rec.vaddr;
+        flags |= flagNegDelta;
+    }
+    s.bytes.push_back(flags);
+    putVarint(s.bytes, rec.nonMemInsts);
+    putVarint(s.bytes, delta);
+    s.prev = rec.vaddr;
+    ++s.count;
+}
+
+std::uint64_t
+MtraceWriter::recordsWritten(unsigned core) const
+{
+    return streams_.at(core).count;
+}
+
+std::uint64_t
+MtraceWriter::totalRecords() const
+{
+    std::uint64_t n = 0;
+    for (const Stream &s : streams_)
+        n += s.count;
+    return n;
+}
+
+void
+MtraceWriter::close()
+{
+    if (closed_)
+        return;
+    for (std::size_t c = 0; c < streams_.size(); ++c) {
+        if (streams_[c].count == 0)
+            fatal("mtrace '{}': core {} has no records (replay sources "
+                  "never run dry, so every stream must be non-empty)",
+                  path_, c);
+    }
+
+    auto meta = json::Value::object();
+    meta.set("schema", mtraceSchema);
+    meta.set("cores", static_cast<std::uint64_t>(streams_.size()));
+    meta.set("shared_page_table", sharedPt_);
+    meta.set("block_records", blockRecords_);
+    auto counts = json::Value::array();
+    for (const Stream &s : streams_)
+        counts.push(s.count);
+    meta.set("records", std::move(counts));
+    meta.set("source", source_);
+
+    struct Sec
+    {
+        std::string name;
+        std::vector<std::uint8_t> payload;
+    };
+    std::vector<Sec> secs;
+    {
+        ckpt::Serializer s;
+        s.putString(meta.dump());
+        secs.push_back({"meta", s.take()});
+    }
+    for (std::size_t c = 0; c < streams_.size(); ++c)
+        secs.push_back({coreSectionName(static_cast<unsigned>(c)),
+                        std::move(streams_[c].bytes)});
+    {
+        ckpt::Serializer s;
+        s.putU32(static_cast<std::uint32_t>(streams_.size()));
+        for (const Stream &st : streams_) {
+            s.putU64(st.count);
+            s.putU64(st.blocks.size());
+            for (const BlockRef &b : st.blocks) {
+                s.putU64(b.byteOffset);
+                s.putU64(b.firstRecord);
+            }
+        }
+        secs.push_back({"index", s.take()});
+    }
+
+    const std::string tmp = path_ + ".tmp";
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("cannot open '{}' for writing", tmp);
+    {
+        ckpt::Serializer head;
+        for (char ch : mtraceMagic)
+            head.putU8(static_cast<std::uint8_t>(ch));
+        head.putU32(mtraceFormatVersion);
+        head.putU32(static_cast<std::uint32_t>(secs.size()));
+        out.write(reinterpret_cast<const char *>(head.bytes().data()),
+                  static_cast<std::streamsize>(head.size()));
+    }
+    for (const Sec &sec : secs) {
+        ckpt::Serializer sh;
+        sh.putString(sec.name);
+        sh.putU64(sec.payload.size());
+        sh.putU64(ckpt::fnv1a(sec.payload.data(), sec.payload.size()));
+        out.write(reinterpret_cast<const char *>(sh.bytes().data()),
+                  static_cast<std::streamsize>(sh.size()));
+        out.write(reinterpret_cast<const char *>(sec.payload.data()),
+                  static_cast<std::streamsize>(sec.payload.size()));
+    }
+    out.flush();
+    if (!out)
+        fatal("error writing mtrace file '{}'", tmp);
+    out.close();
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        fatal("cannot publish mtrace file '{}'", path_);
+    closed_ = true;
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Bounds-checked parse cursor over the mapped file, reporting the
+ *  absolute offset of whatever is malformed or missing. */
+struct FileView
+{
+    const std::string &path;
+    const std::uint8_t *data;
+    std::uint64_t size;
+    std::uint64_t pos = 0;
+
+    void
+    need(std::uint64_t n, const char *what) const
+    {
+        if (n > size - pos)
+            fatal("mtrace '{}': truncated {} at offset {} (need {} "
+                  "bytes, {} available)",
+                  path, what, pos, n, size - pos);
+    }
+
+    std::uint32_t
+    getU32(const char *what)
+    {
+        need(4, what);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    std::uint64_t
+    getU64(const char *what)
+    {
+        need(8, what);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    std::string
+    getString(const char *what)
+    {
+        const std::uint64_t len = getU64(what);
+        need(len, what);
+        std::string s(reinterpret_cast<const char *>(data + pos),
+                      static_cast<std::size_t>(len));
+        pos += len;
+        return s;
+    }
+};
+
+} // namespace
+
+MtraceReader::MtraceReader(const std::string &path) : path_(path)
+{
+    mapFile();
+    parse();
+}
+
+MtraceReader::~MtraceReader()
+{
+#ifdef TDC_MTRACE_HAVE_MMAP
+    if (mapped_)
+        ::munmap(const_cast<std::uint8_t *>(data_),
+                 static_cast<std::size_t>(size_));
+#endif
+}
+
+void
+MtraceReader::mapFile()
+{
+#ifdef TDC_MTRACE_HAVE_MMAP
+    const int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd < 0)
+        fatal("cannot open mtrace file '{}'", path_);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fatal("cannot stat mtrace file '{}'", path_);
+    }
+    size_ = static_cast<std::uint64_t>(st.st_size);
+    if (size_ == 0) {
+        ::close(fd);
+        fatal("mtrace '{}': file is empty", path_);
+    }
+    void *m = ::mmap(nullptr, static_cast<std::size_t>(size_),
+                     PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (m != MAP_FAILED) {
+        data_ = static_cast<const std::uint8_t *>(m);
+        mapped_ = true;
+        return;
+    }
+#endif
+    // Fallback: read the whole file into memory.
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        fatal("cannot open mtrace file '{}'", path_);
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    if (end <= 0)
+        fatal("mtrace '{}': file is empty", path_);
+    fallback_.resize(static_cast<std::size_t>(end));
+    in.seekg(0, std::ios::beg);
+    in.read(reinterpret_cast<char *>(fallback_.data()),
+            static_cast<std::streamsize>(fallback_.size()));
+    if (!in)
+        fatal("error reading mtrace file '{}'", path_);
+    data_ = fallback_.data();
+    size_ = fallback_.size();
+}
+
+void
+MtraceReader::parse()
+{
+    FileView v{path_, data_, size_};
+
+    v.need(sizeof(mtraceMagic), "magic");
+    if (std::memcmp(data_, mtraceMagic, sizeof(mtraceMagic)) != 0)
+        fatal("'{}' is not a tdc-mtrace file (bad magic)", path_);
+    v.pos = sizeof(mtraceMagic);
+    const std::uint32_t version = v.getU32("format version");
+    if (version != mtraceFormatVersion)
+        fatal("mtrace '{}': unsupported format version {} (this build "
+              "reads v{})",
+              path_, version, mtraceFormatVersion);
+    const std::uint32_t nsec = v.getU32("section count");
+    if (nsec < 3 || nsec > 3 + 1024)
+        fatal("mtrace '{}': implausible section count {} at offset {}",
+              path_, nsec, v.pos - 4);
+
+    struct RawSec
+    {
+        std::string name;
+        std::uint64_t offset; //!< payload file offset
+        std::uint64_t size;
+    };
+    std::vector<RawSec> raw;
+    for (std::uint32_t i = 0; i < nsec; ++i) {
+        const std::string name = v.getString("section name");
+        const std::uint64_t sz = v.getU64("section size");
+        const std::uint64_t sum = v.getU64("section checksum");
+        v.need(sz, "section payload");
+        const std::uint64_t got = ckpt::fnv1a(data_ + v.pos, sz);
+        if (got != sum)
+            fatal("mtrace '{}': checksum mismatch in section '{}' at "
+                  "offset {} (stored {:016x}, computed {:016x})",
+                  path_, name, v.pos, sum, got);
+        raw.push_back({name, v.pos, sz});
+        sections_.push_back({name, sz, sum});
+        v.pos += sz;
+    }
+    if (v.pos != size_)
+        fatal("mtrace '{}': {} trailing bytes after the last section "
+              "(offset {})",
+              path_, size_ - v.pos, v.pos);
+
+    auto findSec = [&](const std::string &name) -> const RawSec & {
+        for (const RawSec &s : raw)
+            if (s.name == name)
+                return s;
+        fatal("mtrace '{}': missing required section '{}'", path_,
+              name);
+    };
+
+    // "meta": a length-prefixed JSON string.
+    {
+        const RawSec &ms = findSec("meta");
+        FileView mv{path_, data_, ms.offset + ms.size, ms.offset};
+        const std::string text = mv.getString("meta JSON");
+        if (mv.pos != ms.offset + ms.size)
+            fatal("mtrace '{}': trailing bytes in 'meta' at offset {}",
+                  path_, mv.pos);
+        std::string err;
+        auto doc = json::Value::parse(text, &err);
+        if (!doc || !doc->isObject())
+            fatal("mtrace '{}': 'meta' is not a JSON object: {}", path_,
+                  err.empty() ? "wrong type" : err);
+        const json::Value *schema = doc->find("schema");
+        if (schema == nullptr || !schema->isString()
+            || schema->asString() != mtraceSchema)
+            fatal("mtrace '{}': meta schema tag is not '{}'", path_,
+                  mtraceSchema);
+        const json::Value *cores = doc->find("cores");
+        const json::Value *shared = doc->find("shared_page_table");
+        const json::Value *block = doc->find("block_records");
+        const json::Value *recs = doc->find("records");
+        if (cores == nullptr || !cores->isUint() || shared == nullptr
+            || !shared->isBool() || block == nullptr || !block->isUint()
+            || recs == nullptr || !recs->isArray())
+            fatal("mtrace '{}': meta is missing cores / "
+                  "shared_page_table / block_records / records",
+                  path_);
+        if (cores->asUint() < 1 || cores->asUint() > 1024)
+            fatal("mtrace '{}': implausible core count {}", path_,
+                  cores->asUint());
+        meta_.cores = static_cast<unsigned>(cores->asUint());
+        meta_.sharedPageTable = shared->asBool();
+        meta_.blockRecords = block->asUint();
+        if (meta_.blockRecords == 0)
+            fatal("mtrace '{}': block_records must be >= 1", path_);
+        if (recs->items().size() != meta_.cores)
+            fatal("mtrace '{}': meta lists {} record counts for {} "
+                  "cores",
+                  path_, recs->items().size(), meta_.cores);
+        for (const json::Value &r : recs->items()) {
+            if (!r.isUint() || r.asUint() == 0)
+                fatal("mtrace '{}': meta record counts must be "
+                      "positive integers",
+                      path_);
+            meta_.records.push_back(r.asUint());
+        }
+        if (const json::Value *src = doc->find("source");
+            src != nullptr && src->isString())
+            meta_.source = src->asString();
+    }
+
+    // Core sections, in order.
+    for (unsigned c = 0; c < meta_.cores; ++c) {
+        const RawSec &cs = findSec(coreSectionName(c));
+        cores_.push_back(
+            {data_ + cs.offset, cs.size, cs.offset, meta_.records[c],
+             {}});
+    }
+
+    // "index": per-core block tables, validated against the streams.
+    {
+        const RawSec &is = findSec("index");
+        FileView iv{path_, data_, is.offset + is.size, is.offset};
+        const std::uint32_t n = iv.getU32("index core count");
+        if (n != meta_.cores)
+            fatal("mtrace '{}': index lists {} cores, meta lists {}",
+                  path_, n, meta_.cores);
+        for (unsigned c = 0; c < meta_.cores; ++c) {
+            CoreStream &st = cores_[c];
+            const std::uint64_t count = iv.getU64("index record count");
+            if (count != st.count)
+                fatal("mtrace '{}': index says core {} has {} records, "
+                      "meta says {}",
+                      path_, c, count, st.count);
+            const std::uint64_t nblocks = iv.getU64("index block count");
+            const std::uint64_t expect =
+                (count + meta_.blockRecords - 1) / meta_.blockRecords;
+            if (nblocks != expect)
+                fatal("mtrace '{}': core {} has {} index blocks, {} "
+                      "records at {} per block need {}",
+                      path_, c, nblocks, count, meta_.blockRecords,
+                      expect);
+            st.blocks.reserve(static_cast<std::size_t>(nblocks));
+            for (std::uint64_t b = 0; b < nblocks; ++b) {
+                BlockRef ref;
+                ref.byteOffset = iv.getU64("index block offset");
+                ref.firstRecord = iv.getU64("index first record");
+                if (ref.firstRecord != b * meta_.blockRecords)
+                    fatal("mtrace '{}': core {} block {} starts at "
+                          "record {}, expected {}",
+                          path_, c, b, ref.firstRecord,
+                          b * meta_.blockRecords);
+                if (ref.byteOffset >= st.size
+                    || (b > 0
+                        && ref.byteOffset
+                               <= st.blocks.back().byteOffset))
+                    fatal("mtrace '{}': core {} block {} has byte "
+                          "offset {} out of range or non-increasing "
+                          "(section is {} bytes)",
+                          path_, c, b, ref.byteOffset, st.size);
+                st.blocks.push_back(ref);
+            }
+            if (!st.blocks.empty() && st.blocks[0].byteOffset != 0)
+                fatal("mtrace '{}': core {} block 0 does not start at "
+                      "byte 0",
+                      path_, c);
+        }
+        if (iv.pos != is.offset + is.size)
+            fatal("mtrace '{}': trailing bytes in 'index' at offset {}",
+                  path_, iv.pos);
+    }
+}
+
+std::uint64_t
+MtraceReader::records(unsigned core) const
+{
+    tdc_assert(core < meta_.cores, "core {} out of range", core);
+    return meta_.records[core];
+}
+
+std::uint64_t
+MtraceReader::totalRecords() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t c : meta_.records)
+        n += c;
+    return n;
+}
+
+void
+MtraceReader::verifyAll() const
+{
+    for (unsigned c = 0; c < meta_.cores; ++c) {
+        MtraceCursor cur(*this, c);
+        const std::uint64_t count = meta_.records[c];
+        for (std::uint64_t i = 0; i < count; ++i)
+            (void)cur.next();
+        // One more next() must wrap to record 0 without fault; it also
+        // proves the final record ended exactly at the payload end
+        // (decodeOne checks stream bounds on every byte).
+        (void)cur.next();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cursor
+// ---------------------------------------------------------------------
+
+MtraceCursor::MtraceCursor(const MtraceReader &reader, unsigned core)
+    : reader_(&reader), core_(core)
+{
+    tdc_assert(core < reader.coreCount(),
+               "mtrace '{}': cursor core {} out of range ({} cores)",
+               reader.path(), core, reader.coreCount());
+    cs_ = &reader.cores_[core];
+    loadBlock(0);
+}
+
+void
+MtraceCursor::corrupt(std::uint64_t at, const std::string &what) const
+{
+    fatal("mtrace '{}': core {}: {} at offset {}", reader_->path(),
+          core_, what, cs_->fileOffset + at);
+}
+
+void
+MtraceCursor::loadBlock(std::uint64_t block)
+{
+    const auto &blocks = cs_->blocks;
+    tdc_assert(block < blocks.size(), "block {} out of range", block);
+    blockIdx_ = block;
+    pos_ = blocks[block].byteOffset;
+    idx_ = blocks[block].firstRecord;
+    blockEnd_ = block + 1 < blocks.size() ? blocks[block + 1].firstRecord
+                                          : cs_->count;
+    prev_ = 0;
+}
+
+TraceRecord
+MtraceCursor::decodeOne()
+{
+    const std::uint64_t at = pos_;
+    const std::uint8_t *d = cs_->data;
+    const std::uint64_t size = cs_->size;
+
+    auto byte = [&]() -> std::uint8_t {
+        if (pos_ >= size)
+            corrupt(pos_, "truncated record stream");
+        return d[pos_++];
+    };
+    auto varint = [&](const char *what) -> std::uint64_t {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            const std::uint8_t b = byte();
+            v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if ((b & 0x80) == 0) {
+                if (shift == 63 && (b & 0x7E) != 0)
+                    corrupt(at, format("{} varint overflows 64 bits",
+                                       what));
+                return v;
+            }
+        }
+        corrupt(at, format("malformed {} varint (no terminator within "
+                           "10 bytes)",
+                           what));
+    };
+
+    const std::uint8_t flags = byte();
+    if ((flags & flagReserved) != 0)
+        corrupt(at, format("reserved flag bits set ({:#04x})", flags));
+    const std::uint8_t type = flags & flagTypeMask;
+    if (type > static_cast<std::uint8_t>(AccessType::Store))
+        corrupt(at, format("invalid access type {}", type));
+
+    const std::uint64_t nmi = varint("nonMemInsts");
+    if (nmi > 0xFFFF'FFFFULL)
+        corrupt(at, format("nonMemInsts {} exceeds 32 bits", nmi));
+    const std::uint64_t delta = varint("address delta");
+
+    TraceRecord rec;
+    rec.nonMemInsts = static_cast<std::uint32_t>(nmi);
+    rec.type = static_cast<AccessType>(type);
+    rec.dependent = (flags & flagDependent) != 0;
+    rec.vaddr = (flags & flagNegDelta) != 0 ? prev_ - delta
+                                            : prev_ + delta;
+    prev_ = rec.vaddr;
+    return rec;
+}
+
+TraceRecord
+MtraceCursor::next()
+{
+    if (idx_ == cs_->count) {
+        // Wrap: replay loops forever over the stream.
+        loadBlock(0);
+    } else if (idx_ == blockEnd_) {
+        const std::uint64_t expect =
+            cs_->blocks[blockIdx_ + 1].byteOffset;
+        if (pos_ != expect)
+            corrupt(pos_, format("block {} ended at byte {} but the "
+                                 "index places it at byte {}",
+                                 blockIdx_, pos_, expect));
+        loadBlock(blockIdx_ + 1);
+    }
+    const TraceRecord rec = decodeOne();
+    ++idx_;
+    ++position_;
+    return rec;
+}
+
+void
+MtraceCursor::seek(std::uint64_t position)
+{
+    const std::uint64_t target = position % cs_->count;
+
+    // Find the block containing `target`: last block whose firstRecord
+    // is <= target. Block first-records are uniform multiples of
+    // blockRecords (validated at open), so this is a direct divide.
+    const std::uint64_t block =
+        target / reader_->meta().blockRecords;
+    loadBlock(block);
+    while (idx_ < target) {
+        (void)decodeOne();
+        ++idx_;
+    }
+    position_ = position;
+}
+
+// ---------------------------------------------------------------------
+// Content hash
+// ---------------------------------------------------------------------
+
+std::uint64_t
+traceContentHash(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open trace file '{}' for hashing", path);
+    // Incremental FNV-1a with the same constants as ckpt::fnv1a, so
+    // hashing in chunks equals hashing the whole file at once.
+    std::uint64_t h = 14695981039346656037ULL;
+    std::vector<char> buf(1 << 20);
+    while (in.read(buf.data(),
+                   static_cast<std::streamsize>(buf.size()))
+           || in.gcount() > 0) {
+        const std::streamsize got = in.gcount();
+        for (std::streamsize i = 0; i < got; ++i) {
+            h ^= static_cast<unsigned char>(buf[i]);
+            h *= 1099511628211ULL;
+        }
+        if (got < static_cast<std::streamsize>(buf.size()))
+            break;
+    }
+    return h;
+}
+
+} // namespace mtrace
+} // namespace tdc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Record mode: tee any workload source into a tdc-mtrace-v1 writer.
+ *
+ * A RecordingSource wraps the real per-core source. next() forwards and
+ * appends the record to the shared writer; checkpoint state is the
+ * inner source's, byte for byte, so a recorded run's checkpoints --
+ * and its run report, since nothing about the simulation changes --
+ * are identical to the unrecorded run's.
+ *
+ * After the run the System pads each stream with a few thousand extra
+ * records pulled from the inner source (without feeding them to any
+ * core), so a replay whose budget slightly exceeds the recorded one
+ * does not wrap back to the beginning of the stream.
+ */
+
+#ifndef TDC_TRACE_RECORD_HH
+#define TDC_TRACE_RECORD_HH
+
+#include <memory>
+
+#include "trace/mtrace.hh"
+#include "trace/trace.hh"
+
+namespace tdc {
+namespace mtrace {
+
+class RecordingSource : public WorkloadSource
+{
+  public:
+    RecordingSource(std::unique_ptr<WorkloadSource> inner,
+                    MtraceWriter &writer, unsigned core)
+        : inner_(std::move(inner)), writer_(&writer), core_(core)
+    {
+    }
+
+    TraceRecord
+    next() override
+    {
+        const TraceRecord rec = inner_->next();
+        writer_->append(core_, rec);
+        return rec;
+    }
+
+    void reset() override { inner_->reset(); }
+
+    // Checkpoint bytes are the inner source's: a checkpoint taken
+    // while recording restores into an unrecorded run and vice versa.
+    void
+    saveState(ckpt::Serializer &out) const override
+    {
+        inner_->saveState(out);
+    }
+    void
+    loadState(ckpt::Deserializer &in) override
+    {
+        inner_->loadState(in);
+    }
+
+    /** Appends `n` more records to the file without consuming them. */
+    void
+    pad(std::uint64_t n)
+    {
+        for (std::uint64_t i = 0; i < n; ++i)
+            writer_->append(core_, inner_->next());
+    }
+
+    WorkloadSource &inner() { return *inner_; }
+
+  private:
+    std::unique_ptr<WorkloadSource> inner_;
+    MtraceWriter *writer_;
+    unsigned core_;
+};
+
+} // namespace mtrace
+} // namespace tdc
+
+#endif // TDC_TRACE_RECORD_HH

@@ -1,0 +1,69 @@
+#include "trace/replay.hh"
+
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace tdc {
+namespace mtrace {
+
+ReplayTraceSource::ReplayTraceSource(
+    std::shared_ptr<const MtraceReader> reader, unsigned core)
+    : reader_(std::move(reader)), cursor_(*reader_, core)
+{
+}
+
+void
+ReplayTraceSource::saveState(ckpt::Serializer &out) const
+{
+    out.putU64(cursor_.position());
+}
+
+void
+ReplayTraceSource::loadState(ckpt::Deserializer &in)
+{
+    cursor_.seek(in.getU64());
+}
+
+namespace {
+
+struct CachedReader
+{
+    std::shared_ptr<const MtraceReader> reader;
+    std::uintmax_t bytes = 0;
+    std::filesystem::file_time_type mtime;
+};
+
+} // namespace
+
+std::shared_ptr<const MtraceReader>
+acquireReader(const std::string &path)
+{
+    static std::mutex mu;
+    static std::map<std::string, CachedReader> cache;
+
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(path, ec);
+    if (ec)
+        fatal("cannot stat trace file '{}': {}", path, ec.message());
+    const auto mtime = std::filesystem::last_write_time(path, ec);
+    if (ec)
+        fatal("cannot stat trace file '{}': {}", path, ec.message());
+
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(path);
+    if (it != cache.end() && it->second.bytes == bytes
+        && it->second.mtime == mtime)
+        return it->second.reader;
+
+    // New path, or the file changed underneath us: (re)open and fully
+    // re-validate. MtraceReader's constructor fatal()s on any defect.
+    auto reader = std::make_shared<const MtraceReader>(path);
+    cache[path] = {reader, bytes, mtime};
+    return reader;
+}
+
+} // namespace mtrace
+} // namespace tdc

@@ -93,7 +93,7 @@ struct SyntheticParams
     std::uint64_t seed = 1;
 };
 
-class SyntheticTraceGen : public TraceSource, public ckpt::Checkpointable
+class SyntheticTraceGen : public WorkloadSource
 {
   public:
     explicit SyntheticTraceGen(const SyntheticParams &params);

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "ckpt/checkpointable.hh"
 #include "common/types.hh"
 
 namespace tdc {
@@ -48,6 +49,16 @@ class TraceSource
 
     /** Restarts the stream deterministically. */
     virtual void reset() = 0;
+};
+
+/**
+ * A trace source that can ride in a warm checkpoint: every workload a
+ * System binds to a core -- synthetic generator, trace replay, or the
+ * recording tee around either -- saves and restores its cursor state
+ * with the rest of the machine.
+ */
+class WorkloadSource : public TraceSource, public ckpt::Checkpointable
+{
 };
 
 } // namespace tdc

@@ -1,8 +1,11 @@
 #include "trace/workloads.hh"
 
 #include <map>
+#include <mutex>
 
+#include "common/format.hh"
 #include "common/logging.hh"
+#include "trace/replay.hh"
 
 namespace tdc {
 
@@ -97,9 +100,50 @@ profileTable()
 
 } // namespace
 
+bool
+isTraceWorkload(std::string_view name)
+{
+    return name.rfind("trace:", 0) == 0;
+}
+
+std::string
+tracePathOf(std::string_view name)
+{
+    if (!isTraceWorkload(name))
+        fatal("'{}' is not a trace workload (expected 'trace:<path>')",
+              name);
+    const std::string path(name.substr(6));
+    if (path.empty())
+        fatal("trace workload '{}' names no file", name);
+    return path;
+}
+
 const WorkloadProfile &
 getWorkload(std::string_view name)
 {
+    if (isTraceWorkload(name)) {
+        const std::string path = tracePathOf(name);
+        // Validate the file up front: a typo'd path or corrupt trace
+        // fails at registration (manifest parse, CLI startup), not
+        // mid-sweep. acquireReader re-validates if the file changes.
+        (void)mtrace::acquireReader(path);
+
+        // Node-based map + mutex: references stay valid forever and
+        // parallel sweep workers can register concurrently.
+        static std::mutex mu;
+        static std::map<std::string, WorkloadProfile, std::less<>> dyn;
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = dyn.find(name);
+        if (it == dyn.end()) {
+            WorkloadProfile p;
+            p.name = std::string(name);
+            p.kind = WorkloadKind::Trace;
+            p.tracePath = path;
+            it = dyn.emplace(p.name, std::move(p)).first;
+        }
+        return it->second;
+    }
+
     const auto &t = profileTable();
     auto it = t.find(name);
     if (it == t.end())
@@ -149,6 +193,10 @@ parsecNames()
 std::unique_ptr<SyntheticTraceGen>
 makeGenerator(const WorkloadProfile &profile, unsigned thread)
 {
+    if (profile.kind != WorkloadKind::Synthetic)
+        fatal("workload '{}' is a trace replay, not a synthetic "
+              "generator",
+              profile.name);
     SyntheticParams p = profile.base;
     p.seed = std::hash<std::string>{}(profile.name) ^ (0x9e37 + thread);
     if (profile.multithreaded) {
@@ -158,6 +206,21 @@ makeGenerator(const WorkloadProfile &profile, unsigned thread)
             std::uint64_t{thread} * (1ULL << 24); // 64 GiB apart
     }
     return std::make_unique<SyntheticTraceGen>(p);
+}
+
+std::unique_ptr<WorkloadSource>
+makeWorkloadSource(const WorkloadProfile &profile, unsigned thread)
+{
+    if (profile.kind == WorkloadKind::Synthetic)
+        return makeGenerator(profile, thread);
+
+    auto reader = mtrace::acquireReader(profile.tracePath);
+    if (reader->coreCount() != 1)
+        fatal("trace '{}' has {} core streams; a multi-core trace can "
+              "only run as the sole workload, not inside a mix",
+              profile.tracePath, reader->coreCount());
+    return std::make_unique<mtrace::ReplayTraceSource>(
+        std::move(reader), /*core=*/0);
 }
 
 } // namespace tdc

@@ -1,14 +1,21 @@
 /**
  * @file
  * Workload registry: synthetic profiles standing in for the paper's
- * SPEC CPU2006 SimPoint slices and PARSEC runs.
+ * SPEC CPU2006 SimPoint slices and PARSEC runs, plus recorded traces.
  *
- * Each profile is calibrated to the first-order properties that drive
- * the evaluation -- memory intensity (L3 MPKI), footprint relative to
- * the DRAM-cache sizes swept in Fig. 10, page-level reuse (sweep count
- * within a run), spatial run length and write fraction. Absolute IPCs
- * will differ from the paper's testbed; the relative behaviour of the
- * cache organizations is what these profiles preserve. See DESIGN.md.
+ * Each synthetic profile is calibrated to the first-order properties
+ * that drive the evaluation -- memory intensity (L3 MPKI), footprint
+ * relative to the DRAM-cache sizes swept in Fig. 10, page-level reuse
+ * (sweep count within a run), spatial run length and write fraction.
+ * Absolute IPCs will differ from the paper's testbed; the relative
+ * behaviour of the cache organizations is what these profiles
+ * preserve. See DESIGN.md.
+ *
+ * Recorded tdc-mtrace-v1 traces are first-class workloads spelled
+ * `trace:<path>`: getWorkload() validates the file (catchably fatal on
+ * a missing or corrupt trace) and registers a dynamic profile, so
+ * every consumer -- tdc_sim, sweep manifests, the serve layer -- uses
+ * one workload vocabulary for both kinds.
  */
 
 #ifndef TDC_TRACE_WORKLOADS_HH
@@ -24,16 +31,36 @@
 
 namespace tdc {
 
+enum class WorkloadKind
+{
+    Synthetic,
+    Trace, //!< replay of a recorded tdc-mtrace-v1 file
+};
+
 struct WorkloadProfile
 {
     std::string name;
+    WorkloadKind kind = WorkloadKind::Synthetic;
     SyntheticParams base;
     /** PARSEC-style: 4 threads sharing one address space. */
     bool multithreaded = false;
+    /** Trace workloads: path to the tdc-mtrace-v1 file. */
+    std::string tracePath;
 };
 
-/** Looks a profile up by name; fatal() on unknown names. */
+/**
+ * Looks a profile up by name; fatal() on unknown names. `trace:<path>`
+ * names validate the trace file on first sight (fatal on a missing or
+ * corrupt file) and register a dynamic Trace profile; references stay
+ * valid for the process lifetime and lookup is thread-safe.
+ */
 const WorkloadProfile &getWorkload(std::string_view name);
+
+/** True for `trace:<path>`-spelled workload names. */
+bool isTraceWorkload(std::string_view name);
+
+/** The `<path>` of a `trace:<path>` name; fatal() if empty/not one. */
+std::string tracePathOf(std::string_view name);
 
 /** The 11 memory-bound SPEC CPU 2006 stand-ins (Fig. 7 / Fig. 8). */
 const std::vector<std::string> &spec11Names();
@@ -45,7 +72,10 @@ const std::vector<std::array<std::string, 4>> &table5Mixes();
 const std::vector<std::string> &parsecNames();
 
 /**
- * Builds the generator for one hardware context.
+ * Builds the synthetic generator for one hardware context; fatal() on
+ * a Trace profile (use makeWorkloadSource). Kept separate because the
+ * non-cacheable-page case studies need the generator's
+ * isLowReusePage() oracle.
  *
  * For multithreaded profiles all threads share the footprint and hot
  * set (same process); seeds and singleton regions are per-thread. For
@@ -53,6 +83,16 @@ const std::vector<std::string> &parsecNames();
  */
 std::unique_ptr<SyntheticTraceGen>
 makeGenerator(const WorkloadProfile &profile, unsigned thread);
+
+/**
+ * Builds the workload source for one hardware context of either kind.
+ * A Trace profile used here must be single-core (a multi-core trace
+ * runs only as the sole workload, where the System binds stream i to
+ * core i directly); `thread` is ignored for traces, which have no
+ * seed to perturb.
+ */
+std::unique_ptr<WorkloadSource>
+makeWorkloadSource(const WorkloadProfile &profile, unsigned thread);
 
 } // namespace tdc
 

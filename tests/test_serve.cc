@@ -32,6 +32,7 @@
 #include "serve/service.hh"
 #include "serve/warm_cache.hh"
 #include "sys/system.hh"
+#include "trace/mtrace.hh"
 
 namespace fs = std::filesystem;
 
@@ -169,6 +170,34 @@ TEST(CacheKey, BinaryHashIsStableAndNonZero)
 {
     EXPECT_NE(binaryHash(), 0u);
     EXPECT_EQ(binaryHash(), binaryHash());
+}
+
+TEST(CacheKey, TraceWorkloadKeysOnContentNotPath)
+{
+    // Regression: the spec only names a trace *path*, but the report
+    // depends on the file's bytes. Rewriting the trace in place must
+    // change the result-cache key, or a stale report satisfies the
+    // next lookup.
+    const std::string path = freshRoot("trace_key") + "/w.mtrace";
+    auto write = [&](Addr base) {
+        mtrace::MtraceWriter w(path, 1, false, "test:key");
+        for (int i = 0; i < 8; ++i) {
+            TraceRecord r;
+            r.type = AccessType::Load;
+            r.vaddr = base + 64u * i;
+            w.append(0, r);
+        }
+        w.close();
+    };
+    write(0x4000);
+
+    JobSpec job = tinyManifest().jobs[0];
+    job.workloads = {"trace:" + path};
+    const std::uint64_t before = jobConfigHash(job);
+    EXPECT_EQ(before, jobConfigHash(job)); // stable while unchanged
+
+    write(0x8000);
+    EXPECT_NE(jobConfigHash(job), before);
 }
 
 // ---------------------------------------------------------------------

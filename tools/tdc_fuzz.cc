@@ -3,6 +3,7 @@
  * tdc_fuzz: seed-replayable randomized invariant/differential tester.
  *
  *   tdc_fuzz [--seed=N] [--points=N] [--insts=N] [--only=K] [--verbose=1]
+ *   tdc_fuzz --trace-points=N [--seed=N] [--tmp=<dir>]
  *
  * Each point K derives its entire configuration from Pcg32(seed, K):
  * organization (all six), workload shape (single-programmed, Table 5
@@ -30,8 +31,18 @@
  * non-zero. The point banner is printed and flushed *before* the run,
  * so even an uncatchable abort (tdc_panic/assert) identifies its
  * configuration in the log.
+ *
+ * --trace-points=N switches to the tdc-mtrace-v1 decoder fuzzer: each
+ * point writes a random trace (random core count, block size, record
+ * mix) to --tmp, checks it round-trips (open, verifyAll, random
+ * seek-vs-linear-decode agreement, wrap), then attacks it with random
+ * truncations and byte flips. A mutated file must either still decode
+ * cleanly or fail with a catchable fatal() -- never crash or read out
+ * of bounds (pair with a sanitizer build for teeth).
  */
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -42,6 +53,7 @@
 #include "common/random.hh"
 #include "common/units.hh"
 #include "sys/system.hh"
+#include "trace/mtrace.hh"
 #include "trace/workloads.hh"
 
 using namespace tdc;
@@ -264,6 +276,175 @@ runPoint(const FuzzPoint &p, bool verbose)
     }
 }
 
+// ---- tdc-mtrace-v1 decoder fuzzing (--trace-points) ----
+
+std::vector<unsigned char>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        fatal("cannot reopen {}", path);
+    return std::vector<unsigned char>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path, const std::vector<unsigned char> &b)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(b.data()),
+              static_cast<std::streamsize>(b.size()));
+    if (!out.good())
+        fatal("cannot write {}", path);
+}
+
+TraceRecord
+randomRecord(Pcg32 &rng, Addr &walker)
+{
+    TraceRecord rec;
+    const std::uint32_t t = rng.below(3);
+    rec.type = t == 0 ? AccessType::InstFetch
+                      : (t == 1 ? AccessType::Load : AccessType::Store);
+    rec.dependent = rng.chance(0.2);
+    // Mix tiny strides with occasional wild jumps so deltas cover one
+    // to ten varint bytes, both signs.
+    if (rng.chance(0.8)) {
+        walker += 64 * (1 + rng.below(32));
+    } else if (rng.chance(0.5)) {
+        walker = rng.below64(~std::uint64_t{0});
+    } else if (walker >= (4u << 20)) {
+        walker -= rng.below64(4u << 20);
+    }
+    rec.vaddr = walker;
+    rec.nonMemInsts = rng.chance(0.1)
+                          ? rng.next()
+                          : rng.below(8);
+    return rec;
+}
+
+/** A decoder attempt must end in success or FatalError, never UB. */
+void
+mustNotCrash(const std::string &path)
+{
+    try {
+        ScopedFatalCapture capture;
+        mtrace::MtraceReader r(path);
+        r.verifyAll();
+    } catch (const FatalError &) {
+        // A clean, catchable rejection is exactly the contract.
+    }
+}
+
+void
+runTracePoint(std::uint64_t seed, std::uint64_t index,
+              const std::string &tmp, bool verbose)
+{
+    Pcg32 rng(seed ^ 0x7472616365ULL, /*stream=*/index);
+    const unsigned cores = 1 + rng.below(4);
+    const std::uint64_t block_records = 1 + rng.below(300);
+    const std::string path =
+        format("{}/fuzz_trace_{}.mtrace", tmp, index);
+
+    std::vector<std::uint64_t> counts;
+    {
+        mtrace::MtraceWriter w(path, cores, rng.chance(0.5),
+                               format("tdc_fuzz:point={}", index),
+                               block_records);
+        for (unsigned c = 0; c < cores; ++c) {
+            // Cover empty-tail, exact-block and multi-block streams.
+            const std::uint64_t n = 1 + rng.below64(3 * block_records);
+            Addr walker = rng.below64(1ULL << 40);
+            for (std::uint64_t i = 0; i < n; ++i)
+                w.append(c, randomRecord(rng, walker));
+            counts.push_back(n);
+        }
+        w.close();
+    }
+
+    // Round trip: the file we just wrote must verify and the seek
+    // index must agree with a linear decode at random positions.
+    mtrace::MtraceReader reader(path);
+    if (reader.coreCount() != cores)
+        fatal("core count mismatch: wrote {}, read {}", cores,
+              reader.coreCount());
+    reader.verifyAll();
+    for (unsigned c = 0; c < cores; ++c) {
+        if (reader.records(c) != counts[c])
+            fatal("record count mismatch on core {}: wrote {}, read {}",
+                  c, counts[c], reader.records(c));
+        // Positions past the stream length exercise the wrap path.
+        const std::uint64_t pos = rng.below64(3 * counts[c]);
+        mtrace::MtraceCursor linear(reader, c);
+        for (std::uint64_t i = 0; i < pos; ++i)
+            linear.next();
+        mtrace::MtraceCursor seeked(reader, c);
+        seeked.seek(pos);
+        const TraceRecord a = linear.next();
+        const TraceRecord b = seeked.next();
+        if (a.vaddr != b.vaddr || a.type != b.type
+            || a.nonMemInsts != b.nonMemInsts
+            || a.dependent != b.dependent)
+            fatal("seek({}) disagrees with linear decode on core {}",
+                  pos, c);
+    }
+
+    // Adversarial mutations: random truncations and byte flips.
+    const std::vector<unsigned char> orig = readAll(path);
+    const std::string mut = path + ".mut";
+    for (int i = 0; i < 4; ++i) {
+        std::vector<unsigned char> t(
+            orig.begin(),
+            orig.begin()
+                + static_cast<std::ptrdiff_t>(rng.below64(orig.size())));
+        writeAll(mut, t);
+        mustNotCrash(mut);
+
+        std::vector<unsigned char> f = orig;
+        const std::uint64_t at = rng.below64(f.size());
+        f[at] ^= static_cast<unsigned char>(1 + rng.below(255));
+        writeAll(mut, f);
+        mustNotCrash(mut);
+    }
+
+    if (verbose)
+        std::cout << format("  ok: {} core(s), block={}, {} bytes\n",
+                            cores, block_records, orig.size());
+    std::remove(mut.c_str());
+    std::remove(path.c_str());
+}
+
+int
+traceFuzzMain(const Config &args)
+{
+    const std::uint64_t seed = args.getU64("seed", 1);
+    const std::uint64_t points = args.getU64("trace-points", 20);
+    const std::string tmp = args.getString("tmp", ".");
+    const bool verbose = args.getBool("verbose", false);
+
+    unsigned failures = 0;
+    for (std::uint64_t k = 0; k < points; ++k) {
+        std::cout << format("trace point {}\n", k) << std::flush;
+        try {
+            ScopedFatalCapture capture;
+            runTracePoint(seed, k, tmp, verbose);
+        } catch (const FatalError &e) {
+            ++failures;
+            std::cout << format(
+                "FAILED trace point {}: {}\n"
+                "repro: tdc_fuzz --seed={} --trace-points={}\n",
+                k, e.what(), seed, points);
+        }
+    }
+    if (failures != 0) {
+        std::cout << format("{} of {} trace points failed\n", failures,
+                            points);
+        return 1;
+    }
+    std::cout << format("all {} trace points passed\n", points);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -276,8 +457,12 @@ main(int argc, char **argv)
                   "is key=value; see the header of tools/tdc_fuzz.cc)",
                   argv[i]);
     }
-    args.checkKnown({"seed", "points", "insts", "only", "verbose"},
+    args.checkKnown({"seed", "points", "insts", "only", "verbose",
+                     "trace-points", "tmp"},
                     "tdc_fuzz");
+
+    if (args.has("trace-points"))
+        return traceFuzzMain(args);
 
     const std::uint64_t seed = args.getU64("seed", 1);
     const std::uint64_t points = args.getU64("points", 20);

@@ -16,6 +16,11 @@
  *           [--load-ckpt=<path>] (skip warmup: restore the warm state
  *                              and measure; the checkpoint's config
  *                              fingerprint must match)
+ *           [--record=<path>] (tee every core's workload stream to a
+ *                              tdc-mtrace-v1 file; replay it later
+ *                              with workload=trace:<path>)
+ *           [--record-pad=<N>] (extra records appended per core on
+ *                              close; default 4096)
  *
  * Observability (all off by default; see DESIGN.md 7):
  *   --trace-out=<path>        Chrome trace-event JSON (Perfetto)
@@ -112,7 +117,8 @@ main(int argc, char **argv)
     }
     args.checkKnown({"org", "workload", "mix", "insts", "warmup",
                      "stats", "json", "stats-json", "save-ckpt",
-                     "load-ckpt", "trace-out", "trace-categories",
+                     "load-ckpt", "record", "record-pad", "trace-out",
+                     "trace-categories",
                      "trace-ring", "stats-interval", "timeseries-out",
                      "summary-max", "stats-desc", "stats-extremes",
                      "audit", "audit-interval"},
@@ -154,13 +160,23 @@ main(int argc, char **argv)
     cfg.warmupInsts = args.getU64("warmup", cfg.warmupInsts);
     cfg.l3SizeBytes = args.getU64("l3.size_bytes", cfg.l3SizeBytes);
 
+    cfg.recordTracePath = args.getString("record", "");
+    cfg.recordPadRecords =
+        args.getU64("record-pad", cfg.recordPadRecords);
+    if (!cfg.recordTracePath.empty() && args.has("load-ckpt"))
+        fatal("tdc_sim: --record cannot be combined with --load-ckpt "
+              "(a trace recorded from a restored warm state is missing "
+              "its warmup records, so replaying it would not reproduce "
+              "the run)");
+
     // Output-artifact and checkpoint-path keys select where results go,
     // not what is simulated; strip them from the recorded raw config so
-    // a straight run and a save/restore pair emit byte-identical
-    // reports.
+    // a straight run, a save/restore pair and a recording run all emit
+    // byte-identical reports.
     for (const auto &[key, value] : args.entries()) {
         if (key == "json" || key == "stats-json" || key == "save-ckpt"
-            || key == "load-ckpt")
+            || key == "load-ckpt" || key == "record"
+            || key == "record-pad")
             continue;
         cfg.raw.set(key, value);
     }
@@ -190,6 +206,11 @@ main(int argc, char **argv)
     }
     const RunResult r = sys.measure();
     printResult(sys, r);
+
+    if (const std::uint64_t recs = sys.finishRecording(); recs != 0) {
+        std::cout << format("trace recorded        : {} ({} records)\n",
+                            cfg.recordTracePath, recs);
+    }
 
     if (const auto *aud = sys.auditor()) {
         std::cout << format("invariant checks      : {} ({} sweeps)\n",
