@@ -5,7 +5,7 @@
  *
  * Measures what the experiment harness actually spends wall clock on:
  *
- *  - the golden mini-matrix (6 organizations x 3 workloads), one cell
+ *  - the golden mini-matrix (8 organizations x 3 workloads), one cell
  *    per design point, repeated --repeat times with the median KIPS
  *    reported (the simulation itself is deterministic, so repeats only
  *    firm up the host timing);
@@ -146,8 +146,9 @@ main(int argc, char **argv)
 
     // ---- the golden mini-matrix plus the 4-core mix ----
     const std::vector<OrgKind> orgs = {
-        OrgKind::NoL3,   OrgKind::BankInterleave, OrgKind::Ideal,
-        OrgKind::SramTag, OrgKind::Alloy,         OrgKind::Tagless,
+        OrgKind::NoL3,    OrgKind::BankInterleave, OrgKind::Ideal,
+        OrgKind::SramTag, OrgKind::Alloy,          OrgKind::Tagless,
+        OrgKind::Banshee, OrgKind::Unison,
     };
     const std::vector<std::string> workloads = {"libquantum", "mcf",
                                                 "milc"};

@@ -29,6 +29,7 @@ main(int argc, char **argv)
 
     const Budget b = budget(3'000'000, 3'000'000);
     const std::vector<OrgKind> orgs = {OrgKind::Alloy, OrgKind::SramTag,
+                                       OrgKind::Banshee, OrgKind::Unison,
                                        OrgKind::Tagless};
 
     for (const char *prog : {"libquantum", "mcf"}) {

@@ -2,7 +2,8 @@
  * @file
  * Design-space sweep: run one workload across every L3 organization
  * (No-L3, bank-interleaving, Alloy-style block cache, SRAM-tag page
- * cache, tagless cTLB cache, ideal) and print a comparison table --
+ * cache, Banshee, Unison, tagless cTLB cache, ideal) and print a
+ * comparison table --
  * the table an architect would want when sizing an in-package DRAM
  * cache for a given workload class.
  *
@@ -26,8 +27,9 @@ main(int argc, char **argv)
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1024;
 
     const std::vector<OrgKind> orgs = {
-        OrgKind::NoL3,   OrgKind::BankInterleave, OrgKind::Alloy,
-        OrgKind::SramTag, OrgKind::Tagless,       OrgKind::Ideal,
+        OrgKind::NoL3,    OrgKind::BankInterleave, OrgKind::Alloy,
+        OrgKind::SramTag, OrgKind::Banshee,        OrgKind::Unison,
+        OrgKind::Tagless, OrgKind::Ideal,
     };
 
     std::cout << format("workload={} l3={}MB\n\n", workload, l3_mb);

@@ -1,0 +1,274 @@
+#include "dramcache/banshee_cache.hh"
+
+#include <algorithm>
+
+#include "ckpt/stats_io.hh"
+
+namespace tdc {
+
+BansheeCache::BansheeCache(std::string name, EventQueue &eq,
+                           DramDevice &in_pkg, DramDevice &off_pkg,
+                           PhysMem &phys, const ClockDomain &cpu_clk,
+                           const BansheeCacheParams &params)
+    : DramCacheOrg(std::move(name), eq, in_pkg, off_pkg, phys, cpu_clk),
+      params_(params)
+{
+    const std::uint64_t frames = params_.cacheBytes / pageBytes;
+    tdc_assert(frames % params_.associativity == 0,
+               "cache size not divisible by associativity");
+    numSets_ = frames / params_.associativity;
+    tdc_assert(isPowerOf2(numSets_), "set count must be a power of two");
+    tdc_assert(params_.sampleRate > 0, "sample rate must be positive");
+    tdc_assert(params_.tagBufferEntries > 0,
+               "tag buffer needs at least one entry");
+    ways_.assign(frames, Way{});
+    cands_.assign(numSets_, Candidate{});
+
+    auto &sg = statGroup();
+    sg.addScalar("sampled_events", &sampledEvents_,
+                 "accesses that updated frequency counters");
+    sg.addScalar("bypassed_misses", &bypassedMisses_,
+                 "misses served off-package without a fill");
+    sg.addScalar("tag_buffer_ops", &tagBufferOps_,
+                 "tag-buffer inserts and flush drains");
+    sg.addScalar("tag_buffer_flushes", &tagBufferFlushes_,
+                 "lazy PTE write-back bursts");
+    sg.addScalar("dirty_evictions", &dirtyEvictions_);
+    sg.addScalar("wb_miss_off_pkg", &wbMissOffPkg_,
+                 "L2 writebacks sent straight off-package");
+}
+
+int
+BansheeCache::findWay(std::uint64_t set, PageNum ppn) const
+{
+    const Way *base = &ways_[set * params_.associativity];
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        if (base[w].valid && base[w].ppn == ppn)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+unsigned
+BansheeCache::victimWay(std::uint64_t set) const
+{
+    const Way *base = &ways_[set * params_.associativity];
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        if (!base[w].valid)
+            return w;
+    }
+    // Coldest way; ties resolve to the lowest index (deterministic).
+    auto cmp = [](const Way &a, const Way &b) { return a.count < b.count; };
+    const Way *victim =
+        std::min_element(base, base + params_.associativity, cmp);
+    return static_cast<unsigned>(victim - base);
+}
+
+void
+BansheeCache::ageSet(std::uint64_t set)
+{
+    Way *base = &ways_[set * params_.associativity];
+    for (unsigned w = 0; w < params_.associativity; ++w)
+        base[w].count /= 2;
+    cands_[set].count /= 2;
+}
+
+void
+BansheeCache::noteRemap(Tick when)
+{
+    ++tagBufferOcc_;
+    ++tagBufferOps_;
+    if (tagBufferOcc_ < params_.tagBufferEntries)
+        return;
+    // Lazy tag write-back: drain every pending remap as a posted PTE
+    // update to off-package memory. The updates are metadata-sized; we
+    // charge one 64B posted write per entry, clustered at the flush.
+    Tick t = when;
+    for (std::uint64_t i = 0; i < tagBufferOcc_; ++i) {
+        t = offPkgBlockAccess(/*ppn=*/i, /*offset=*/0, /*write=*/true, t);
+        ++tagBufferOps_;
+    }
+    tagBufferOcc_ = 0;
+    ++tagBufferFlushes_;
+}
+
+void
+BansheeCache::replacePage(std::uint64_t set, unsigned way, PageNum ppn,
+                          std::uint32_t count, Tick when, bool dirty)
+{
+    Way &w = ways_[set * params_.associativity + way];
+    const std::uint64_t frame = frameOf(set, way);
+
+    if (w.valid && w.dirty) {
+        // Stream the dirty victim back: in-package page read feeding an
+        // off-package posted page write, all in the background.
+        const Tick rd = inPkgPageAccess(frame, false, when);
+        offPkgPageAccess(w.ppn, true, rd);
+        ++dirtyEvictions_;
+        ++pageWritebacks_;
+    }
+
+    // Background fill of the whole page; the demanded block was already
+    // served off-package on the critical path by the caller.
+    const Tick page_done = offPkgPageAccess(ppn, false, when);
+    inPkgPageAccess(frame, true, page_done);
+
+    w.valid = true;
+    w.ppn = ppn;
+    w.dirty = dirty;
+    w.count = count;
+    ++pageFills_;
+    noteRemap(when);
+}
+
+L3Result
+BansheeCache::access(Addr addr, AccessType type, CoreId core, Tick when)
+{
+    (void)core;
+    tdc_assert(!isCaSpace(addr), "Banshee cache saw a cache address");
+    const PageNum ppn = frameNumOf(addr);
+    const Addr offset = pageOffset(addr);
+    const bool write = isWrite(type);
+    const std::uint64_t set = setOf(ppn);
+    const int w = findWay(set, ppn);
+
+    // Deterministic 1-in-N sampling; no per-access tag probe is paid
+    // because the mapping arrived with the translation.
+    const bool sampled = ++sampleTick_ % params_.sampleRate == 0;
+    if (sampled)
+        ++sampledEvents_;
+
+    L3Result res;
+    if (w >= 0) {
+        Way &way = ways_[set * params_.associativity + w];
+        way.dirty |= write;
+        if (sampled && ++way.count >= maxCount)
+            ageSet(set);
+        res.completionTick =
+            inPkgBlockAccess(frameOf(set, static_cast<unsigned>(w)),
+                             offset, write, when);
+        res.servicedInPackage = true;
+        res.l3Hit = true;
+    } else {
+        // Miss: the block is served straight from off-package DRAM. A
+        // fill only happens when the sampled frequency of the missing
+        // page beats the coldest cached way by the threshold -- cold
+        // pages bypass the cache entirely.
+        res.completionTick = offPkgBlockAccess(ppn, offset, write, when);
+        res.servicedInPackage = false;
+        res.l3Hit = false;
+
+        const unsigned victim = victimWay(set);
+        Way &vw = ways_[set * params_.associativity + victim];
+        if (!vw.valid) {
+            // Free way: cache on first touch, no counter race needed.
+            replacePage(set, victim, ppn, /*count=*/1, res.completionTick,
+                        write);
+        } else if (sampled) {
+            Candidate &cand = cands_[set];
+            if (cand.ppn == ppn) {
+                if (++cand.count >= maxCount)
+                    ageSet(set);
+            } else if (cand.count > 0) {
+                --cand.count; //!< frequency-sketch style decay
+            } else {
+                cand.ppn = ppn;
+                cand.count = 1;
+            }
+            if (cand.ppn == ppn
+                && cand.count > vw.count + params_.threshold) {
+                replacePage(set, victim, ppn, cand.count,
+                            res.completionTick, write);
+                cands_[set] = Candidate{};
+            } else {
+                ++bypassedMisses_;
+            }
+        } else {
+            ++bypassedMisses_;
+        }
+    }
+    recordAccess(when, res);
+    return res;
+}
+
+void
+BansheeCache::writebackLine(Addr addr, CoreId core, Tick when)
+{
+    (void)core;
+    const PageNum ppn = frameNumOf(addr);
+    const Addr offset = pageOffset(addr);
+    const std::uint64_t set = setOf(ppn);
+    const int w = findWay(set, ppn);
+    if (w >= 0) {
+        Way &way = ways_[set * params_.associativity + w];
+        way.dirty = true;
+        inPkgBlockAccess(frameOf(set, static_cast<unsigned>(w)), offset,
+                         true, when);
+    } else {
+        // No write-allocate for L2 victims: send straight off-package.
+        offPkgBlockAccess(ppn, offset, true, when);
+        ++wbMissOffPkg_;
+    }
+}
+
+bool
+BansheeCache::containsPage(PageNum ppn) const
+{
+    return findWay(setOf(ppn), ppn) >= 0;
+}
+
+void
+BansheeCache::saveOrgState(ckpt::Serializer &out) const
+{
+    out.putU64(ways_.size());
+    for (const Way &w : ways_) {
+        out.putU64(w.ppn);
+        out.putBool(w.valid);
+        out.putBool(w.dirty);
+        out.putU64(w.count);
+    }
+    out.putU64(cands_.size());
+    for (const Candidate &c : cands_) {
+        out.putU64(c.ppn);
+        out.putU64(c.count);
+    }
+    out.putU64(sampleTick_);
+    out.putU64(tagBufferOcc_);
+    ckpt::save(out, sampledEvents_);
+    ckpt::save(out, bypassedMisses_);
+    ckpt::save(out, tagBufferOps_);
+    ckpt::save(out, tagBufferFlushes_);
+    ckpt::save(out, dirtyEvictions_);
+    ckpt::save(out, wbMissOffPkg_);
+}
+
+void
+BansheeCache::loadOrgState(ckpt::Deserializer &in)
+{
+    std::uint64_t n = in.getU64();
+    tdc_assert(n == ways_.size(),
+               "Banshee cache geometry mismatch on checkpoint restore");
+    for (Way &w : ways_) {
+        w.ppn = in.getU64();
+        w.valid = in.getBool();
+        w.dirty = in.getBool();
+        w.count = static_cast<std::uint32_t>(in.getU64());
+    }
+    n = in.getU64();
+    tdc_assert(n == cands_.size(),
+               "Banshee candidate-table mismatch on checkpoint restore");
+    for (Candidate &c : cands_) {
+        c.ppn = in.getU64();
+        c.count = static_cast<std::uint32_t>(in.getU64());
+    }
+    sampleTick_ = in.getU64();
+    tagBufferOcc_ = in.getU64();
+    ckpt::load(in, sampledEvents_);
+    ckpt::load(in, bypassedMisses_);
+    ckpt::load(in, tagBufferOps_);
+    ckpt::load(in, tagBufferFlushes_);
+    ckpt::load(in, dirtyEvictions_);
+    ckpt::load(in, wbMissOffPkg_);
+}
+
+} // namespace tdc

@@ -17,12 +17,14 @@
 
 #include "dramcache/alloy_cache.hh"
 #include "dramcache/bank_interleave.hh"
+#include "dramcache/banshee_cache.hh"
 #include "dramcache/dram_cache_org.hh"
 #include "dramcache/ideal_cache.hh"
 #include "dramcache/no_l3.hh"
 #include "dramcache/org_factory.hh"
 #include "dramcache/sram_tag_cache.hh"
 #include "dramcache/tagless_cache.hh"
+#include "dramcache/unison_cache.hh"
 
 namespace tdc {
 
@@ -48,6 +50,12 @@ dispatchL3Access(DramCacheOrg &org, Addr addr, AccessType type,
       case OrgKind::Alloy:
         return static_cast<AlloyCache &>(org).access(addr, type, core,
                                                      when);
+      case OrgKind::Banshee:
+        return static_cast<BansheeCache &>(org).access(addr, type, core,
+                                                       when);
+      case OrgKind::Unison:
+        return static_cast<UnisonCache &>(org).access(addr, type, core,
+                                                      when);
     }
     return org.access(addr, type, core, when);
 }

@@ -3,10 +3,12 @@
 #include "common/units.hh"
 #include "dramcache/alloy_cache.hh"
 #include "dramcache/bank_interleave.hh"
+#include "dramcache/banshee_cache.hh"
 #include "dramcache/ideal_cache.hh"
 #include "dramcache/no_l3.hh"
 #include "dramcache/sram_tag_cache.hh"
 #include "dramcache/tagless_cache.hh"
+#include "dramcache/unison_cache.hh"
 
 namespace tdc {
 
@@ -25,7 +27,17 @@ orgKindFromString(std::string_view s)
         return OrgKind::Ideal;
     if (s == "alloy" || s == "Alloy")
         return OrgKind::Alloy;
-    fatal("unknown L3 organization '{}'", s);
+    if (s == "banshee" || s == "Banshee")
+        return OrgKind::Banshee;
+    if (s == "unison" || s == "Unison")
+        return OrgKind::Unison;
+    std::string valid;
+    for (OrgKind k : allOrgKinds()) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += cliName(k);
+    }
+    fatal("unknown L3 organization '{}' (valid: {})", s, valid);
 }
 
 std::string_view
@@ -38,6 +50,8 @@ toString(OrgKind k)
       case OrgKind::Tagless: return "cTLB";
       case OrgKind::Ideal: return "Ideal";
       case OrgKind::Alloy: return "Alloy";
+      case OrgKind::Banshee: return "Banshee";
+      case OrgKind::Unison: return "Unison";
     }
     return "?";
 }
@@ -52,6 +66,8 @@ cliName(OrgKind k)
       case OrgKind::Tagless: return "ctlb";
       case OrgKind::Ideal: return "ideal";
       case OrgKind::Alloy: return "alloy";
+      case OrgKind::Banshee: return "banshee";
+      case OrgKind::Unison: return "unison";
     }
     return "?";
 }
@@ -62,6 +78,7 @@ allOrgKinds()
     static const std::vector<OrgKind> kinds = {
         OrgKind::NoL3,  OrgKind::BankInterleave, OrgKind::SramTag,
         OrgKind::Tagless, OrgKind::Ideal,        OrgKind::Alloy,
+        OrgKind::Banshee, OrgKind::Unison,
     };
     return kinds;
 }
@@ -115,6 +132,26 @@ makeDramCacheOrg(OrgKind kind, const Config &cfg, EventQueue &eq,
         p.cacheBytes = size;
         return std::make_unique<AlloyCache>(
             "l3_alloy", eq, in_pkg, off_pkg, phys, cpu_clk, p);
+      }
+      case OrgKind::Banshee: {
+        BansheeCacheParams p;
+        p.cacheBytes = size;
+        p.sampleRate = static_cast<unsigned>(
+            cfg.getU64("l3.banshee.sample_rate", 8));
+        p.threshold = static_cast<unsigned>(
+            cfg.getU64("l3.banshee.threshold", 2));
+        p.tagBufferEntries = static_cast<unsigned>(
+            cfg.getU64("l3.banshee.tag_buffer_entries", 1024));
+        return std::make_unique<BansheeCache>(
+            "l3_banshee", eq, in_pkg, off_pkg, phys, cpu_clk, p);
+      }
+      case OrgKind::Unison: {
+        UnisonCacheParams p;
+        p.cacheBytes = size;
+        p.predictorEntries = static_cast<unsigned>(
+            cfg.getU64("l3.unison.predictor_entries", 4096));
+        return std::make_unique<UnisonCache>(
+            "l3_unison", eq, in_pkg, off_pkg, phys, cpu_clk, p);
       }
     }
     tdc_panic("unreachable");

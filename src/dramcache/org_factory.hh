@@ -17,7 +17,10 @@
 
 namespace tdc {
 
-/** The design points of Section 4, plus the block-based extra. */
+/**
+ * The design points of Section 4, plus the block-based extra and the
+ * two modern page-cache competitors (Banshee, Unison).
+ */
 enum class OrgKind {
     NoL3,
     BankInterleave,
@@ -25,6 +28,8 @@ enum class OrgKind {
     Tagless,
     Ideal,
     Alloy,
+    Banshee,
+    Unison,
 };
 
 OrgKind orgKindFromString(std::string_view s);
@@ -50,6 +55,10 @@ const std::vector<OrgKind> &allOrgKinds();
  *   l3.gipt_writes       off-package writes charged per GIPT update
  *   l3.filter            enable the online hot/cold page filter
  *   l3.filter_threshold  TLB misses before a page may be cached
+ *   l3.banshee.sample_rate        1-in-N counter sampling (banshee)
+ *   l3.banshee.threshold          replacement hysteresis (banshee)
+ *   l3.banshee.tag_buffer_entries pending remaps before a lazy flush
+ *   l3.unison.predictor_entries   footprint predictor size (unison)
  */
 std::unique_ptr<DramCacheOrg>
 makeDramCacheOrg(OrgKind kind, const Config &cfg, EventQueue &eq,

@@ -8,7 +8,9 @@
  * is shared: all cores of a multi-core replay (and all jobs of a sweep
  * replaying the same file) reference one mapped, validated MtraceReader
  * through acquireReader()'s process-wide cache, which re-opens a path
- * only when the file's size or mtime changes.
+ * whenever the file's content changes (keyed on size plus a cheap
+ * fingerprint of the verified header's section checksums, so even a
+ * same-size in-place rewrite within mtime granularity is detected).
  *
  * Checkpoint discipline: the replay cursor's entire warm state is its
  * monotonic absolute position, so saveState() is one u64 and

@@ -208,6 +208,68 @@ TEST(Stats, HistogramNegativeSamplesClampToBucketZero)
     EXPECT_EQ(h.overflow(), 1u);
 }
 
+TEST(Stats, HistogramPercentileEmpty)
+{
+    stats::Histogram h(10.0, 4);
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+    EXPECT_EQ(h.percentile(100.0), 0.0);
+}
+
+TEST(Stats, HistogramPercentileEndpoints)
+{
+    stats::Histogram h(10.0, 4);
+    h.sample(5.0);  // bucket 0
+    h.sample(15.0); // bucket 1
+    h.sample(25.0); // bucket 2
+    // p=0 clamps its rank up to 1 (the first sample): the estimate is
+    // bucket 0's upper edge, already within [min, max].
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+    // p=100 targets the last sample: bucket 2's upper edge (30.0)
+    // clamped down to the observed maximum.
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 25.0);
+}
+
+TEST(Stats, HistogramPercentileSingleSample)
+{
+    stats::Histogram h(10.0, 4);
+    h.sample(17.0);
+    // Every percentile of a one-sample distribution is that sample,
+    // thanks to the clamp to the observed extremes.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 17.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 17.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 17.0);
+}
+
+TEST(Stats, HistogramPercentileAllInOverflow)
+{
+    stats::Histogram h(10.0, 4);
+    h.sample(100.0);
+    h.sample(200.0);
+    h.sample(300.0);
+    // Every rank resolves past the regular buckets: the estimate is
+    // the observed maximum regardless of p.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 300.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 300.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 300.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 300.0);
+}
+
+TEST(Stats, HistogramPercentileClampsToObservedExtremes)
+{
+    stats::Histogram h(10.0, 4);
+    // Both samples land in bucket 1 (edge 20.0), but the bucket edge
+    // overstates the upper tail and understates the lower: the clamp
+    // pins the estimate inside [min, max].
+    h.sample(12.0);
+    h.sample(13.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 13.0)
+        << "edge 20.0 must clamp down to the observed max";
+    stats::Histogram lo(10.0, 4);
+    lo.sample(19.0); // bucket 1: edge 20.0 > sample
+    EXPECT_DOUBLE_EQ(lo.percentile(50.0), 19.0);
+}
+
 TEST(Stats, GroupDump)
 {
     stats::StatGroup g("grp");

@@ -574,6 +574,43 @@ TEST(MtraceReplay, AcquireReaderCachesUntilFileChanges)
     EXPECT_EQ(c->coreCount(), 1u);
 }
 
+TEST(MtraceReplay, AcquireReaderDetectsSameSizeSameMtimeRewrite)
+{
+    // Regression: the cache used to key on (size, mtime), so an
+    // in-place rewrite to a same-size file within the filesystem's
+    // mtime granularity served the stale mapped reader. The key is now
+    // the content fingerprint from the verified header.
+    const std::string path = tmpFile("stale.mtrace");
+    auto write = [&](Addr base, const std::string &src) {
+        mtrace::MtraceWriter w(path, 1, false, src);
+        for (Addr i = 0; i < 32; ++i)
+            w.append(0, rec(AccessType::Load, base + 64 * i));
+        w.close();
+    };
+
+    write(0x2000, "test:A");
+    const auto size_a = fs::file_size(path);
+    const auto mtime_a = fs::last_write_time(path);
+    auto a = mtrace::acquireReader(path);
+    {
+        mtrace::MtraceCursor cur(*a, 0);
+        EXPECT_EQ(cur.next().vaddr, 0x2000u);
+    }
+
+    // Same record count, same varint widths, same source length: the
+    // rewrite is byte-size identical. Pin the mtime back so only the
+    // content distinguishes old from new.
+    write(0x3000, "test:B");
+    ASSERT_EQ(fs::file_size(path), size_a);
+    fs::last_write_time(path, mtime_a);
+    ASSERT_EQ(fs::last_write_time(path), mtime_a);
+
+    auto b = mtrace::acquireReader(path);
+    EXPECT_NE(a.get(), b.get());
+    mtrace::MtraceCursor cur(*b, 0);
+    EXPECT_EQ(cur.next().vaddr, 0x3000u);
+}
+
 // ---------------------------------------------------------------------
 // Record -> replay determinism
 // ---------------------------------------------------------------------

@@ -134,6 +134,20 @@ TEST(OrgFactory, ParsesAllKinds)
     EXPECT_EQ(orgKindFromString("tagless"), OrgKind::Tagless);
     EXPECT_EQ(orgKindFromString("ideal"), OrgKind::Ideal);
     EXPECT_EQ(orgKindFromString("alloy"), OrgKind::Alloy);
+    EXPECT_EQ(orgKindFromString("banshee"), OrgKind::Banshee);
+    EXPECT_EQ(orgKindFromString("unison"), OrgKind::Unison);
+}
+
+TEST(OrgFactory, NameRoundTripsForEveryKind)
+{
+    // Property: both the CLI token and the report spelling parse back
+    // to the same kind, for every organization in the golden matrix.
+    for (OrgKind k : allOrgKinds()) {
+        EXPECT_EQ(orgKindFromString(cliName(k)), k)
+            << "cliName " << cliName(k);
+        EXPECT_EQ(orgKindFromString(toString(k)), k)
+            << "toString " << toString(k);
+    }
 }
 
 TEST(OrgFactoryDeath, UnknownKind)
@@ -142,14 +156,20 @@ TEST(OrgFactoryDeath, UnknownKind)
                 ::testing::ExitedWithCode(1), "unknown");
 }
 
+TEST(OrgFactoryDeath, UnknownKindListsValidNames)
+{
+    // The error has to tell the user what the valid spellings are.
+    EXPECT_EXIT(orgKindFromString("bogus"),
+                ::testing::ExitedWithCode(1),
+                "nol3.*bi.*sram.*ctlb.*ideal.*alloy.*banshee.*unison");
+}
+
 TEST(OrgFactory, BuildsEveryOrg)
 {
     Machine m;
     Config cfg;
     cfg.set("l3.size_bytes", std::uint64_t{64} << 20);
-    for (OrgKind k :
-         {OrgKind::NoL3, OrgKind::BankInterleave, OrgKind::SramTag,
-          OrgKind::Tagless, OrgKind::Ideal, OrgKind::Alloy}) {
+    for (OrgKind k : allOrgKinds()) {
         auto org = makeDramCacheOrg(k, cfg, m.eq, m.inPkg, m.offPkg,
                                     m.phys, m.cpuClk);
         ASSERT_NE(org, nullptr);

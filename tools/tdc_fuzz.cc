@@ -6,7 +6,8 @@
  *   tdc_fuzz --trace-points=N [--seed=N] [--tmp=<dir>]
  *
  * Each point K derives its entire configuration from Pcg32(seed, K):
- * organization (all six), workload shape (single-programmed, Table 5
+ * organization (all eight, biased toward the stateful page caches:
+ * tagless, Banshee, Unison), workload shape (single-programmed, Table 5
  * four-program mix, or a multithreaded PARSEC profile on a shared page
  * table), cache size, replacement policy, alpha, the hot/cold filter,
  * the auditor's sweep interval, and whether the run is split by an
@@ -71,6 +72,10 @@ struct FuzzPoint
     unsigned alpha = 1;
     bool filter = false;
     unsigned filterThreshold = 2;
+    unsigned bansheeSampleRate = 8;
+    unsigned bansheeThreshold = 2;
+    unsigned bansheeTagBuffer = 1024;
+    unsigned unisonPredictorEntries = 4096;
     std::uint64_t sweepInterval = 1;
     bool ckptMidRun = false;
 };
@@ -82,12 +87,20 @@ generatePoint(std::uint64_t seed, std::uint64_t index,
     Pcg32 rng(seed, /*stream=*/index);
     FuzzPoint p;
 
-    // Half the points hit the tagless design (it owns nearly all the
-    // structural invariants); the rest spread over every organization.
+    // Bias toward the stateful page caches: 40% tagless (it owns
+    // nearly all the structural invariants), 15% each for the newer
+    // Banshee and Unison designs, and the rest spread over every
+    // organization.
     const auto &orgs = allOrgKinds();
-    p.org = rng.chance(0.5)
-                ? OrgKind::Tagless
-                : orgs[rng.below(static_cast<std::uint32_t>(orgs.size()))];
+    const std::uint32_t pick = rng.below(100);
+    if (pick < 40)
+        p.org = OrgKind::Tagless;
+    else if (pick < 55)
+        p.org = OrgKind::Banshee;
+    else if (pick < 70)
+        p.org = OrgKind::Unison;
+    else
+        p.org = orgs[rng.below(static_cast<std::uint32_t>(orgs.size()))];
 
     switch (rng.below(3)) {
       case 0: { // single-programmed
@@ -122,6 +135,12 @@ generatePoint(std::uint64_t seed, std::uint64_t index,
     p.alpha = 1 + rng.below(4);
     p.filter = rng.chance(0.5);
     p.filterThreshold = 2 + rng.below(3);
+    // Banshee/Unison knobs: small tag buffers force frequent lazy
+    // flushes, small predictors force aliasing.
+    p.bansheeSampleRate = 1 + rng.below(16);
+    p.bansheeThreshold = rng.below(5);
+    p.bansheeTagBuffer = 16u << (2 * rng.below(4)); // 16..1024
+    p.unisonPredictorEntries = 256u << (2 * rng.below(3)); // 256..4096
     p.sweepInterval = 1 + rng.below64(64);
     p.ckptMidRun = rng.chance(0.25);
     return p;
@@ -143,6 +162,14 @@ makeConfig(const FuzzPoint &p, OrgKind org)
     cfg.raw.set("l3.alpha", std::uint64_t{p.alpha});
     cfg.raw.set("l3.filter", p.filter);
     cfg.raw.set("l3.filter_threshold", std::uint64_t{p.filterThreshold});
+    cfg.raw.set("l3.banshee.sample_rate",
+                std::uint64_t{p.bansheeSampleRate});
+    cfg.raw.set("l3.banshee.threshold",
+                std::uint64_t{p.bansheeThreshold});
+    cfg.raw.set("l3.banshee.tag_buffer_entries",
+                std::uint64_t{p.bansheeTagBuffer});
+    cfg.raw.set("l3.unison.predictor_entries",
+                std::uint64_t{p.unisonPredictorEntries});
     cfg.raw.set("check.audit", true);
     cfg.raw.set("check.interval", p.sweepInterval);
     return cfg;

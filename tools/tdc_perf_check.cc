@@ -13,7 +13,7 @@
  * structurally unusable (no common cells, failed cells in current).
  *
  * Per-cell deltas are informational only: single cells on a shared CI
- * host are noisy, while the 19-cell median is stable. To accept an
+ * host are noisy, while the 25-cell median is stable. To accept an
  * intentional shift (new hardware, an optimization landing), re-run
  * `perf_suite --update-baseline` on the reference host and commit
  * bench/baselines/BENCH_6.json.
